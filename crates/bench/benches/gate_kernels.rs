@@ -1,0 +1,65 @@
+//! Criterion benchmarks of the statevector gate kernels: single-qubit
+//! rotation application, the CZ diagonal fast path, and full HEA layers
+//! across register sizes. These time the substrate itself — the per-gate
+//! costs that every experiment in the paper multiplies by thousands.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use plateau_sim::{Circuit, RotationGate, State};
+use std::hint::black_box;
+
+fn bench_single_qubit_rotation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rx_apply");
+    for &n in &[4usize, 8, 12, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut state = State::zero(n);
+            b.iter(|| {
+                state
+                    .apply_rotation(RotationGate::Rx, black_box(n / 2), black_box(0.37))
+                    .expect("valid qubit");
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cz_fast_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cz_apply");
+    for &n in &[4usize, 8, 12, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut state = State::zero(n);
+            b.iter(|| {
+                state.apply_cz(black_box(0), black_box(n - 1)).expect("valid qubits");
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_hea_layer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hea_full_run");
+    for &n in &[4usize, 8, 10] {
+        let mut circuit = Circuit::new(n).expect("valid register");
+        for _ in 0..5 {
+            for q in 0..n {
+                circuit.rx(q).expect("valid qubit");
+                circuit.ry(q).expect("valid qubit");
+            }
+            for q in 0..n - 1 {
+                circuit.cz(q, q + 1).expect("valid qubits");
+            }
+        }
+        let params: Vec<f64> = (0..circuit.n_params()).map(|i| i as f64 * 0.01).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| circuit.run(black_box(&params)).expect("run"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_qubit_rotation,
+    bench_cz_fast_path,
+    bench_hea_layer
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benchmark of the end-to-end variance harness throughput —
+//! the cost of one Fig 5a cell (circuit generation + initialization +
+//! last-parameter gradient) at small scale, which bounds the wall-clock of
+//! the paper-scale scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use plateau_core::init::InitStrategy;
+use plateau_core::variance::{variance_scan, VarianceConfig};
+use std::hint::black_box;
+
+fn bench_variance_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("variance_scan_cell");
+    group.sample_size(10);
+    for &q in &[4usize, 6, 8] {
+        let config = VarianceConfig {
+            qubit_counts: vec![q],
+            layers: 20,
+            n_circuits: 16,
+            ..VarianceConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, _| {
+            b.iter(|| {
+                variance_scan(black_box(&config), &[InitStrategy::Random]).expect("scan")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_strategy_overhead(c: &mut Criterion) {
+    // Orthogonal pays a QR per draw; check it stays negligible next to the
+    // gradient evaluation.
+    let mut group = c.benchmark_group("variance_scan_strategy");
+    group.sample_size(10);
+    let config = VarianceConfig {
+        qubit_counts: vec![6],
+        layers: 20,
+        n_circuits: 16,
+        ..VarianceConfig::default()
+    };
+    for strategy in [
+        InitStrategy::Random,
+        InitStrategy::XavierNormal,
+        InitStrategy::Orthogonal { gain: 1.0 },
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name()),
+            &strategy,
+            |b, s| {
+                b.iter(|| variance_scan(black_box(&config), &[*s]).expect("scan"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variance_cell, bench_strategy_overhead);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Ablation **A3** (paper §II-e): the BeInit beta-distribution strategy of
+//! Kulshrestha & Safro as an extra baseline next to the paper's six, at a
+//! few `(α, β)` settings.
+
+use plateau_bench::{banner, csv_header, csv_row, paper_strategies, timed, Scale};
+use plateau_core::init::InitStrategy;
+use plateau_core::variance::{variance_scan, VarianceConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Ablation A3: BeInit (beta-distribution) vs the paper's six", scale);
+
+    let mut strategies = paper_strategies();
+    strategies.push(InitStrategy::BetaInit { alpha: 2.0, beta: 2.0 });
+    strategies.push(InitStrategy::BetaInit { alpha: 4.0, beta: 4.0 });
+    strategies.push(InitStrategy::BetaInit { alpha: 8.0, beta: 8.0 });
+
+    let config = VarianceConfig {
+        qubit_counts: vec![2, 4, 6, 8],
+        layers: scale.pick(50, 6),
+        n_circuits: scale.pick(150, 24),
+        ..VarianceConfig::default()
+    };
+    let scan = timed("variance scan", || {
+        variance_scan(&config, &strategies).expect("variance scan")
+    });
+
+    println!("\n## decay fits");
+    csv_header(&["strategy_variant", "rate_b", "r_squared"]);
+    for curve in &scan.curves {
+        let fit = curve.decay_fit().expect("fit");
+        let label = match curve.strategy {
+            InitStrategy::BetaInit { alpha, beta } => format!("beta_a{alpha}_b{beta}"),
+            s => s.name().to_string(),
+        };
+        csv_row(&label, &[fit.rate, fit.r_squared]);
+    }
+
+    println!("\n## improvements vs random");
+    csv_header(&["strategy_variant", "improvement_pct"]);
+    let improvements = scan
+        .improvements_vs(InitStrategy::Random)
+        .expect("improvements");
+    for imp in &improvements {
+        let label = match imp.strategy {
+            InitStrategy::BetaInit { alpha, beta } => format!("beta_a{alpha}_b{beta}"),
+            s => s.name().to_string(),
+        };
+        csv_row(&label, &[imp.improvement_percent]);
+    }
+    println!("# expectation: larger (α, β) concentrates angles near 0 and behaves");
+    println!("# increasingly like the narrow Gaussian initializers.");
+}

@@ -1,0 +1,45 @@
+//! Ablation **A5** (DESIGN.md §5): the fan-in/fan-out convention. The
+//! classical initializers need a PQC notion of "fan"; this ablation runs
+//! the variance scan under both conventions to show how much the headline
+//! numbers depend on that modelling choice.
+
+use plateau_bench::{banner, csv_header, csv_row, timed, Scale};
+use plateau_core::init::{FanMode, InitStrategy};
+use plateau_core::variance::{variance_scan, AnsatzKind, VarianceConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Ablation A5: fan-mode convention (qubits vs params-per-layer)", scale);
+
+    let strategies = [
+        InitStrategy::Random,
+        InitStrategy::XavierNormal,
+        InitStrategy::He,
+        InitStrategy::LeCun,
+    ];
+
+    for fan_mode in [FanMode::Qubits, FanMode::ParamsPerLayer] {
+        let config = VarianceConfig {
+            qubit_counts: vec![2, 4, 6, 8],
+            layers: scale.pick(50, 6),
+            n_circuits: scale.pick(150, 24),
+            fan_mode,
+            // The training ansatz has params_per_layer = 2·n_qubits, so the
+            // two fan conventions genuinely differ (2× in variance).
+            ansatz: AnsatzKind::Training,
+            ..VarianceConfig::default()
+        };
+        let scan = timed(&format!("scan fan_mode={fan_mode:?}"), || {
+            variance_scan(&config, &strategies).expect("variance scan")
+        });
+        println!("\n## fan_mode = {fan_mode:?}: improvements vs random");
+        csv_header(&["strategy", "decay_rate", "improvement_pct"]);
+        for imp in scan.improvements_vs(InitStrategy::Random).expect("table") {
+            csv_row(imp.strategy.name(), &[imp.decay_rate, imp.improvement_percent]);
+        }
+    }
+    println!("# note: the scan uses the training ansatz (params_per_layer = 2·qubits),");
+    println!("# where ParamsPerLayer halves every Gaussian initializer's variance");
+    println!("# relative to Qubits — bounding the headline table's sensitivity to");
+    println!("# the fan convention.");
+}

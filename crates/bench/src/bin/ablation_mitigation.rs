@@ -1,0 +1,125 @@
+//! Ablation **A7**: the paper's initialization strategies head-to-head
+//! with the related-work mitigations it cites — identity-block
+//! initialization (§II-a, Grant et al.), quantum natural gradient (§II-b),
+//! and layerwise training (§II-c) — plus SPSA as a gradient-free control,
+//! all on the 10-qubit identity-learning task of §IV-D.
+
+use plateau_bench::{banner, csv_header, csv_row, timed, Scale};
+use plateau_core::ansatz::training_ansatz;
+use plateau_core::cost::CostKind;
+use plateau_core::init::{FanMode, InitStrategy};
+use plateau_core::mitigation::{identity_block_ansatz, identity_block_params, train_layerwise};
+use plateau_core::optim::{Adam, Optimizer};
+use plateau_core::qng::{train_qng, QngConfig};
+use plateau_core::spsa::{train_spsa, SpsaConfig};
+use plateau_core::train::{train, TrainingHistory};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn summarize(label: &str, hist: &TrainingHistory) {
+    let reach = hist
+        .iterations_to_reach(0.1)
+        .map(|i| i as f64)
+        .unwrap_or(f64::NAN);
+    csv_row(label, &[hist.initial_loss(), hist.final_loss(), reach]);
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Ablation A7: initialization vs related-work mitigations", scale);
+
+    let n_qubits = scale.pick(10, 4);
+    let layers = 5;
+    let iterations = 50;
+    let ansatz = training_ansatz(n_qubits, layers).expect("ansatz");
+    let obs = CostKind::Global.observable(n_qubits);
+    println!("# task: identity learning, {n_qubits} qubits, {layers} layers, {iterations} iterations");
+
+    println!("\n## final cost per method (Adam lr = 0.1 where applicable)");
+    csv_header(&["method", "initial_loss", "final_loss", "iters_to_0.1"]);
+
+    // 1–2. The paper's recipe: Xavier vs random baseline, plain Adam.
+    for strategy in [InitStrategy::XavierNormal, InitStrategy::Random] {
+        let mut rng = StdRng::seed_from_u64(0xA70 + strategy.name().len() as u64);
+        let theta0 = strategy
+            .sample_params(&ansatz.shape, FanMode::TensorShape, &mut rng)
+            .expect("init");
+        let mut adam = Adam::new(0.1).expect("adam");
+        let hist = timed(&format!("adam + {}", strategy.name()), || {
+            train(&ansatz.circuit, &obs, theta0, &mut adam, iterations).expect("train")
+        });
+        summarize(&format!("adam_{}", strategy.name()), &hist);
+    }
+
+    // 3. Identity-block initialization (Grant et al.) on the block ansatz
+    //    of equivalent depth (blocks × 2 halves ≈ layers).
+    {
+        let blocks = (layers / 2).max(1);
+        let ib = identity_block_ansatz(n_qubits, blocks, 1).expect("identity-block ansatz");
+        let mut rng = StdRng::seed_from_u64(0xA71);
+        let theta0 = identity_block_params(&ib, &mut rng).expect("identity-block init");
+        let mut adam = Adam::new(0.1).expect("adam");
+        let hist = timed("adam + identity-block", || {
+            train(&ib.circuit, &obs, theta0, &mut adam, iterations).expect("train")
+        });
+        summarize("adam_identity_block", &hist);
+    }
+
+    // 4. Layerwise training (Skolik et al.) from the random baseline.
+    {
+        let mut rng = StdRng::seed_from_u64(0xA72);
+        let theta0 = InitStrategy::Random
+            .sample_params(&ansatz.shape, FanMode::TensorShape, &mut rng)
+            .expect("init");
+        let per_stage = iterations / layers;
+        let hist = timed("layerwise + random", || {
+            train_layerwise(
+                &ansatz,
+                &obs,
+                theta0,
+                &mut || Box::new(Adam::new(0.1).expect("adam")) as Box<dyn Optimizer>,
+                per_stage,
+            )
+            .expect("layerwise")
+        });
+        summarize("layerwise_random", &hist);
+    }
+
+    // 5. Quantum natural gradient from the random baseline.
+    {
+        let mut rng = StdRng::seed_from_u64(0xA73);
+        let theta0 = InitStrategy::Random
+            .sample_params(&ansatz.shape, FanMode::TensorShape, &mut rng)
+            .expect("init");
+        let hist = timed("qng + random", || {
+            train_qng(&ansatz.circuit, &obs, theta0, &QngConfig::default(), iterations)
+                .expect("qng")
+        });
+        summarize("qng_random", &hist);
+    }
+
+    // 6. SPSA from the random baseline (gradient-free control).
+    {
+        let mut rng = StdRng::seed_from_u64(0xA74);
+        let theta0 = InitStrategy::Random
+            .sample_params(&ansatz.shape, FanMode::TensorShape, &mut rng)
+            .expect("init");
+        let hist = timed("spsa + random", || {
+            train_spsa(
+                &ansatz.circuit,
+                &obs,
+                theta0,
+                &SpsaConfig::default(),
+                iterations,
+                &mut rng,
+            )
+            .expect("spsa")
+        });
+        summarize("spsa_random", &hist);
+    }
+
+    println!("# expectation: Xavier (simple initialization) competes with the");
+    println!("# structurally heavier mitigations; nothing rescues plain random+GD-");
+    println!("# family optimizers on the global-cost plateau except a better start");
+    println!("# (identity-block also works — it is itself an initialization method).");
+}

@@ -1,0 +1,81 @@
+//! Ablation **A6**: noise-induced barren plateaus (Wang et al. 2021). The
+//! paper's experiments are noiseless; this ablation injects a depolarizing
+//! channel after every gate and shows (1) how noise lifts the achievable
+//! cost floor of a *trained* circuit, and (2) that noise flattens the
+//! cost landscape even where initialization keeps parameter gradients
+//! alive — a mitigation boundary the initialization strategies cannot
+//! cross.
+
+use plateau_bench::{banner, csv_header, csv_row, timed, Scale};
+use plateau_core::ansatz::training_ansatz;
+use plateau_core::cost::CostKind;
+use plateau_core::init::{FanMode, InitStrategy};
+use plateau_core::optim::Adam;
+use plateau_core::train::train;
+use plateau_sim::NoiseModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Ablation A6: depolarizing noise vs trained cost floor", scale);
+
+    let n_qubits = scale.pick(6, 3);
+    let layers = scale.pick(5, 2);
+    let trajectories = scale.pick(600, 60);
+    let noise_levels = [0.0, 0.001, 0.005, 0.02, 0.05];
+
+    // Train noiselessly from a Xavier start (the paper's winning recipe)…
+    let ansatz = training_ansatz(n_qubits, layers).expect("ansatz");
+    let obs = CostKind::Global.observable(n_qubits);
+    let mut rng = StdRng::seed_from_u64(0xA6);
+    let theta0 = InitStrategy::XavierNormal
+        .sample_params(&ansatz.shape, FanMode::TensorShape, &mut rng)
+        .expect("init");
+    let mut adam = Adam::new(0.1).expect("adam");
+    let hist = timed("noiseless training", || {
+        train(&ansatz.circuit, &obs, theta0, &mut adam, 50).expect("train")
+    });
+    println!("# trained noiseless cost: {:.3e}", hist.final_loss());
+
+    // …then evaluate the trained parameters under increasing noise.
+    println!("\n## cost of the trained circuit under depolarizing noise");
+    csv_header(&["noise_p", "trained_cost", "cost_floor_minus_noiseless"]);
+    for &p in &noise_levels {
+        let noise = NoiseModel::depolarizing(p).expect("valid p");
+        let mut rng = StdRng::seed_from_u64(0xA61 + (p * 1e6) as u64);
+        let noisy = noise
+            .expectation(&ansatz.circuit, &hist.final_params, &obs, trajectories, &mut rng)
+            .expect("noisy expectation");
+        csv_row(&format!("{p}"), &[noisy, noisy - hist.final_loss()]);
+    }
+
+    // Gradient variance under noise: the initialization signal survives
+    // weak noise but drowns as the channel mixes the state.
+    println!("\n## |dC/dθ_last| (trajectory estimate) vs noise, Xavier init");
+    csv_header(&["noise_p", "grad_estimate"]);
+    let eps = std::f64::consts::FRAC_PI_2;
+    for &p in &noise_levels {
+        let noise = NoiseModel::depolarizing(p).expect("valid p");
+        let mut rng = StdRng::seed_from_u64(0xA62);
+        let theta = InitStrategy::XavierNormal
+            .sample_params(&ansatz.shape, FanMode::TensorShape, &mut rng)
+            .expect("init");
+        let last = theta.len() - 1;
+        let mut plus = theta.clone();
+        plus[last] += eps;
+        let mut minus = theta.clone();
+        minus[last] -= eps;
+        let mut traj_rng = StdRng::seed_from_u64(0xA63);
+        let f_plus = noise
+            .expectation(&ansatz.circuit, &plus, &obs, trajectories, &mut traj_rng)
+            .expect("plus");
+        let f_minus = noise
+            .expectation(&ansatz.circuit, &minus, &obs, trajectories, &mut traj_rng)
+            .expect("minus");
+        csv_row(&format!("{p}"), &[((f_plus - f_minus) / 2.0).abs()]);
+    }
+    println!("# expectation: the cost floor rises roughly linearly in p·(gate count),");
+    println!("# and the parameter-shift signal shrinks as noise mixes the state —");
+    println!("# initialization cannot mitigate noise-induced plateaus.");
+}

@@ -1,0 +1,44 @@
+//! Ablation **A11**: the initialization effect on a real variational task —
+//! VQE ground-state search on the critical transverse-field Ising chain.
+//! The identity-learning task of Fig 5b/c has a trivial solution; this
+//! ablation confirms the same ordering on a problem with a nontrivial
+//! entangled ground state.
+
+use plateau_bench::{banner, csv_header, csv_row, paper_strategies, timed, Scale};
+use plateau_vqe::hamiltonian::{ground_state_energy, transverse_field_ising};
+use plateau_vqe::solver::{solve, VqeConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Ablation A11: VQE on the critical TFIM chain per initializer", scale);
+
+    let n_qubits = scale.pick(8, 4);
+    let cfg = VqeConfig {
+        layers: scale.pick(5, 2),
+        iterations: scale.pick(150, 30),
+        seed: 0xA11,
+        ..VqeConfig::default()
+    };
+    let h = transverse_field_ising(n_qubits, 1.0, 1.0).expect("hamiltonian");
+    let exact = ground_state_energy(&h).expect("diagonalization");
+    println!("# {n_qubits} sites, layers={}, iterations={}, exact E0 = {exact:.6}", cfg.layers, cfg.iterations);
+
+    println!("\n## per-strategy VQE outcome");
+    csv_header(&["strategy", "initial_energy", "final_energy", "abs_error", "rel_error_pct"]);
+    for strategy in paper_strategies() {
+        let r = timed(strategy.name(), || {
+            solve(&h, strategy, &cfg).expect("vqe run")
+        });
+        csv_row(
+            strategy.name(),
+            &[
+                r.history.initial_loss(),
+                r.energy(),
+                r.absolute_error(),
+                100.0 * r.relative_error().expect("nonzero ground energy"),
+            ],
+        );
+    }
+    println!("# expectation: the Fig 5 ordering carries over — bounded initializers");
+    println!("# reach a few-percent relative error; random converges slowest.");
+}

@@ -1,0 +1,61 @@
+//! Regenerates **Fig 1**: optimization landscapes demonstrating barren
+//! plateaus at (a) 2, (b) 5, (c) 10 qubits with a constant depth of 100
+//! layers (RX+RY per qubit + CZ chain, matching the paper's motivational
+//! setup).
+//!
+//! For each qubit count the binary scans the cost over the last two
+//! parameters on a [−π, π]² grid with all other parameters drawn from the
+//! random baseline, and reports the grid plus its peak-to-peak amplitude —
+//! the number that collapses as the plateau sets in.
+
+use plateau_bench::{banner, csv_header, csv_row, timed, Scale};
+use plateau_core::ansatz::training_ansatz;
+use plateau_core::cost::CostKind;
+use plateau_core::init::{FanMode, InitStrategy};
+use plateau_core::landscape::{landscape_grid, LandscapeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Fig 1: optimization landscape vs qubit count (depth 100)", scale);
+
+    let layers = scale.pick(100, 10);
+    let resolution = scale.pick(25, 9);
+    let qubit_counts: &[usize] = &[2, 5, 10];
+    let cfg = LandscapeConfig::default()
+        .with_resolution(resolution)
+        .expect("resolution >= 2");
+
+    let mut amplitudes = Vec::new();
+    for &q in qubit_counts {
+        let ansatz = training_ansatz(q, layers).expect("valid ansatz");
+        let mut rng = StdRng::seed_from_u64(0xF161 + q as u64);
+        let base = InitStrategy::Random
+            .sample_params(&ansatz.shape, FanMode::Qubits, &mut rng)
+            .expect("random init");
+        let n_params = ansatz.circuit.n_params();
+        let obs = CostKind::Global.observable(q);
+
+        let grid = timed(&format!("scan q={q}"), || {
+            landscape_grid(&ansatz.circuit, &obs, &base, n_params - 2, n_params - 1, &cfg)
+                .expect("landscape scan")
+        });
+
+        println!("\n## {q} qubits: cost over (θ_a, θ_b), row = θ_a");
+        let mut header = vec!["theta_a".to_string()];
+        header.extend(grid.ys.iter().map(|y| format!("{y:.3}")));
+        csv_header(&header.iter().map(String::as_str).collect::<Vec<_>>());
+        for (i, row) in grid.values.iter().enumerate() {
+            csv_row(&format!("{:.3}", grid.xs[i]), row);
+        }
+        amplitudes.push((q, grid.amplitude(), grid.min_value(), grid.max_value()));
+    }
+
+    println!("\n## landscape amplitude (flatness) summary");
+    csv_header(&["qubits", "amplitude", "min_cost", "max_cost"]);
+    for (q, amp, lo, hi) in amplitudes {
+        csv_row(&q.to_string(), &[amp, lo, hi]);
+    }
+    println!("# expectation from the paper: amplitude shrinks sharply with qubit count");
+}

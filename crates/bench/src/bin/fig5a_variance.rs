@@ -1,0 +1,101 @@
+//! Regenerates **Fig 5a**: variance of `∂C/∂θ_last` versus qubit count for
+//! the six initialization strategies, 200 random PQCs per cell (Eq. 2
+//! ansatz), together with the fitted exponential decay rates.
+
+use plateau_bench::{banner, csv_header, csv_row, env_fan_mode, env_usize, paper_strategies, timed, Scale};
+use plateau_core::init::FanMode;
+use plateau_core::variance::{variance_scan, VarianceConfig};
+use plateau_core::init::InitStrategy;
+use plateau_stats::{bootstrap_ci, variance as var_stat, welch_t_test};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Fig 5a: gradient-variance decay per initialization strategy", scale);
+
+    let config = VarianceConfig {
+        qubit_counts: vec![2, 4, 6, 8, 10],
+        layers: env_usize("PLATEAU_LAYERS", scale.pick(50, 8)),
+        n_circuits: env_usize("PLATEAU_CIRCUITS", scale.pick(200, 24)),
+        fan_mode: env_fan_mode(FanMode::TensorShape),
+        ..VarianceConfig::default()
+    };
+    println!(
+        "# layers={} circuits_per_cell={} cost={} fan_mode={:?} seed={:#x}",
+        config.layers, config.n_circuits, config.cost, config.fan_mode, config.seed
+    );
+
+    let strategies = paper_strategies();
+    let scan = timed("variance scan", || {
+        variance_scan(&config, &strategies).expect("variance scan")
+    });
+
+    println!("\n## Var[dC/dθ_last] per (strategy, qubits)");
+    let mut header = vec!["strategy".to_string()];
+    header.extend(config.qubit_counts.iter().map(|q| format!("q{q}")));
+    csv_header(&header.iter().map(String::as_str).collect::<Vec<_>>());
+    for curve in &scan.curves {
+        let vars: Vec<f64> = curve.points.iter().map(|p| p.variance).collect();
+        csv_row(curve.strategy.name(), &vars);
+    }
+
+    println!("\n## ln-variance (plotted series of Fig 5a)");
+    csv_header(&header.iter().map(String::as_str).collect::<Vec<_>>());
+    for curve in &scan.curves {
+        let lns: Vec<f64> = curve.points.iter().map(|p| p.variance.ln()).collect();
+        csv_row(curve.strategy.name(), &lns);
+    }
+
+    println!("\n## fitted decay: Var(q) = A·exp(b·q)");
+    csv_header(&["strategy", "rate_b", "rate_per_qubit_log2", "amplitude_A", "r_squared"]);
+    for curve in &scan.curves {
+        let fit = curve.decay_fit().expect("decay fit");
+        csv_row(
+            curve.strategy.name(),
+            &[fit.rate, fit.rate_log2(), fit.amplitude, fit.r_squared],
+        );
+    }
+
+    println!("\n## bootstrap 95% CI of the 10-qubit variance (sampling error at n={})", config.n_circuits);
+    csv_header(&["strategy", "estimate", "ci_low", "ci_high"]);
+    let mut rng = StdRng::seed_from_u64(0xB007);
+    for curve in &scan.curves {
+        let last = curve.points.last().expect("non-empty curve");
+        let ci = bootstrap_ci(&last.gradients, var_stat, 1000, 0.95, &mut rng)
+            .expect("bootstrap");
+        csv_row(curve.strategy.name(), &[ci.estimate, ci.low, ci.high]);
+    }
+    // Which pairwise differences are resolvable at n = 200? Test the
+    // squared gradients (whose means are the variances being compared).
+    println!("\n## Welch t-test on 10-qubit squared gradients (pairwise vs random)");
+    csv_header(&["pair", "t_statistic", "p_value"]);
+    let squared = |s: InitStrategy| -> Vec<f64> {
+        scan.curve_of(s)
+            .expect("strategy present")
+            .points
+            .last()
+            .expect("non-empty curve")
+            .gradients
+            .iter()
+            .map(|g| g * g)
+            .collect()
+    };
+    let random_sq = squared(InitStrategy::Random);
+    for s in strategies.iter().skip(1) {
+        let t = welch_t_test(&squared(*s), &random_sq).expect("well-posed test");
+        csv_row(&format!("{}_vs_random", s.name()), &[t.t_statistic, t.p_value]);
+    }
+    let xavier_sq = squared(InitStrategy::XavierNormal);
+    let he_sq = squared(InitStrategy::He);
+    let t = welch_t_test(&xavier_sq, &he_sq).expect("well-posed test");
+    csv_row("xavier_normal_vs_he", &[t.t_statistic, t.p_value]);
+    let lecun_sq = squared(InitStrategy::LeCun);
+    let t = welch_t_test(&he_sq, &lecun_sq).expect("well-posed test");
+    csv_row("he_vs_lecun", &[t.t_statistic, t.p_value]);
+
+    println!("# expectation from the paper: random has the steepest negative slope;");
+    println!("# all bounded initializations decay visibly slower. The Welch tests");
+    println!("# show which orderings are resolvable at the paper's 200-circuit");
+    println!("# budget — the He-vs-LeCun gap typically is not.");
+}

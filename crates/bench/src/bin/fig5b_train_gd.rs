@@ -1,0 +1,14 @@
+//! Regenerates **Fig 5b**: loss convergence of the 10-qubit, 5-layer QNN
+//! on the identity task under each initialization strategy, optimized with
+//! **gradient descent** at step size 0.1 for 50 iterations (paper §V).
+
+use plateau_bench::{run_training_figure, Scale};
+use plateau_core::{GradientDescent, Optimizer};
+
+fn main() {
+    run_training_figure(
+        "Fig 5b: training convergence with Gradient Descent (lr = 0.1)",
+        Scale::from_env(),
+        &mut || Box::new(GradientDescent::new(0.1).expect("valid lr")) as Box<dyn Optimizer>,
+    );
+}

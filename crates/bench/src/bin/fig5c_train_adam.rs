@@ -1,0 +1,14 @@
+//! Regenerates **Fig 5c**: loss convergence of the 10-qubit, 5-layer QNN
+//! on the identity task under each initialization strategy, optimized with
+//! **Adam** at step size 0.1 for 50 iterations (paper §V).
+
+use plateau_bench::{run_training_figure, Scale};
+use plateau_core::{Adam, Optimizer};
+
+fn main() {
+    run_training_figure(
+        "Fig 5c: training convergence with Adam (lr = 0.1)",
+        Scale::from_env(),
+        &mut || Box::new(Adam::new(0.1).expect("valid lr")) as Box<dyn Optimizer>,
+    );
+}

@@ -1,0 +1,203 @@
+//! # plateau-bench
+//!
+//! Shared harness code for the figure-regeneration binaries. Each binary in
+//! `src/bin/` reproduces one artifact of the paper (see DESIGN.md's
+//! experiment index):
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig1_landscape` | Fig 1 (a–c): landscape flattening with qubit count |
+//! | `fig5a_variance` | Fig 5a: gradient-variance decay per initializer |
+//! | `table_improvements` | headline decay-rate improvement percentages |
+//! | `fig5b_train_gd` | Fig 5b: training curves, gradient descent |
+//! | `fig5c_train_adam` | Fig 5c: training curves, Adam |
+//! | `ablation_*` | design-choice ablations from DESIGN.md §5 |
+//!
+//! Every binary prints a self-describing CSV-like report to stdout and
+//! honors the `PLATEAU_SCALE` environment variable:
+//! `PLATEAU_SCALE=quick` shrinks ensembles/depths for smoke runs (used by
+//! `cargo bench` wrappers and CI), anything else runs at paper scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use plateau_core::init::InitStrategy;
+use std::time::Instant;
+
+/// Scale of an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Full paper-scale parameters.
+    Paper,
+    /// Shrunk parameters for smoke testing.
+    Quick,
+}
+
+impl Scale {
+    /// Reads the scale from `PLATEAU_SCALE` (`quick` → [`Scale::Quick`],
+    /// anything else → [`Scale::Paper`]).
+    pub fn from_env() -> Scale {
+        match std::env::var("PLATEAU_SCALE").as_deref() {
+            Ok("quick") => Scale::Quick,
+            _ => Scale::Paper,
+        }
+    }
+
+    /// Picks `paper` or `quick` value by scale.
+    pub fn pick<T>(self, paper: T, quick: T) -> T {
+        match self {
+            Scale::Paper => paper,
+            Scale::Quick => quick,
+        }
+    }
+}
+
+/// Reads a `usize` override from the environment, falling back to
+/// `default`. Used by the figure binaries to expose knobs like
+/// `PLATEAU_LAYERS` without per-binary CLI parsing.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Reads the fan-mode override from `PLATEAU_FAN`
+/// (`qubits` / `params` / `tensor`), defaulting to the given mode.
+pub fn env_fan_mode(default: plateau_core::FanMode) -> plateau_core::FanMode {
+    use plateau_core::FanMode;
+    match std::env::var("PLATEAU_FAN").as_deref() {
+        Ok("qubits") => FanMode::Qubits,
+        Ok("params") => FanMode::ParamsPerLayer,
+        Ok("tensor") => FanMode::TensorShape,
+        _ => default,
+    }
+}
+
+/// Prints a report header with a title and the run scale.
+pub fn banner(title: &str, scale: Scale) {
+    println!("# {title}");
+    println!("# scale: {scale:?}");
+}
+
+/// Prints a CSV header row.
+pub fn csv_header(cols: &[&str]) {
+    println!("{}", cols.join(","));
+}
+
+/// Prints one CSV row of float values after a string key column.
+pub fn csv_row(key: &str, values: &[f64]) {
+    let mut line = String::from(key);
+    for v in values {
+        line.push(',');
+        line.push_str(&format!("{v:.6e}"));
+    }
+    println!("{line}");
+}
+
+/// The six paper strategies in reporting order.
+pub fn paper_strategies() -> Vec<InitStrategy> {
+    InitStrategy::PAPER_SET.to_vec()
+}
+
+/// Times a closure, printing the elapsed wall-clock seconds.
+pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    println!("# {label}: {:.2}s", start.elapsed().as_secs_f64());
+    out
+}
+
+/// Shared driver for Fig 5b/5c: trains the paper's 10-qubit, 5-layer
+/// ansatz on the identity task for every strategy, printing the loss
+/// trajectories as CSV (one column per strategy).
+///
+/// `make_optimizer` builds a fresh optimizer per strategy so no state
+/// leaks between runs.
+pub fn run_training_figure(
+    title: &str,
+    scale: Scale,
+    make_optimizer: &mut dyn FnMut() -> Box<dyn plateau_core::Optimizer>,
+) {
+    use plateau_core::ansatz::training_ansatz;
+    use plateau_core::cost::CostKind;
+    use plateau_core::init::FanMode;
+    use plateau_core::train::train;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    banner(title, scale);
+    let n_qubits = scale.pick(10, 4);
+    let layers = 5;
+    let iterations = 50;
+    let fan_mode = env_fan_mode(FanMode::TensorShape);
+    println!(
+        "# qubits={n_qubits} layers={layers} iterations={iterations} cost=global lr=0.1 fan_mode={fan_mode:?}"
+    );
+
+    let ansatz = training_ansatz(n_qubits, layers).expect("valid ansatz");
+    println!(
+        "# ansatz: {} gates, {} parameters",
+        ansatz.circuit.gate_count(),
+        ansatz.circuit.n_params()
+    );
+    let obs = CostKind::Global.observable(n_qubits);
+
+    let strategies = paper_strategies();
+    let mut histories = Vec::new();
+    for &strategy in &strategies {
+        let mut rng = StdRng::seed_from_u64(0x71241 ^ strategy.name().len() as u64);
+        let theta0 = strategy
+            .sample_params(&ansatz.shape, fan_mode, &mut rng)
+            .expect("init params");
+        let mut opt = make_optimizer();
+        let hist = timed(&format!("train {}", strategy.name()), || {
+            train(&ansatz.circuit, &obs, theta0, opt.as_mut(), iterations).expect("training")
+        });
+        histories.push((strategy, hist));
+    }
+
+    println!("\n## loss per iteration (column per strategy)");
+    let mut header = vec!["iteration".to_string()];
+    header.extend(strategies.iter().map(|s| s.name().to_string()));
+    csv_header(&header.iter().map(String::as_str).collect::<Vec<_>>());
+    for it in 0..=iterations {
+        let row: Vec<f64> = histories.iter().map(|(_, h)| h.losses[it]).collect();
+        csv_row(&it.to_string(), &row);
+    }
+
+    println!("\n## summary");
+    csv_header(&["strategy", "initial_loss", "final_loss", "iters_to_0.1"]);
+    for (strategy, hist) in &histories {
+        let reach = hist
+            .iterations_to_reach(0.1)
+            .map(|i| i as f64)
+            .unwrap_or(f64::NAN);
+        csv_row(strategy.name(), &[hist.initial_loss(), hist.final_loss(), reach]);
+    }
+    println!("# expectation from the paper: Xavier variants converge fastest;");
+    println!("# He/LeCun/Orthogonal follow; random stalls on the plateau.");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Paper.pick(200, 20), 200);
+        assert_eq!(Scale::Quick.pick(200, 20), 20);
+    }
+
+    #[test]
+    fn strategies_are_the_paper_set() {
+        let s = paper_strategies();
+        assert_eq!(s.len(), 6);
+        assert_eq!(s[0], InitStrategy::Random);
+    }
+
+    #[test]
+    fn timed_returns_value() {
+        assert_eq!(timed("noop", || 42), 42);
+    }
+}

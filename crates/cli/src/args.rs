@@ -1,0 +1,160 @@
+//! Minimal dependency-free flag parsing: `--key value` pairs plus a
+//! leading subcommand. Only what the `plateau` binary needs — not a
+//! general-purpose parser.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error raised while parsing command-line arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand was supplied.
+    MissingCommand,
+    /// A flag was supplied without a value.
+    MissingValue(String),
+    /// A value failed to parse.
+    BadValue {
+        /// The flag name.
+        flag: String,
+        /// The raw value.
+        value: String,
+    },
+    /// An argument didn't look like `--flag`.
+    UnexpectedToken(String),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingCommand => f.write_str("missing subcommand (try `plateau help`)"),
+            ArgError::MissingValue(flag) => write!(f, "flag --{flag} needs a value"),
+            ArgError::BadValue { flag, value } => {
+                write!(f, "flag --{flag} got unparseable value {value:?}")
+            }
+            ArgError::UnexpectedToken(tok) => write!(f, "unexpected argument {tok:?}"),
+        }
+    }
+}
+
+impl Error for ArgError {}
+
+/// A parsed command line: the subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    options: BTreeMap<String, String>,
+}
+
+impl ParsedArgs {
+    /// Parses an iterator of arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] on malformed input.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<ParsedArgs, ArgError> {
+        let mut iter = args.into_iter();
+        let command = iter.next().ok_or(ArgError::MissingCommand)?;
+        let mut options = BTreeMap::new();
+        while let Some(tok) = iter.next() {
+            let flag = tok
+                .strip_prefix("--")
+                .ok_or_else(|| ArgError::UnexpectedToken(tok.clone()))?
+                .to_string();
+            let value = iter.next().ok_or_else(|| ArgError::MissingValue(flag.clone()))?;
+            options.insert(flag, value);
+        }
+        Ok(ParsedArgs { command, options })
+    }
+
+    /// Fetches a typed option, falling back to `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::BadValue`] when the value fails to parse.
+    pub fn get<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, ArgError> {
+        match self.options.get(flag) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ArgError::BadValue {
+                flag: flag.to_string(),
+                value: raw.clone(),
+            }),
+        }
+    }
+
+    /// Fetches a string option with a default.
+    pub fn get_str(&self, flag: &str, default: &str) -> String {
+        self.options
+            .get(flag)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// Lists option keys that were supplied but not in `known` — catching
+    /// typos like `--qubit` for `--qubits`.
+    pub fn unknown_flags(&self, known: &[&str]) -> Vec<String> {
+        self.options
+            .keys()
+            .filter(|k| !known.contains(&k.as_str()))
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<ParsedArgs, ArgError> {
+        ParsedArgs::parse(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let p = parse(&["variance", "--qubits", "8", "--layers", "50"]).unwrap();
+        assert_eq!(p.command, "variance");
+        assert_eq!(p.get("qubits", 0usize).unwrap(), 8);
+        assert_eq!(p.get("layers", 0usize).unwrap(), 50);
+        assert_eq!(p.get("circuits", 200usize).unwrap(), 200); // default
+    }
+
+    #[test]
+    fn string_options() {
+        let p = parse(&["train", "--strategy", "he"]).unwrap();
+        assert_eq!(p.get_str("strategy", "random"), "he");
+        assert_eq!(p.get_str("optimizer", "adam"), "adam");
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(parse(&[]).unwrap_err(), ArgError::MissingCommand);
+        assert_eq!(
+            parse(&["train", "--lr"]).unwrap_err(),
+            ArgError::MissingValue("lr".into())
+        );
+        assert!(matches!(
+            parse(&["train", "oops"]).unwrap_err(),
+            ArgError::UnexpectedToken(_)
+        ));
+        let p = parse(&["train", "--lr", "abc"]).unwrap();
+        assert!(matches!(
+            p.get("lr", 0.1f64).unwrap_err(),
+            ArgError::BadValue { .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_flags_are_reported() {
+        let p = parse(&["train", "--qubit", "4"]).unwrap();
+        assert_eq!(p.unknown_flags(&["qubits", "layers"]), vec!["qubit".to_string()]);
+        let ok = parse(&["train", "--qubits", "4"]).unwrap();
+        assert!(ok.unknown_flags(&["qubits"]).is_empty());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ArgError::MissingCommand.to_string().contains("subcommand"));
+        assert!(ArgError::MissingValue("x".into()).to_string().contains("--x"));
+    }
+}

@@ -1,0 +1,337 @@
+//! `plateau` — command-line interface to the barren-plateau experiment
+//! suite.
+//!
+//! ```text
+//! plateau variance  [--qubits 2,4,6,8,10] [--layers 50] [--circuits 200]
+//!                   [--cost global|local] [--fan qubits|params|tensor] [--seed N]
+//! plateau train     [--qubits 10] [--layers 5] [--iterations 50]
+//!                   [--strategy xavier_normal|…] [--optimizer adam|gd|momentum|rmsprop|adagrad]
+//!                   [--lr 0.1] [--seed N]
+//! plateau landscape [--qubits 5] [--layers 100] [--resolution 25] [--seed N]
+//! plateau analyze   [--qubits 6] [--layers 8] [--samples 50] [--pairs 400] [--seed N]
+//! plateau export    [--qubits 4] [--layers 2] [--strategy xavier_normal] [--seed N]
+//! plateau diagram   [--qubits 4] [--layers 1]
+//! plateau vqe       [--qubits 6] [--layers 4] [--iterations 120] [--strategy S] [--j 1] [--h 1]
+//! plateau classify  [--qubits 3] [--layers 3] [--samples 120] [--epochs 60] [--strategy S]
+//! plateau help
+//! ```
+
+mod args;
+
+use args::{ArgError, ParsedArgs};
+use plateau_core::analysis::{average_entanglement, expressibility_kl};
+use plateau_core::ansatz::training_ansatz;
+use plateau_core::cost::CostKind;
+use plateau_core::init::{FanMode, InitStrategy};
+use plateau_core::landscape::{landscape_grid, LandscapeConfig};
+use plateau_core::optim::{Adam, AdaGrad, GradientDescent, Momentum, Optimizer, RmsProp};
+use plateau_core::train::train;
+use plateau_core::variance::{variance_scan, VarianceConfig};
+use std::error::Error;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: Vec<String>) -> Result<(), Box<dyn Error>> {
+    let parsed = match ParsedArgs::parse(argv) {
+        Err(ArgError::MissingCommand) => {
+            print_help();
+            return Ok(());
+        }
+        other => other?,
+    };
+    match parsed.command.as_str() {
+        "variance" => cmd_variance(&parsed),
+        "train" => cmd_train(&parsed),
+        "landscape" => cmd_landscape(&parsed),
+        "analyze" => cmd_analyze(&parsed),
+        "export" => cmd_export(&parsed),
+        "diagram" => cmd_diagram(&parsed),
+        "vqe" => cmd_vqe(&parsed),
+        "classify" => cmd_classify(&parsed),
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?} (try `plateau help`)").into()),
+    }
+}
+
+fn print_help() {
+    println!(
+        "plateau — barren-plateau initialization experiments\n\
+         \n\
+         subcommands:\n\
+         \x20 variance   gradient-variance scan across qubit counts and strategies\n\
+         \x20 train      identity-task training with a chosen strategy and optimizer\n\
+         \x20 landscape  2-D cost-surface scan over the last two parameters\n\
+         \x20 analyze    entanglement / expressibility diagnostics per strategy\n\
+         \x20 export     emit the initialized training ansatz as OpenQASM 2.0\n\
+         \x20 diagram    ASCII wire diagram of the training ansatz\n\
+         \x20 vqe        ground-state search on the transverse-field Ising chain\n\
+         \x20 classify   two-moons classification with the re-uploading model\n\
+         \x20 help       this message\n\
+         \n\
+         run `plateau <subcommand> --flag value …`; see crate docs for flags."
+    );
+}
+
+fn parse_fan(raw: &str) -> Result<FanMode, Box<dyn Error>> {
+    match raw {
+        "qubits" => Ok(FanMode::Qubits),
+        "params" => Ok(FanMode::ParamsPerLayer),
+        "tensor" => Ok(FanMode::TensorShape),
+        other => Err(format!("unknown fan mode {other:?} (qubits|params|tensor)").into()),
+    }
+}
+
+fn parse_cost(raw: &str) -> Result<CostKind, Box<dyn Error>> {
+    match raw {
+        "global" => Ok(CostKind::Global),
+        "local" => Ok(CostKind::Local),
+        other => Err(format!("unknown cost {other:?} (global|local)").into()),
+    }
+}
+
+fn parse_strategy(raw: &str) -> Result<InitStrategy, Box<dyn Error>> {
+    InitStrategy::PAPER_SET
+        .iter()
+        .copied()
+        .find(|s| s.name() == raw)
+        .ok_or_else(|| {
+            let names: Vec<&str> = InitStrategy::PAPER_SET.iter().map(|s| s.name()).collect();
+            format!("unknown strategy {raw:?} (one of {})", names.join("|")).into()
+        })
+}
+
+fn check_flags(parsed: &ParsedArgs, known: &[&str]) -> Result<(), Box<dyn Error>> {
+    let unknown = parsed.unknown_flags(known);
+    if unknown.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("unknown flag(s): {}", unknown.join(", ")).into())
+    }
+}
+
+fn cmd_variance(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
+    check_flags(parsed, &["qubits", "layers", "circuits", "cost", "fan", "seed"])?;
+    let qubits_raw = parsed.get_str("qubits", "2,4,6,8,10");
+    let qubit_counts: Vec<usize> = qubits_raw
+        .split(',')
+        .map(|s| s.trim().parse::<usize>())
+        .collect::<Result<_, _>>()
+        .map_err(|_| format!("bad --qubits list {qubits_raw:?}"))?;
+    let config = VarianceConfig {
+        qubit_counts,
+        layers: parsed.get("layers", 50usize)?,
+        n_circuits: parsed.get("circuits", 200usize)?,
+        cost: parse_cost(&parsed.get_str("cost", "global"))?,
+        fan_mode: parse_fan(&parsed.get_str("fan", "tensor"))?,
+        seed: parsed.get("seed", 0x706c6174u64)?,
+        ..VarianceConfig::default()
+    };
+
+    let scan = variance_scan(&config, &InitStrategy::PAPER_SET)?;
+    println!("strategy,{}", config.qubit_counts.iter().map(|q| format!("q{q}")).collect::<Vec<_>>().join(","));
+    for curve in &scan.curves {
+        let vars: Vec<String> = curve.points.iter().map(|p| format!("{:.6e}", p.variance)).collect();
+        println!("{},{}", curve.strategy.name(), vars.join(","));
+    }
+    println!("\nstrategy,decay_rate,improvement_vs_random_pct");
+    let base = scan.curve_of(InitStrategy::Random).expect("random in PAPER_SET").decay_fit()?;
+    println!("random,{:.4},0.0", base.rate);
+    for imp in scan.improvements_vs(InitStrategy::Random)? {
+        println!("{},{:.4},{:.1}", imp.strategy.name(), imp.decay_rate, imp.improvement_percent);
+    }
+    Ok(())
+}
+
+fn cmd_train(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
+    check_flags(
+        parsed,
+        &["qubits", "layers", "iterations", "strategy", "optimizer", "lr", "fan", "seed"],
+    )?;
+    let n_qubits = parsed.get("qubits", 10usize)?;
+    let layers = parsed.get("layers", 5usize)?;
+    let iterations = parsed.get("iterations", 50usize)?;
+    let lr = parsed.get("lr", 0.1f64)?;
+    let strategy = parse_strategy(&parsed.get_str("strategy", "xavier_normal"))?;
+    let fan = parse_fan(&parsed.get_str("fan", "tensor"))?;
+    let seed = parsed.get("seed", 7u64)?;
+
+    let ansatz = training_ansatz(n_qubits, layers)?;
+    let obs = CostKind::Global.observable(n_qubits);
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let theta0 = strategy.sample_params(&ansatz.shape, fan, &mut rng)?;
+
+    let opt_name = parsed.get_str("optimizer", "adam");
+    let mut optimizer: Box<dyn Optimizer> = match opt_name.as_str() {
+        "adam" => Box::new(Adam::new(lr)?),
+        "gd" => Box::new(GradientDescent::new(lr)?),
+        "momentum" => Box::new(Momentum::new(lr, 0.9)?),
+        "rmsprop" => Box::new(RmsProp::new(lr)?),
+        "adagrad" => Box::new(AdaGrad::new(lr)?),
+        other => return Err(format!("unknown optimizer {other:?}").into()),
+    };
+
+    println!(
+        "# {n_qubits} qubits, {layers} layers ({} gates, {} params), {strategy}, {opt_name} lr={lr}",
+        ansatz.circuit.gate_count(),
+        ansatz.circuit.n_params()
+    );
+    let hist = train(&ansatz.circuit, &obs, theta0, optimizer.as_mut(), iterations)?;
+    println!("iteration,loss,grad_norm");
+    for (i, loss) in hist.losses.iter().enumerate() {
+        let g = if i == 0 {
+            String::from("")
+        } else {
+            format!("{:.6e}", hist.grad_norms[i - 1])
+        };
+        println!("{i},{loss:.6e},{g}");
+    }
+    println!("# final cost: {:.6e}", hist.final_loss());
+    Ok(())
+}
+
+fn cmd_landscape(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
+    check_flags(parsed, &["qubits", "layers", "resolution", "seed"])?;
+    let n_qubits = parsed.get("qubits", 5usize)?;
+    let layers = parsed.get("layers", 100usize)?;
+    let resolution = parsed.get("resolution", 25usize)?;
+    let seed = parsed.get("seed", 0u64)?;
+
+    let ansatz = training_ansatz(n_qubits, layers)?;
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let base = InitStrategy::Random.sample_params(&ansatz.shape, FanMode::Qubits, &mut rng)?;
+    let cfg = LandscapeConfig::default().with_resolution(resolution)?;
+    let n = ansatz.circuit.n_params();
+    let grid = landscape_grid(
+        &ansatz.circuit,
+        &CostKind::Global.observable(n_qubits),
+        &base,
+        n - 2,
+        n - 1,
+        &cfg,
+    )?;
+    println!("# amplitude = {:.6e}", grid.amplitude());
+    print!("theta_a\\theta_b");
+    for y in &grid.ys {
+        print!(",{y:.4}");
+    }
+    println!();
+    for (i, row) in grid.values.iter().enumerate() {
+        print!("{:.4}", grid.xs[i]);
+        for v in row {
+            print!(",{v:.6e}");
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn cmd_export(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
+    check_flags(parsed, &["qubits", "layers", "strategy", "fan", "seed"])?;
+    let n_qubits = parsed.get("qubits", 4usize)?;
+    let layers = parsed.get("layers", 2usize)?;
+    let strategy = parse_strategy(&parsed.get_str("strategy", "xavier_normal"))?;
+    let fan = parse_fan(&parsed.get_str("fan", "tensor"))?;
+    let seed = parsed.get("seed", 0u64)?;
+
+    let ansatz = training_ansatz(n_qubits, layers)?;
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let theta = strategy.sample_params(&ansatz.shape, fan, &mut rng)?;
+    print!("{}", plateau_sim::qasm::to_qasm(&ansatz.circuit, &theta)?);
+    Ok(())
+}
+
+fn cmd_diagram(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
+    check_flags(parsed, &["qubits", "layers"])?;
+    let n_qubits = parsed.get("qubits", 4usize)?;
+    let layers = parsed.get("layers", 1usize)?;
+    let ansatz = training_ansatz(n_qubits, layers)?;
+    print!("{}", plateau_sim::diagram::draw(&ansatz.circuit));
+    Ok(())
+}
+
+fn cmd_vqe(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
+    check_flags(parsed, &["qubits", "layers", "iterations", "strategy", "j", "h", "seed"])?;
+    let n_qubits = parsed.get("qubits", 6usize)?;
+    let strategy = parse_strategy(&parsed.get_str("strategy", "xavier_normal"))?;
+    let hamiltonian = plateau_vqe::transverse_field_ising(
+        n_qubits,
+        parsed.get("j", 1.0f64)?,
+        parsed.get("h", 1.0f64)?,
+    )?;
+    let cfg = plateau_vqe::VqeConfig {
+        layers: parsed.get("layers", 4usize)?,
+        iterations: parsed.get("iterations", 120usize)?,
+        seed: parsed.get("seed", 0u64)?,
+        ..plateau_vqe::VqeConfig::default()
+    };
+    let r = plateau_vqe::solve(&hamiltonian, strategy, &cfg)?;
+    println!("iteration,energy");
+    for (i, e) in r.history.losses.iter().enumerate() {
+        println!("{i},{e:.8}");
+    }
+    println!("# exact E0 = {:.8}", r.exact_energy);
+    println!("# final relative error = {:.4}%", 100.0 * r.relative_error()?);
+    Ok(())
+}
+
+fn cmd_classify(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
+    check_flags(parsed, &["qubits", "layers", "samples", "epochs", "strategy", "noise", "seed"])?;
+    let n_qubits = parsed.get("qubits", 3usize)?;
+    let layers = parsed.get("layers", 3usize)?;
+    let n_samples = parsed.get("samples", 120usize)?;
+    let epochs = parsed.get("epochs", 60usize)?;
+    let noise = parsed.get("noise", 0.05f64)?;
+    let strategy = parse_strategy(&parsed.get_str("strategy", "xavier_normal"))?;
+    let seed = parsed.get("seed", 42u64)?;
+
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let data = plateau_qml::two_moons(n_samples, noise, &mut rng);
+    let (train_set, test_set) = plateau_qml::train_test_split(data, 0.75);
+    let model = plateau_qml::Classifier::new(n_qubits, layers, 2)?;
+    let w0 = model.init_weights(strategy, FanMode::TensorShape, &mut rng)?;
+    let mut adam = Adam::new(0.1)?;
+    let fit = model.fit(w0, &train_set, &mut adam, epochs)?;
+    println!("epoch,train_mse");
+    for (i, l) in fit.losses.iter().enumerate() {
+        println!("{i},{l:.6}");
+    }
+    println!("# train accuracy = {:.1}%", 100.0 * model.accuracy(&fit.weights, &train_set)?);
+    println!("# test accuracy  = {:.1}%", 100.0 * model.accuracy(&fit.weights, &test_set)?);
+    Ok(())
+}
+
+fn cmd_analyze(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
+    check_flags(parsed, &["qubits", "layers", "samples", "pairs", "fan", "seed"])?;
+    let n_qubits = parsed.get("qubits", 6usize)?;
+    let layers = parsed.get("layers", 8usize)?;
+    let samples = parsed.get("samples", 50usize)?;
+    let pairs = parsed.get("pairs", 400usize)?;
+    let fan = parse_fan(&parsed.get_str("fan", "tensor"))?;
+    let seed = parsed.get("seed", 0xA11A)?;
+
+    let ansatz = training_ansatz(n_qubits, layers)?;
+    println!("strategy,meyer_wallach_q,expressibility_kl");
+    for strategy in InitStrategy::PAPER_SET {
+        let q = average_entanglement(&ansatz, strategy, fan, samples, seed)?;
+        let kl = expressibility_kl(&ansatz, strategy, fan, pairs, 24, seed)?;
+        println!("{},{q:.6},{kl:.6}", strategy.name());
+    }
+    Ok(())
+}

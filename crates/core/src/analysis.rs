@@ -1,0 +1,195 @@
+//! Circuit-ensemble analysis: entanglement and expressibility.
+//!
+//! *Why this matters to the paper*: barren plateaus arise when the circuit
+//! ensemble approaches a unitary 2-design (Holmes et al.: expressibility
+//! upper-bounds gradient variance). The initialization strategies work
+//! precisely by *restricting* the explored ensemble — smaller angles mean
+//! less entanglement and lower expressibility at initialization. This
+//! module quantifies both effects:
+//!
+//! - [`average_entanglement`]: mean Meyer–Wallach `Q` of the state the
+//!   initialized circuit prepares (Sim, Johnson & Aspuru-Guzik 2019 use
+//!   the same measure for ansatz characterization).
+//! - [`expressibility_kl`]: KL divergence between the ensemble's
+//!   state-fidelity distribution and the Haar distribution
+//!   `P(F) = (d−1)(1−F)^{d−2}`; **lower = more expressive** (closer to
+//!   Haar), higher = more restricted.
+//!
+//! # Examples
+//!
+//! ```
+//! use plateau_core::analysis::average_entanglement;
+//! use plateau_core::ansatz::training_ansatz;
+//! use plateau_core::init::{FanMode, InitStrategy};
+//!
+//! let a = training_ansatz(4, 3)?;
+//! let random = average_entanglement(&a, InitStrategy::Random, FanMode::Qubits, 20, 7)?;
+//! let xavier = average_entanglement(&a, InitStrategy::XavierNormal, FanMode::Qubits, 20, 7)?;
+//! // Random angles entangle heavily; Xavier keeps the state near |0…0⟩.
+//! assert!(random > xavier);
+//! # Ok::<(), plateau_core::CoreError>(())
+//! ```
+
+use crate::ansatz::Ansatz;
+use crate::error::CoreError;
+use crate::init::{FanMode, InitStrategy};
+use plateau_sim::meyer_wallach;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Mean Meyer–Wallach global entanglement `Q` of the states prepared by
+/// the ansatz under `samples` independent parameter draws from `strategy`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] for `samples == 0` and propagates
+/// sampling/simulation errors.
+pub fn average_entanglement(
+    ansatz: &Ansatz,
+    strategy: InitStrategy,
+    fan_mode: FanMode,
+    samples: usize,
+    seed: u64,
+) -> Result<f64, CoreError> {
+    if samples == 0 {
+        return Err(CoreError::InvalidConfig("samples must be nonzero".into()));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut total = 0.0;
+    for _ in 0..samples {
+        let theta = strategy.sample_params(&ansatz.shape, fan_mode, &mut rng)?;
+        let state = ansatz.circuit.run(&theta)?;
+        total += meyer_wallach(&state)?;
+    }
+    Ok(total / samples as f64)
+}
+
+/// Expressibility as the KL divergence `D(P_circuit ‖ P_Haar)` of the
+/// pairwise state-fidelity distribution, estimated from `pairs`
+/// independent parameter-pair draws and a `bins`-bin histogram.
+///
+/// Zero means the ensemble is indistinguishable from Haar-random states
+/// (maximal expressibility — and maximal plateau risk); large values mean
+/// a tightly concentrated, trainable ensemble.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] for degenerate sampling settings
+/// and propagates sampling/simulation errors.
+pub fn expressibility_kl(
+    ansatz: &Ansatz,
+    strategy: InitStrategy,
+    fan_mode: FanMode,
+    pairs: usize,
+    bins: usize,
+    seed: u64,
+) -> Result<f64, CoreError> {
+    if pairs == 0 || bins < 2 {
+        return Err(CoreError::InvalidConfig(
+            "expressibility needs pairs ≥ 1 and bins ≥ 2".into(),
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counts = vec![0usize; bins];
+    for _ in 0..pairs {
+        let t1 = strategy.sample_params(&ansatz.shape, fan_mode, &mut rng)?;
+        let t2 = strategy.sample_params(&ansatz.shape, fan_mode, &mut rng)?;
+        let s1 = ansatz.circuit.run(&t1)?;
+        let s2 = ansatz.circuit.run(&t2)?;
+        let f = s1.fidelity(&s2)?.clamp(0.0, 1.0);
+        let bin = ((f * bins as f64) as usize).min(bins - 1);
+        counts[bin] += 1;
+    }
+
+    // Haar bin masses from the CDF 1 − (1−F)^{d−1}.
+    let d = (1usize << ansatz.shape.n_qubits()) as f64;
+    let haar_cdf = |f: f64| 1.0 - (1.0 - f).powf(d - 1.0);
+    let mut kl = 0.0;
+    for (k, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let p = c as f64 / pairs as f64;
+        let lo = k as f64 / bins as f64;
+        let hi = (k + 1) as f64 / bins as f64;
+        let q = (haar_cdf(hi) - haar_cdf(lo)).max(1e-300);
+        kl += p * (p / q).ln();
+    }
+    Ok(kl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ansatz::training_ansatz;
+
+    #[test]
+    fn random_init_is_more_entangling_than_bounded() {
+        let a = training_ansatz(4, 4).unwrap();
+        let random =
+            average_entanglement(&a, InitStrategy::Random, FanMode::Qubits, 15, 1).unwrap();
+        let xavier =
+            average_entanglement(&a, InitStrategy::XavierNormal, FanMode::TensorShape, 15, 1)
+                .unwrap();
+        assert!(
+            random > 1.5 * xavier,
+            "random Q {random:.3} should dwarf xavier Q {xavier:.3}"
+        );
+        assert!((0.0..=1.0).contains(&random));
+        assert!((0.0..=1.0).contains(&xavier));
+    }
+
+    #[test]
+    fn zero_init_has_zero_entanglement() {
+        let a = training_ansatz(3, 3).unwrap();
+        let q = average_entanglement(&a, InitStrategy::Zero, FanMode::Qubits, 3, 2).unwrap();
+        assert!(q.abs() < 1e-10);
+    }
+
+    #[test]
+    fn deep_random_circuits_approach_haar_expressibility() {
+        // Deep + random ≈ Haar → small KL; bounded init → large KL
+        // (Holmes et al.: less expressive ensembles escape the plateau).
+        let a = training_ansatz(4, 3).unwrap();
+        let kl_random =
+            expressibility_kl(&a, InitStrategy::Random, FanMode::Qubits, 400, 16, 3).unwrap();
+        let kl_xavier =
+            expressibility_kl(&a, InitStrategy::XavierNormal, FanMode::TensorShape, 400, 16, 3)
+                .unwrap();
+        assert!(
+            kl_xavier > 10.0 * kl_random,
+            "xavier KL {kl_xavier:.3} should exceed random KL {kl_random:.3}"
+        );
+    }
+
+    #[test]
+    fn shallow_random_is_less_expressive_than_deep_random() {
+        let shallow = training_ansatz(4, 1).unwrap();
+        let deep = training_ansatz(4, 8).unwrap();
+        let kl_shallow =
+            expressibility_kl(&shallow, InitStrategy::Random, FanMode::Qubits, 400, 16, 3)
+                .unwrap();
+        let kl_deep =
+            expressibility_kl(&deep, InitStrategy::Random, FanMode::Qubits, 400, 16, 3).unwrap();
+        assert!(
+            kl_shallow > 5.0 * kl_deep,
+            "shallow KL {kl_shallow:.3} vs deep KL {kl_deep:.3}"
+        );
+    }
+
+    #[test]
+    fn expressibility_is_reproducible() {
+        let a = training_ansatz(2, 2).unwrap();
+        let k1 = expressibility_kl(&a, InitStrategy::He, FanMode::Qubits, 100, 10, 5).unwrap();
+        let k2 = expressibility_kl(&a, InitStrategy::He, FanMode::Qubits, 100, 10, 5).unwrap();
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let a = training_ansatz(2, 1).unwrap();
+        assert!(average_entanglement(&a, InitStrategy::Random, FanMode::Qubits, 0, 0).is_err());
+        assert!(expressibility_kl(&a, InitStrategy::Random, FanMode::Qubits, 0, 10, 0).is_err());
+        assert!(expressibility_kl(&a, InitStrategy::Random, FanMode::Qubits, 10, 1, 0).is_err());
+    }
+}

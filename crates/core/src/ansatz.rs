@@ -1,0 +1,206 @@
+//! Hardware-efficient ansatz builders (the paper's §IV).
+//!
+//! Two constructions:
+//!
+//! - [`variance_ansatz`] (Eq. 2): per layer, every qubit gets **one**
+//!   rotation gate drawn uniformly from `{RX, RY, RZ}`, followed by a
+//!   nearest-neighbour CZ chain. Used for the gradient-variance analysis;
+//!   each of the 200 ensemble members has an independently drawn gate
+//!   pattern.
+//! - [`training_ansatz`] (Eq. 3): per layer, every qubit gets RX then RY,
+//!   followed by the CZ chain. For the paper's 10-qubit, 5-layer setting
+//!   this is exactly 145 gates and 100 parameters.
+//!
+//! Both report their [`LayerShape`] so the initializers can compute fans.
+//!
+//! # Examples
+//!
+//! ```
+//! use plateau_core::ansatz::training_ansatz;
+//!
+//! let a = training_ansatz(10, 5)?;
+//! assert_eq!(a.circuit.gate_count(), 145); // paper §IV-D
+//! assert_eq!(a.circuit.n_params(), 100);
+//! assert_eq!(a.shape.params_per_layer(), 20);
+//! # Ok::<(), plateau_core::CoreError>(())
+//! ```
+
+use crate::error::CoreError;
+use crate::init::LayerShape;
+use plateau_sim::{Circuit, RotationGate};
+use rand::Rng;
+
+/// An ansatz: a circuit plus the layer geometry its initializers need.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ansatz {
+    /// The parameterized circuit.
+    pub circuit: Circuit,
+    /// Layer geometry (qubits, params per layer, layer count).
+    pub shape: LayerShape,
+}
+
+/// Builds the paper's training ansatz (Eq. 3): `layers` repetitions of
+/// `RY(θ)·RX(θ)` on every qubit followed by a CZ chain
+/// `Π CZ_{k,k+1}`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] for zero qubits/layers and
+/// simulator errors for out-of-range registers.
+pub fn training_ansatz(n_qubits: usize, layers: usize) -> Result<Ansatz, CoreError> {
+    if n_qubits == 0 || layers == 0 {
+        return Err(CoreError::InvalidConfig(
+            "training ansatz needs at least one qubit and one layer".into(),
+        ));
+    }
+    let mut circuit = Circuit::new(n_qubits)?;
+    for _ in 0..layers {
+        for q in 0..n_qubits {
+            circuit.rx(q)?;
+            circuit.ry(q)?;
+        }
+        for q in 0..n_qubits.saturating_sub(1) {
+            circuit.cz(q, q + 1)?;
+        }
+    }
+    let shape = LayerShape::new(n_qubits, 2 * n_qubits, layers)?;
+    Ok(Ansatz { circuit, shape })
+}
+
+/// Builds one random member of the paper's variance-analysis ensemble
+/// (Eq. 2): `layers` repetitions of one rotation gate per qubit — drawn
+/// uniformly from `{RX, RY, RZ}` using `rng` — followed by the CZ chain.
+///
+/// The gate *pattern* is what varies between the 200 ensemble members; the
+/// parameter *values* are drawn separately by the chosen
+/// [`crate::init::InitStrategy`].
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] for zero qubits/layers and
+/// simulator errors for out-of-range registers.
+pub fn variance_ansatz<R: Rng + ?Sized>(
+    n_qubits: usize,
+    layers: usize,
+    rng: &mut R,
+) -> Result<Ansatz, CoreError> {
+    if n_qubits == 0 || layers == 0 {
+        return Err(CoreError::InvalidConfig(
+            "variance ansatz needs at least one qubit and one layer".into(),
+        ));
+    }
+    let mut circuit = Circuit::new(n_qubits)?;
+    for _ in 0..layers {
+        for q in 0..n_qubits {
+            let gate = RotationGate::PAULI_ROTATIONS[rng.gen_range(0..3)];
+            circuit.push_rotation(gate, q)?;
+        }
+        for q in 0..n_qubits.saturating_sub(1) {
+            circuit.cz(q, q + 1)?;
+        }
+    }
+    let shape = LayerShape::new(n_qubits, n_qubits, layers)?;
+    Ok(Ansatz { circuit, shape })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plateau_sim::Op;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn training_ansatz_paper_counts() {
+        // §IV-D: width 10, depth 5 → 145 gates, 100 parameters.
+        let a = training_ansatz(10, 5).unwrap();
+        assert_eq!(a.circuit.gate_count(), 145);
+        assert_eq!(a.circuit.n_params(), 100);
+        assert_eq!(a.shape.n_params(), 100);
+        assert_eq!(a.shape.layers(), 5);
+    }
+
+    #[test]
+    fn training_ansatz_structure() {
+        let a = training_ansatz(3, 2).unwrap();
+        // Layer: RX,RY ×3 qubits (6 rotations) + 2 CZ = 8 ops; ×2 layers.
+        assert_eq!(a.circuit.gate_count(), 16);
+        assert_eq!(a.circuit.n_params(), 12);
+        // First two ops are RX then RY on qubit 0.
+        match &a.circuit.ops()[0] {
+            Op::Rotation { gate, qubit, .. } => {
+                assert_eq!(*gate, RotationGate::Rx);
+                assert_eq!(*qubit, 0);
+            }
+            other => panic!("unexpected op {other:?}"),
+        }
+        match &a.circuit.ops()[1] {
+            Op::Rotation { gate, .. } => assert_eq!(*gate, RotationGate::Ry),
+            other => panic!("unexpected op {other:?}"),
+        }
+    }
+
+    #[test]
+    fn training_ansatz_single_qubit_has_no_entangler() {
+        let a = training_ansatz(1, 3).unwrap();
+        assert_eq!(a.circuit.gate_count(), 6);
+        assert!(a
+            .circuit
+            .ops()
+            .iter()
+            .all(|op| matches!(op, Op::Rotation { .. })));
+    }
+
+    #[test]
+    fn variance_ansatz_counts() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = variance_ansatz(4, 10, &mut rng).unwrap();
+        // Per layer: 4 rotations + 3 CZ = 7; ×10 layers.
+        assert_eq!(a.circuit.gate_count(), 70);
+        assert_eq!(a.circuit.n_params(), 40);
+        assert_eq!(a.shape.params_per_layer(), 4);
+    }
+
+    #[test]
+    fn variance_ansatz_draws_all_three_gates() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = variance_ansatz(10, 30, &mut rng).unwrap();
+        let mut seen = [false; 3];
+        for op in a.circuit.ops() {
+            if let Op::Rotation { gate, .. } = op {
+                match gate {
+                    RotationGate::Rx => seen[0] = true,
+                    RotationGate::Ry => seen[1] = true,
+                    RotationGate::Rz => seen[2] = true,
+                    RotationGate::Phase => panic!("Phase not in the draw set"),
+                }
+            }
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    fn variance_ansatz_is_seed_reproducible() {
+        let a = variance_ansatz(5, 8, &mut StdRng::seed_from_u64(7)).unwrap();
+        let b = variance_ansatz(5, 8, &mut StdRng::seed_from_u64(7)).unwrap();
+        assert_eq!(a.circuit, b.circuit);
+        let c = variance_ansatz(5, 8, &mut StdRng::seed_from_u64(8)).unwrap();
+        assert_ne!(a.circuit, c.circuit);
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        assert!(training_ansatz(0, 1).is_err());
+        assert!(training_ansatz(1, 0).is_err());
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(variance_ansatz(0, 1, &mut rng).is_err());
+        assert!(variance_ansatz(1, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn ansatz_runs_at_zero_params() {
+        let a = training_ansatz(4, 3).unwrap();
+        let s = a.circuit.run(&vec![0.0; a.circuit.n_params()]).unwrap();
+        assert!((s.probability_all_zeros() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,82 @@
+//! Cost-function selection: global (the paper's Eq. 4) vs local (the
+//! Cerezo et al. alternative discussed in §II-d).
+
+use plateau_sim::Observable;
+use std::fmt;
+
+/// Which cost operator an experiment measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum CostKind {
+    /// `C = 1 − p(|0…0⟩)` — the paper's objective (Eq. 4). Global costs
+    /// show barren plateaus at any depth.
+    #[default]
+    Global,
+    /// `C = 1 − (1/n) Σ_j p(qubit j = 0)` — polynomially vanishing
+    /// gradients up to logarithmic depth.
+    Local,
+}
+
+impl CostKind {
+    /// The observable realizing this cost over `n_qubits`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use plateau_core::cost::CostKind;
+    /// use plateau_sim::State;
+    ///
+    /// let obs = CostKind::Global.observable(2);
+    /// assert!(obs.expectation(&State::zero(2))?.abs() < 1e-12);
+    /// # Ok::<(), plateau_sim::SimError>(())
+    /// ```
+    pub fn observable(self, n_qubits: usize) -> Observable {
+        match self {
+            CostKind::Global => Observable::global_cost(n_qubits),
+            CostKind::Local => Observable::local_cost(n_qubits),
+        }
+    }
+
+    /// Machine-friendly name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CostKind::Global => "global",
+            CostKind::Local => "local",
+        }
+    }
+}
+
+impl fmt::Display for CostKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plateau_sim::State;
+
+    #[test]
+    fn kinds_map_to_observables() {
+        let g = CostKind::Global.observable(3);
+        let l = CostKind::Local.observable(3);
+        assert_eq!(g, Observable::global_cost(3));
+        assert_eq!(l, Observable::local_cost(3));
+        assert_eq!(CostKind::default(), CostKind::Global);
+    }
+
+    #[test]
+    fn both_costs_vanish_on_target_state() {
+        let zero = State::zero(4);
+        for kind in [CostKind::Global, CostKind::Local] {
+            assert!(kind.observable(4).expectation(&zero).unwrap().abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(CostKind::Global.name(), "global");
+        assert_eq!(CostKind::Local.to_string(), "local");
+    }
+}

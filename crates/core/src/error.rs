@@ -1,0 +1,88 @@
+//! Error type for the core experiment layer.
+
+use plateau_sim::SimError;
+use plateau_stats::{FitError, InvalidDistributionError};
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by ansatz construction, initialization, training, and the
+/// analysis harnesses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A simulator-level failure (bad qubit index, parameter mismatch, …).
+    Sim(SimError),
+    /// A distribution was constructed with invalid parameters.
+    Distribution(InvalidDistributionError),
+    /// A regression problem was ill-posed (e.g. non-positive variances).
+    Fit(FitError),
+    /// An experiment or optimizer configuration was invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Sim(e) => write!(f, "simulation error: {e}"),
+            CoreError::Distribution(e) => write!(f, "distribution error: {e}"),
+            CoreError::Fit(e) => write!(f, "fit error: {e}"),
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Sim(e) => Some(e),
+            CoreError::Distribution(e) => Some(e),
+            CoreError::Fit(e) => Some(e),
+            CoreError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<SimError> for CoreError {
+    fn from(e: SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+impl From<InvalidDistributionError> for CoreError {
+    fn from(e: InvalidDistributionError) -> Self {
+        CoreError::Distribution(e)
+    }
+}
+
+impl From<FitError> for CoreError {
+    fn from(e: FitError) -> Self {
+        CoreError::Fit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let sim: CoreError = SimError::DuplicateQubits { qubit: 1 }.into();
+        assert!(sim.to_string().contains("simulation"));
+        assert!(sim.source().is_some());
+
+        let cfg = CoreError::InvalidConfig("bad".into());
+        assert!(cfg.to_string().contains("bad"));
+        assert!(cfg.source().is_none());
+
+        let fit: CoreError = FitError::TooFewPoints.into();
+        assert!(fit.to_string().contains("fit"));
+
+        let dist: CoreError = plateau_stats::Uniform::new(1.0, 0.0).unwrap_err().into();
+        assert!(dist.to_string().contains("distribution"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<E: Error + Send + Sync + 'static>(_e: E) {}
+        check(CoreError::InvalidConfig("x".into()));
+    }
+}

@@ -1,0 +1,585 @@
+//! Parameter-initialization strategies (the paper's §III).
+//!
+//! Classical deep-learning initializers are defined for dense layers with
+//! `fan_in` inputs and `fan_out` outputs. A PQC has no literal fan-in, so a
+//! mapping must be chosen; [`FanMode`] makes that choice explicit and
+//! ablatable:
+//!
+//! - [`FanMode::Qubits`] (default, used for the headline reproduction):
+//!   one HEA layer on `q` qubits ↦ a `q → q` dense layer, so
+//!   `fan_in = fan_out = q`.
+//! - [`FanMode::ParamsPerLayer`]: `fan_in = fan_out =` number of rotation
+//!   parameters per layer (e.g. `2q` for the paper's training ansatz).
+//!
+//! Note that with `fan_in = fan_out = n`, Xavier-normal (`Var = 2/(2n)`)
+//! and LeCun (`Var = 1/n`) coincide exactly; the paper's measured gap
+//! between them is a narrow empirical delta, which EXPERIMENTS.md discusses
+//! honestly.
+//!
+//! # Examples
+//!
+//! ```
+//! use plateau_core::init::{FanMode, InitStrategy, LayerShape};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let shape = LayerShape::new(10, 20, 5)?; // 10 qubits, 2 gates/qubit, 5 layers
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let theta = InitStrategy::XavierNormal.sample_params(&shape, FanMode::Qubits, &mut rng)?;
+//! assert_eq!(theta.len(), 100);
+//! // Xavier-normal angles are small: std = sqrt(2/(10+10)) ≈ 0.32.
+//! let spread = theta.iter().map(|t| t * t).sum::<f64>() / 100.0;
+//! assert!(spread < 0.5);
+//! # Ok::<(), plateau_core::CoreError>(())
+//! ```
+
+use crate::error::CoreError;
+use plateau_linalg::{qr_decompose_signfixed, RMatrix};
+use plateau_stats::{Beta, Normal, Sampler, Uniform};
+use rand::Rng;
+use std::f64::consts::PI;
+use std::fmt;
+
+/// How a PQC layer is mapped to the `(fan_in, fan_out)` of a classical
+/// dense layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum FanMode {
+    /// `fan_in = fan_out = n_qubits` — the interpretation used for the
+    /// headline reproduction.
+    #[default]
+    Qubits,
+    /// `fan_in = fan_out = params_per_layer`.
+    ParamsPerLayer,
+    /// PyTorch-faithful: treat the parameter array of shape
+    /// `(layers, params_per_layer)` as a weight tensor, so
+    /// `fan_in = params_per_layer` (columns) and `fan_out = layers` (rows)
+    /// — what `torch.nn.init` computes when the paper's PennyLane pipeline
+    /// hands its parameter tensor to the stock initializers. With deep
+    /// circuits this makes Xavier's variance `2/(q + layers)` — far
+    /// smaller than He/LeCun's `∝ 1/q` — which reproduces the paper's
+    /// large Xavier margin.
+    TensorShape,
+}
+
+/// Geometry of a layered ansatz: enough information for every initializer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LayerShape {
+    n_qubits: usize,
+    params_per_layer: usize,
+    layers: usize,
+}
+
+impl LayerShape {
+    /// Describes an ansatz with `layers` repetitions of a block holding
+    /// `params_per_layer` rotation parameters over `n_qubits` qubits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when any field is zero.
+    pub fn new(
+        n_qubits: usize,
+        params_per_layer: usize,
+        layers: usize,
+    ) -> Result<LayerShape, CoreError> {
+        if n_qubits == 0 || params_per_layer == 0 || layers == 0 {
+            return Err(CoreError::InvalidConfig(
+                "layer shape fields must be nonzero".into(),
+            ));
+        }
+        Ok(LayerShape {
+            n_qubits,
+            params_per_layer,
+            layers,
+        })
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Rotation parameters per layer.
+    pub fn params_per_layer(&self) -> usize {
+        self.params_per_layer
+    }
+
+    /// Layer count.
+    pub fn layers(&self) -> usize {
+        self.layers
+    }
+
+    /// Total trainable parameters `layers × params_per_layer`.
+    pub fn n_params(&self) -> usize {
+        self.layers * self.params_per_layer
+    }
+
+    /// The `(fan_in, fan_out)` pair under a fan mode.
+    pub fn fans(&self, mode: FanMode) -> (usize, usize) {
+        match mode {
+            FanMode::Qubits => (self.n_qubits, self.n_qubits),
+            FanMode::ParamsPerLayer => (self.params_per_layer, self.params_per_layer),
+            FanMode::TensorShape => (self.params_per_layer, self.layers),
+        }
+    }
+}
+
+/// A parameter-initialization strategy.
+///
+/// The six paper strategies are [`InitStrategy::PAPER_SET`]; the extras
+/// ([`InitStrategy::BetaInit`], [`InitStrategy::Zero`]) are baselines from
+/// the related-work discussion used in the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum InitStrategy {
+    /// Angles uniform on `[0, 2π)` — the barren-plateau-prone baseline
+    /// (PennyLane's convention for random PQC parameters).
+    Random,
+    /// `N(0, 2/(fan_in + fan_out))` (Glorot & Bengio 2010).
+    XavierNormal,
+    /// `U(−L, L)` with `L = sqrt(6/(fan_in + fan_out))`.
+    XavierUniform,
+    /// `N(0, 2/fan_in)` (He et al. 2015).
+    He,
+    /// `N(0, 1/fan_in)` (LeCun et al.).
+    LeCun,
+    /// Per-layer orthogonal discipline (Hu, Xiao & Pennington 2020): the
+    /// layer axis is filled with rows of independent Haar-random
+    /// `(params_per_layer × params_per_layer)` orthogonal matrices, scaled
+    /// by `gain`. Per-angle variance is `1/params_per_layer`.
+    Orthogonal {
+        /// Multiplicative gain applied to the orthogonal matrix (1.0 in
+        /// the paper's setting).
+        gain: f64,
+    },
+    /// BeInit (Kulshrestha & Safro 2022, §II-e of the paper):
+    /// `θ = π·(2x − 1)` with `x ~ Beta(α, β)`.
+    BetaInit {
+        /// Beta shape α.
+        alpha: f64,
+        /// Beta shape β.
+        beta: f64,
+    },
+    /// All-zeros (identity circuit) — a degenerate reference point.
+    Zero,
+}
+
+impl InitStrategy {
+    /// The six strategies evaluated in the paper, in its reporting order.
+    pub const PAPER_SET: [InitStrategy; 6] = [
+        InitStrategy::Random,
+        InitStrategy::XavierNormal,
+        InitStrategy::XavierUniform,
+        InitStrategy::He,
+        InitStrategy::LeCun,
+        InitStrategy::Orthogonal { gain: 1.0 },
+    ];
+
+    /// Short machine-friendly name (used as a column key in bench output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            InitStrategy::Random => "random",
+            InitStrategy::XavierNormal => "xavier_normal",
+            InitStrategy::XavierUniform => "xavier_uniform",
+            InitStrategy::He => "he",
+            InitStrategy::LeCun => "lecun",
+            InitStrategy::Orthogonal { .. } => "orthogonal",
+            InitStrategy::BetaInit { .. } => "beta",
+            InitStrategy::Zero => "zero",
+        }
+    }
+
+    /// Theoretical variance of a single sampled angle under this strategy,
+    /// or `None` where it depends on the realized orthogonal matrix.
+    pub fn nominal_variance(&self, shape: &LayerShape, mode: FanMode) -> Option<f64> {
+        let (fan_in, fan_out) = shape.fans(mode);
+        match self {
+            InitStrategy::Random => Some((2.0 * PI) * (2.0 * PI) / 12.0),
+            InitStrategy::XavierNormal => Some(2.0 / (fan_in + fan_out) as f64),
+            InitStrategy::XavierUniform => {
+                let limit = (6.0 / (fan_in + fan_out) as f64).sqrt();
+                Some(limit * limit / 3.0)
+            }
+            InitStrategy::He => Some(2.0 / fan_in as f64),
+            InitStrategy::LeCun => Some(1.0 / fan_in as f64),
+            // Every row of a Haar orthogonal matrix is a unit vector, so
+            // the mean-square angle is exactly gain²/params_per_layer.
+            InitStrategy::Orthogonal { gain } => {
+                Some(gain * gain / shape.params_per_layer() as f64)
+            }
+            InitStrategy::BetaInit { alpha, beta } => {
+                // θ = π(2x − 1) scales Var[x] by (2π)².
+                let s = alpha + beta;
+                Some((2.0 * PI).powi(2) * alpha * beta / (s * s * (s + 1.0)))
+            }
+            InitStrategy::Zero => Some(0.0),
+        }
+    }
+
+    /// Samples a full parameter vector for an ansatz of the given shape.
+    ///
+    /// The returned vector has length [`LayerShape::n_params`] and is laid
+    /// out layer-major (all of layer 0's parameters first), matching the
+    /// sequential parameter allocation of the ansatz builders.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for invalid strategy parameters
+    /// (e.g. non-positive beta shapes or a non-finite orthogonal gain).
+    pub fn sample_params<R: Rng>(
+        &self,
+        shape: &LayerShape,
+        mode: FanMode,
+        rng: &mut R,
+    ) -> Result<Vec<f64>, CoreError> {
+        let n = shape.n_params();
+        let (fan_in, fan_out) = shape.fans(mode);
+        match self {
+            InitStrategy::Random => {
+                let d = Uniform::new(0.0, 2.0 * PI)?;
+                Ok(sample_n(&d, rng, n))
+            }
+            InitStrategy::XavierNormal => {
+                let d = Normal::from_variance(0.0, 2.0 / (fan_in + fan_out) as f64)?;
+                Ok(sample_n(&d, rng, n))
+            }
+            InitStrategy::XavierUniform => {
+                let limit = (6.0 / (fan_in + fan_out) as f64).sqrt();
+                let d = Uniform::symmetric(limit)?;
+                Ok(sample_n(&d, rng, n))
+            }
+            InitStrategy::He => {
+                let d = Normal::from_variance(0.0, 2.0 / fan_in as f64)?;
+                Ok(sample_n(&d, rng, n))
+            }
+            InitStrategy::LeCun => {
+                let d = Normal::from_variance(0.0, 1.0 / fan_in as f64)?;
+                Ok(sample_n(&d, rng, n))
+            }
+            InitStrategy::Orthogonal { gain } => {
+                if !gain.is_finite() {
+                    return Err(CoreError::InvalidConfig(
+                        "orthogonal gain must be finite".into(),
+                    ));
+                }
+                Ok(sample_orthogonal(shape, *gain, rng))
+            }
+            InitStrategy::BetaInit { alpha, beta } => {
+                let d = Beta::new(*alpha, *beta)?;
+                Ok((0..n).map(|_| PI * (2.0 * d.sample(rng) - 1.0)).collect())
+            }
+            InitStrategy::Zero => Ok(vec![0.0; n]),
+        }
+    }
+}
+
+impl fmt::Display for InitStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InitStrategy::Random => write!(f, "Random"),
+            InitStrategy::XavierNormal => write!(f, "Xavier (normal)"),
+            InitStrategy::XavierUniform => write!(f, "Xavier (uniform)"),
+            InitStrategy::He => write!(f, "He"),
+            InitStrategy::LeCun => write!(f, "LeCun"),
+            InitStrategy::Orthogonal { gain } => write!(f, "Orthogonal (gain {gain})"),
+            InitStrategy::BetaInit { alpha, beta } => write!(f, "BeInit({alpha}, {beta})"),
+            InitStrategy::Zero => write!(f, "Zero"),
+        }
+    }
+}
+
+fn sample_n<R: Rng>(d: &impl Sampler, rng: &mut R, n: usize) -> Vec<f64> {
+    (0..n).map(|_| d.sample(rng)).collect()
+}
+
+/// Draws the `layers × params_per_layer` parameter matrix with the
+/// classical per-layer orthogonal discipline: classical orthogonal
+/// initialization makes **each layer's square weight matrix** orthogonal,
+/// so the PQC analogue fills the layer axis with rows of independent
+/// Haar-random `(ppl × ppl)` orthogonal matrices (a fresh matrix every
+/// `ppl` layers). Every row is a unit vector, so per-angle variance is
+/// `1/params_per_layer` — the same scale as LeCun, which is why the two
+/// behave similarly in the paper's Fig 5a.
+fn sample_orthogonal<R: Rng>(shape: &LayerShape, gain: f64, rng: &mut R) -> Vec<f64> {
+    let layers = shape.layers();
+    let ppl = shape.params_per_layer();
+    let gauss = Normal::standard();
+    let mut out = Vec::with_capacity(layers * ppl);
+    let mut rows_remaining = layers;
+    while rows_remaining > 0 {
+        let q = sample_haar_orthogonal(ppl, &gauss, rng);
+        let take = rows_remaining.min(ppl);
+        for r in 0..take {
+            out.extend(q.row(r).iter().map(|x| gain * x));
+        }
+        rows_remaining -= take;
+    }
+    out
+}
+
+/// Haar-random `n × n` orthogonal matrix via sign-fixed QR of a
+/// standard-Gaussian matrix (Mezzadri's construction).
+fn sample_haar_orthogonal<R: Rng>(n: usize, gauss: &Normal, rng: &mut R) -> RMatrix {
+    let a = RMatrix::from_fn(n, n, |_, _| gauss.sample(rng));
+    qr_decompose_signfixed(&a).q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plateau_stats::{mean, variance};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn shape(q: usize, ppl: usize, l: usize) -> LayerShape {
+        LayerShape::new(q, ppl, l).unwrap()
+    }
+
+    fn draw(strategy: InitStrategy, shape: &LayerShape, mode: FanMode, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        strategy.sample_params(shape, mode, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn layer_shape_accessors_and_validation() {
+        let s = shape(10, 20, 5);
+        assert_eq!(s.n_qubits(), 10);
+        assert_eq!(s.params_per_layer(), 20);
+        assert_eq!(s.layers(), 5);
+        assert_eq!(s.n_params(), 100);
+        assert_eq!(s.fans(FanMode::Qubits), (10, 10));
+        assert_eq!(s.fans(FanMode::ParamsPerLayer), (20, 20));
+        assert!(LayerShape::new(0, 1, 1).is_err());
+        assert!(LayerShape::new(1, 0, 1).is_err());
+        assert!(LayerShape::new(1, 1, 0).is_err());
+    }
+
+    #[test]
+    fn all_strategies_return_correct_length() {
+        let s = shape(4, 8, 3);
+        for strat in [
+            InitStrategy::Random,
+            InitStrategy::XavierNormal,
+            InitStrategy::XavierUniform,
+            InitStrategy::He,
+            InitStrategy::LeCun,
+            InitStrategy::Orthogonal { gain: 1.0 },
+            InitStrategy::BetaInit { alpha: 2.0, beta: 2.0 },
+            InitStrategy::Zero,
+        ] {
+            let v = draw(strat, &s, FanMode::Qubits, 1);
+            assert_eq!(v.len(), 24, "{strat}");
+            assert!(v.iter().all(|x| x.is_finite()), "{strat}");
+        }
+    }
+
+    #[test]
+    fn random_covers_zero_two_pi() {
+        let s = shape(10, 100, 20);
+        let v = draw(InitStrategy::Random, &s, FanMode::Qubits, 2);
+        assert!(v.iter().all(|&x| (0.0..2.0 * PI).contains(&x)));
+        // Mean near π, variance near (2π)²/12.
+        assert!((mean(&v) - PI).abs() < 0.1);
+        let nominal = InitStrategy::Random
+            .nominal_variance(&s, FanMode::Qubits)
+            .unwrap();
+        assert!((variance(&v) - nominal).abs() / nominal < 0.1);
+    }
+
+    #[test]
+    fn xavier_normal_variance_matches_formula() {
+        let s = shape(10, 200, 20); // 4000 samples
+        let v = draw(InitStrategy::XavierNormal, &s, FanMode::Qubits, 3);
+        let nominal = 2.0 / 20.0;
+        assert!((variance(&v) - nominal).abs() / nominal < 0.15);
+        assert!(mean(&v).abs() < 0.02);
+    }
+
+    #[test]
+    fn xavier_uniform_bounds_and_variance() {
+        let s = shape(10, 200, 20);
+        let v = draw(InitStrategy::XavierUniform, &s, FanMode::Qubits, 4);
+        let limit = (6.0 / 20.0f64).sqrt();
+        assert!(v.iter().all(|&x| x.abs() <= limit));
+        let nominal = limit * limit / 3.0;
+        assert!((variance(&v) - nominal).abs() / nominal < 0.15);
+    }
+
+    #[test]
+    fn he_variance_is_twice_lecun() {
+        let s = shape(8, 400, 10);
+        let he = draw(InitStrategy::He, &s, FanMode::Qubits, 5);
+        let lecun = draw(InitStrategy::LeCun, &s, FanMode::Qubits, 6);
+        let ratio = variance(&he) / variance(&lecun);
+        assert!((ratio - 2.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn xavier_normal_equals_lecun_at_equal_fans() {
+        // With fan_in = fan_out = n, Var_xavier = 2/2n = 1/n = Var_lecun.
+        let s = shape(6, 12, 4);
+        let xv = InitStrategy::XavierNormal
+            .nominal_variance(&s, FanMode::Qubits)
+            .unwrap();
+        let lc = InitStrategy::LeCun
+            .nominal_variance(&s, FanMode::Qubits)
+            .unwrap();
+        assert!((xv - lc).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fan_mode_changes_scale() {
+        let s = shape(10, 20, 5);
+        let q = InitStrategy::He.nominal_variance(&s, FanMode::Qubits).unwrap();
+        let p = InitStrategy::He
+            .nominal_variance(&s, FanMode::ParamsPerLayer)
+            .unwrap();
+        assert!((q / p - 2.0).abs() < 1e-12); // 2/10 vs 2/20
+    }
+
+    #[test]
+    fn tensor_shape_fan_mode_uses_layers_as_fan_out() {
+        // Parameter tensor of shape (layers=100, ppl=10): fan_in = 10,
+        // fan_out = 100 → Xavier var = 2/110, He var = 2/10 (fan_in only).
+        let s = shape(10, 10, 100);
+        assert_eq!(s.fans(FanMode::TensorShape), (10, 100));
+        let xavier = InitStrategy::XavierNormal
+            .nominal_variance(&s, FanMode::TensorShape)
+            .unwrap();
+        assert!((xavier - 2.0 / 110.0).abs() < 1e-15);
+        let he = InitStrategy::He
+            .nominal_variance(&s, FanMode::TensorShape)
+            .unwrap();
+        assert!((he - 0.2).abs() < 1e-15);
+        // The Xavier margin the paper reports depends on exactly this gap.
+        assert!(xavier < he / 5.0);
+    }
+
+    #[test]
+    fn orthogonal_fills_layers_with_square_haar_blocks() {
+        // layers=8, ppl=3 → two full 3×3 orthogonal blocks + 2 rows of a
+        // third; every full block must be an orthogonal matrix.
+        let s = shape(3, 3, 8);
+        let mut rng = StdRng::seed_from_u64(7);
+        let v = InitStrategy::Orthogonal { gain: 1.0 }
+            .sample_params(&s, FanMode::Qubits, &mut rng)
+            .unwrap();
+        assert_eq!(v.len(), 24);
+        for block in 0..2 {
+            let m = RMatrix::from_vec(3, 3, v[block * 9..(block + 1) * 9].to_vec());
+            assert!(m.has_orthonormal_rows(1e-10), "block {block}");
+            assert!(m.has_orthonormal_columns(1e-10), "block {block}");
+        }
+        // Partial last block: rows are still unit-norm and orthogonal.
+        let tail = RMatrix::from_vec(2, 3, v[18..24].to_vec());
+        assert!(tail.has_orthonormal_rows(1e-10));
+    }
+
+    #[test]
+    fn orthogonal_wide_case_has_orthonormal_rows() {
+        // layers < params_per_layer → the first rows of one Haar matrix.
+        let s = shape(10, 20, 5);
+        let mut rng = StdRng::seed_from_u64(8);
+        let v = InitStrategy::Orthogonal { gain: 1.0 }
+            .sample_params(&s, FanMode::Qubits, &mut rng)
+            .unwrap();
+        assert_eq!(v.len(), 100);
+        let m = RMatrix::from_vec(5, 20, v);
+        assert!(m.has_orthonormal_rows(1e-10));
+    }
+
+    #[test]
+    fn orthogonal_nominal_variance_matches_empirical_mean_square() {
+        let s = shape(6, 6, 60);
+        let mut rng = StdRng::seed_from_u64(12);
+        let v = InitStrategy::Orthogonal { gain: 1.0 }
+            .sample_params(&s, FanMode::Qubits, &mut rng)
+            .unwrap();
+        let mean_sq = v.iter().map(|x| x * x).sum::<f64>() / v.len() as f64;
+        let nominal = InitStrategy::Orthogonal { gain: 1.0 }
+            .nominal_variance(&s, FanMode::Qubits)
+            .unwrap();
+        // Unit-norm rows make this exact, not just statistical.
+        assert!((mean_sq - nominal).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orthogonal_gain_scales_entries() {
+        let s = shape(4, 8, 4);
+        let base = draw(InitStrategy::Orthogonal { gain: 1.0 }, &s, FanMode::Qubits, 9);
+        let scaled = draw(InitStrategy::Orthogonal { gain: 3.0 }, &s, FanMode::Qubits, 9);
+        for (b, sc) in base.iter().zip(scaled.iter()) {
+            assert!((sc - 3.0 * b).abs() < 1e-12);
+        }
+        assert!(InitStrategy::Orthogonal { gain: f64::NAN }
+            .sample_params(&s, FanMode::Qubits, &mut StdRng::seed_from_u64(0))
+            .is_err());
+    }
+
+    #[test]
+    fn beta_init_range_and_symmetry() {
+        let s = shape(10, 100, 10);
+        let v = draw(
+            InitStrategy::BetaInit { alpha: 2.0, beta: 2.0 },
+            &s,
+            FanMode::Qubits,
+            10,
+        );
+        assert!(v.iter().all(|&x| (-PI..=PI).contains(&x)));
+        assert!(mean(&v).abs() < 0.1);
+        assert!(InitStrategy::BetaInit { alpha: -1.0, beta: 2.0 }
+            .sample_params(&s, FanMode::Qubits, &mut StdRng::seed_from_u64(0))
+            .is_err());
+    }
+
+    #[test]
+    fn zero_strategy_is_all_zeros() {
+        let s = shape(2, 4, 2);
+        let v = draw(InitStrategy::Zero, &s, FanMode::Qubits, 11);
+        assert!(v.iter().all(|&x| x == 0.0));
+        assert_eq!(
+            InitStrategy::Zero.nominal_variance(&s, FanMode::Qubits),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn reproducible_with_seed() {
+        let s = shape(5, 10, 4);
+        for strat in InitStrategy::PAPER_SET {
+            let a = draw(strat, &s, FanMode::Qubits, 42);
+            let b = draw(strat, &s, FanMode::Qubits, 42);
+            assert_eq!(a, b, "{strat}");
+        }
+    }
+
+    #[test]
+    fn paper_set_contents() {
+        assert_eq!(InitStrategy::PAPER_SET.len(), 6);
+        assert_eq!(InitStrategy::PAPER_SET[0].name(), "random");
+        let names: Vec<&str> = InitStrategy::PAPER_SET.iter().map(|s| s.name()).collect();
+        assert!(names.contains(&"xavier_normal"));
+        assert!(names.contains(&"orthogonal"));
+    }
+
+    #[test]
+    fn display_and_names() {
+        assert_eq!(InitStrategy::He.to_string(), "He");
+        assert_eq!(InitStrategy::XavierUniform.name(), "xavier_uniform");
+        assert!(InitStrategy::Orthogonal { gain: 1.0 }
+            .to_string()
+            .contains("Orthogonal"));
+        assert!(InitStrategy::BetaInit { alpha: 1.0, beta: 2.0 }
+            .to_string()
+            .contains("BeInit"));
+    }
+
+    #[test]
+    fn nominal_variance_of_orthogonal_scales_with_gain_and_ppl() {
+        let s = shape(4, 8, 2);
+        let v = InitStrategy::Orthogonal { gain: 2.0 }
+            .nominal_variance(&s, FanMode::Qubits)
+            .unwrap();
+        assert!((v - 4.0 / 8.0).abs() < 1e-15);
+    }
+}

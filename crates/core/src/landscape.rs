@@ -1,0 +1,263 @@
+//! Optimization-landscape scanning (the paper's motivating Fig 1).
+//!
+//! Fixes all circuit parameters except two and evaluates the cost on a
+//! regular 2-D grid over those two angles, exposing the flattening of the
+//! landscape as qubit count grows.
+//!
+//! # Examples
+//!
+//! ```
+//! use plateau_core::landscape::{landscape_grid, LandscapeConfig};
+//! use plateau_core::{ansatz::training_ansatz, cost::CostKind};
+//!
+//! let a = training_ansatz(2, 2)?;
+//! let cfg = LandscapeConfig::default().with_resolution(9)?;
+//! let base = vec![0.3; a.circuit.n_params()];
+//! let grid = landscape_grid(&a.circuit, &CostKind::Global.observable(2), &base, 0, 1, &cfg)?;
+//! assert_eq!(grid.values.len(), 9);
+//! assert_eq!(grid.values[0].len(), 9);
+//! // The amplitude of the scanned window quantifies landscape flatness.
+//! assert!(grid.amplitude() > 0.0);
+//! # Ok::<(), plateau_core::CoreError>(())
+//! ```
+
+use crate::error::CoreError;
+use plateau_grad::expectation;
+use plateau_sim::{Circuit, Observable};
+use std::f64::consts::PI;
+
+/// Grid geometry for a landscape scan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LandscapeConfig {
+    /// Lower bound of both scanned angles.
+    pub min: f64,
+    /// Upper bound of both scanned angles.
+    pub max: f64,
+    /// Grid points per axis (≥ 2).
+    pub resolution: usize,
+}
+
+impl Default for LandscapeConfig {
+    fn default() -> Self {
+        LandscapeConfig {
+            min: -PI,
+            max: PI,
+            resolution: 25,
+        }
+    }
+}
+
+impl LandscapeConfig {
+    /// Returns a copy with a different resolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when `resolution < 2`.
+    pub fn with_resolution(mut self, resolution: usize) -> Result<Self, CoreError> {
+        if resolution < 2 {
+            return Err(CoreError::InvalidConfig("resolution must be at least 2".into()));
+        }
+        self.resolution = resolution;
+        Ok(self)
+    }
+
+    fn validate(&self) -> Result<(), CoreError> {
+        if self.resolution < 2 {
+            return Err(CoreError::InvalidConfig("resolution must be at least 2".into()));
+        }
+        if !(self.min.is_finite() && self.max.is_finite() && self.min < self.max) {
+            return Err(CoreError::InvalidConfig("landscape bounds must satisfy min < max".into()));
+        }
+        Ok(())
+    }
+
+    /// The axis coordinates of the grid.
+    pub fn axis(&self) -> Vec<f64> {
+        let n = self.resolution;
+        (0..n)
+            .map(|i| self.min + (self.max - self.min) * i as f64 / (n - 1) as f64)
+            .collect()
+    }
+}
+
+/// A scanned 2-D cost surface.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LandscapeGrid {
+    /// Coordinates along the first scanned parameter.
+    pub xs: Vec<f64>,
+    /// Coordinates along the second scanned parameter.
+    pub ys: Vec<f64>,
+    /// `values[i][j]` = cost at `(xs[i], ys[j])`.
+    pub values: Vec<Vec<f64>>,
+}
+
+impl LandscapeGrid {
+    /// Smallest cost in the window.
+    pub fn min_value(&self) -> f64 {
+        self.values
+            .iter()
+            .flatten()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest cost in the window.
+    pub fn max_value(&self) -> f64 {
+        self.values
+            .iter()
+            .flatten()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Peak-to-peak amplitude — the quantitative "flatness" of the window.
+    /// Barren plateaus shrink this toward zero as qubits grow (Fig 1).
+    pub fn amplitude(&self) -> f64 {
+        self.max_value() - self.min_value()
+    }
+}
+
+/// Scans the cost over a 2-D grid of the parameters at `idx_a` and `idx_b`,
+/// holding every other entry of `base_params` fixed.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] for bad indices or grid geometry,
+/// and propagates simulation errors.
+pub fn landscape_grid(
+    circuit: &Circuit,
+    observable: &Observable,
+    base_params: &[f64],
+    idx_a: usize,
+    idx_b: usize,
+    config: &LandscapeConfig,
+) -> Result<LandscapeGrid, CoreError> {
+    config.validate()?;
+    circuit.check_params(base_params)?;
+    let n = circuit.n_params();
+    if idx_a >= n || idx_b >= n {
+        return Err(CoreError::InvalidConfig(format!(
+            "scan indices ({idx_a}, {idx_b}) out of range for {n} parameters"
+        )));
+    }
+    if idx_a == idx_b {
+        return Err(CoreError::InvalidConfig("scan indices must differ".into()));
+    }
+
+    let axis = config.axis();
+    let mut params = base_params.to_vec();
+    let mut values = Vec::with_capacity(axis.len());
+    for &a in &axis {
+        params[idx_a] = a;
+        let mut row = Vec::with_capacity(axis.len());
+        for &b in &axis {
+            params[idx_b] = b;
+            row.push(expectation(circuit, &params, observable)?);
+        }
+        values.push(row);
+    }
+
+    Ok(LandscapeGrid {
+        xs: axis.clone(),
+        ys: axis,
+        values,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ansatz::training_ansatz;
+    use crate::cost::CostKind;
+
+    #[test]
+    fn axis_spans_bounds() {
+        let cfg = LandscapeConfig::default().with_resolution(5).unwrap();
+        let axis = cfg.axis();
+        assert_eq!(axis.len(), 5);
+        assert!((axis[0] + PI).abs() < 1e-12);
+        assert!((axis[4] - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_qubit_landscape_is_analytic() {
+        // 1 qubit, 1 layer: RX(a) then RY(b); C = 1 − p0.
+        let a = training_ansatz(1, 1).unwrap();
+        let cfg = LandscapeConfig::default().with_resolution(21).unwrap();
+        let grid = landscape_grid(
+            &a.circuit,
+            &CostKind::Global.observable(1),
+            &[0.0, 0.0],
+            0,
+            1,
+            &cfg,
+        )
+        .unwrap();
+        // ⟨0|RY(b)RX(a)|0⟩ = cos(a/2)cos(b/2) + i·sin(a/2)sin(b/2), so
+        // p0 = cos²(a/2)cos²(b/2) + sin²(a/2)sin²(b/2).
+        for (i, &x) in grid.xs.iter().enumerate() {
+            for (j, &y) in grid.ys.iter().enumerate() {
+                let p0 = (x / 2.0).cos().powi(2) * (y / 2.0).cos().powi(2)
+                    + (x / 2.0).sin().powi(2) * (y / 2.0).sin().powi(2);
+                let expected = 1.0 - p0;
+                assert!(
+                    (grid.values[i][j] - expected).abs() < 1e-10,
+                    "at ({x}, {y}): {} vs {expected}",
+                    grid.values[i][j]
+                );
+            }
+        }
+        // Center of the window (θ = 0) is the global minimum.
+        assert!((grid.min_value() - 0.0).abs() < 1e-10);
+        assert!((grid.max_value() - 1.0).abs() < 1e-10);
+        assert!((grid.amplitude() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn amplitude_shrinks_with_qubits_under_random_base() {
+        // The Fig 1 effect: same scan window, more qubits → flatter window.
+        let cfg = LandscapeConfig::default().with_resolution(7).unwrap();
+        let mut amplitudes = Vec::new();
+        for n in [2usize, 6] {
+            let a = training_ansatz(n, 8).unwrap();
+            // Deterministic pseudo-random base point.
+            let base: Vec<f64> = (0..a.circuit.n_params())
+                .map(|i| ((i as f64) * 2.399963).sin() * PI)
+                .collect();
+            let grid = landscape_grid(
+                &a.circuit,
+                &CostKind::Global.observable(n),
+                &base,
+                0,
+                1,
+                &cfg,
+            )
+            .unwrap();
+            amplitudes.push(grid.amplitude());
+        }
+        assert!(
+            amplitudes[1] < amplitudes[0],
+            "flattening expected: {amplitudes:?}"
+        );
+    }
+
+    #[test]
+    fn error_paths() {
+        let a = training_ansatz(2, 1).unwrap();
+        let obs = CostKind::Global.observable(2);
+        let base = vec![0.0; a.circuit.n_params()];
+        let cfg = LandscapeConfig::default();
+        assert!(landscape_grid(&a.circuit, &obs, &base, 0, 0, &cfg).is_err());
+        assert!(landscape_grid(&a.circuit, &obs, &base, 0, 99, &cfg).is_err());
+        assert!(landscape_grid(&a.circuit, &obs, &[0.0], 0, 1, &cfg).is_err());
+        assert!(LandscapeConfig::default().with_resolution(1).is_err());
+        let bad = LandscapeConfig {
+            min: 1.0,
+            max: -1.0,
+            resolution: 5,
+        };
+        assert!(landscape_grid(&a.circuit, &obs, &base, 0, 1, &bad).is_err());
+    }
+}

@@ -1,0 +1,546 @@
+//! First-order optimizers (the paper trains with Gradient Descent and Adam
+//! at step size 0.1; Momentum/RMSProp/AdaGrad are provided for the
+//! optimizer ablation).
+//!
+//! All optimizers mutate a parameter vector in place given a gradient and
+//! keep whatever running state they need internally, so a training loop is
+//! just `optimizer.step(&mut params, &grad)` per iteration.
+//!
+//! # Examples
+//!
+//! Minimize the 1-D quadratic `f(x) = (x − 3)²` with Adam:
+//!
+//! ```
+//! use plateau_core::optim::{Adam, Optimizer};
+//!
+//! let mut opt = Adam::new(0.1)?;
+//! let mut x = [0.0f64];
+//! for _ in 0..400 {
+//!     let grad = [2.0 * (x[0] - 3.0)];
+//!     opt.step(&mut x, &grad)?;
+//! }
+//! assert!((x[0] - 3.0).abs() < 1e-2);
+//! # Ok::<(), plateau_core::CoreError>(())
+//! ```
+
+use crate::error::CoreError;
+use std::fmt;
+
+/// A learning-rate schedule evaluated per iteration (0-based).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Schedule {
+    /// A constant rate.
+    Constant(f64),
+    /// `rate · decay^t` exponential decay.
+    Exponential {
+        /// Initial rate.
+        rate: f64,
+        /// Per-iteration multiplicative decay in `(0, 1]`.
+        decay: f64,
+    },
+    /// Piecewise: `rate / (1 + t / step)` — halves every `step` iterations.
+    InverseTime {
+        /// Initial rate.
+        rate: f64,
+        /// Iterations per halving.
+        step: usize,
+    },
+}
+
+impl Schedule {
+    /// The learning rate at iteration `t`.
+    pub fn at(&self, t: usize) -> f64 {
+        match self {
+            Schedule::Constant(r) => *r,
+            Schedule::Exponential { rate, decay } => rate * decay.powi(t as i32),
+            Schedule::InverseTime { rate, step } => rate / (1.0 + t as f64 / *step as f64),
+        }
+    }
+
+    fn validate(&self) -> Result<(), CoreError> {
+        let ok = match self {
+            Schedule::Constant(r) => r.is_finite() && *r > 0.0,
+            Schedule::Exponential { rate, decay } => {
+                rate.is_finite() && *rate > 0.0 && *decay > 0.0 && *decay <= 1.0
+            }
+            Schedule::InverseTime { rate, step } => rate.is_finite() && *rate > 0.0 && *step > 0,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(CoreError::InvalidConfig("invalid learning-rate schedule".into()))
+        }
+    }
+}
+
+/// A first-order optimizer over a flat parameter vector.
+pub trait Optimizer {
+    /// Applies one update in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when `params` and `grad` have
+    /// different lengths.
+    fn step(&mut self, params: &mut [f64], grad: &[f64]) -> Result<(), CoreError>;
+
+    /// Resets internal state (moment estimates, iteration counters).
+    fn reset(&mut self);
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+fn check_lengths(params: &[f64], grad: &[f64]) -> Result<(), CoreError> {
+    if params.len() != grad.len() {
+        return Err(CoreError::InvalidConfig(format!(
+            "parameter/gradient length mismatch: {} vs {}",
+            params.len(),
+            grad.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Vanilla gradient descent: `θ ← θ − η_t ∇C`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradientDescent {
+    schedule: Schedule,
+    t: usize,
+}
+
+impl GradientDescent {
+    /// Constant-rate gradient descent (the paper uses `lr = 0.1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for a non-positive rate.
+    pub fn new(lr: f64) -> Result<GradientDescent, CoreError> {
+        GradientDescent::with_schedule(Schedule::Constant(lr))
+    }
+
+    /// Gradient descent with an arbitrary schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an invalid schedule.
+    pub fn with_schedule(schedule: Schedule) -> Result<GradientDescent, CoreError> {
+        schedule.validate()?;
+        Ok(GradientDescent { schedule, t: 0 })
+    }
+}
+
+impl Optimizer for GradientDescent {
+    fn step(&mut self, params: &mut [f64], grad: &[f64]) -> Result<(), CoreError> {
+        check_lengths(params, grad)?;
+        let lr = self.schedule.at(self.t);
+        for (p, g) in params.iter_mut().zip(grad.iter()) {
+            *p -= lr * g;
+        }
+        self.t += 1;
+        Ok(())
+    }
+
+    fn reset(&mut self) {
+        self.t = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "gradient_descent"
+    }
+}
+
+/// Gradient descent with classical momentum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Momentum {
+    schedule: Schedule,
+    beta: f64,
+    velocity: Vec<f64>,
+    t: usize,
+}
+
+impl Momentum {
+    /// Creates momentum GD with rate `lr` and momentum factor `beta`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for a non-positive rate or
+    /// `beta ∉ [0, 1)`.
+    pub fn new(lr: f64, beta: f64) -> Result<Momentum, CoreError> {
+        let schedule = Schedule::Constant(lr);
+        schedule.validate()?;
+        if !(0.0..1.0).contains(&beta) {
+            return Err(CoreError::InvalidConfig("momentum beta must be in [0, 1)".into()));
+        }
+        Ok(Momentum {
+            schedule,
+            beta,
+            velocity: Vec::new(),
+            t: 0,
+        })
+    }
+}
+
+impl Optimizer for Momentum {
+    fn step(&mut self, params: &mut [f64], grad: &[f64]) -> Result<(), CoreError> {
+        check_lengths(params, grad)?;
+        if self.velocity.len() != params.len() {
+            self.velocity = vec![0.0; params.len()];
+        }
+        let lr = self.schedule.at(self.t);
+        for ((p, g), v) in params.iter_mut().zip(grad.iter()).zip(self.velocity.iter_mut()) {
+            *v = self.beta * *v + g;
+            *p -= lr * *v;
+        }
+        self.t += 1;
+        Ok(())
+    }
+
+    fn reset(&mut self) {
+        self.velocity.clear();
+        self.t = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "momentum"
+    }
+}
+
+/// Adam (Kingma & Ba 2015) with bias correction — the paper's second
+/// optimizer, also at step size 0.1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Adam {
+    schedule: Schedule,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: usize,
+}
+
+impl Adam {
+    /// Adam with the standard moment decays `β₁ = 0.9`, `β₂ = 0.999`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for a non-positive rate.
+    pub fn new(lr: f64) -> Result<Adam, CoreError> {
+        Adam::with_config(Schedule::Constant(lr), 0.9, 0.999, 1e-8)
+    }
+
+    /// Fully configurable Adam.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for invalid decays, epsilon, or
+    /// schedule.
+    pub fn with_config(
+        schedule: Schedule,
+        beta1: f64,
+        beta2: f64,
+        eps: f64,
+    ) -> Result<Adam, CoreError> {
+        schedule.validate()?;
+        if !(0.0..1.0).contains(&beta1) || !(0.0..1.0).contains(&beta2) {
+            return Err(CoreError::InvalidConfig("adam betas must be in [0, 1)".into()));
+        }
+        if !(eps.is_finite() && eps > 0.0) {
+            return Err(CoreError::InvalidConfig("adam eps must be positive".into()));
+        }
+        Ok(Adam {
+            schedule,
+            beta1,
+            beta2,
+            eps,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        })
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [f64], grad: &[f64]) -> Result<(), CoreError> {
+        check_lengths(params, grad)?;
+        if self.m.len() != params.len() {
+            self.m = vec![0.0; params.len()];
+            self.v = vec![0.0; params.len()];
+        }
+        let lr = self.schedule.at(self.t);
+        self.t += 1;
+        let t = self.t as i32;
+        let bc1 = 1.0 - self.beta1.powi(t);
+        let bc2 = 1.0 - self.beta2.powi(t);
+        for i in 0..params.len() {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grad[i];
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grad[i] * grad[i];
+            let m_hat = self.m[i] / bc1;
+            let v_hat = self.v[i] / bc2;
+            params[i] -= lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+        Ok(())
+    }
+
+    fn reset(&mut self) {
+        self.m.clear();
+        self.v.clear();
+        self.t = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "adam"
+    }
+}
+
+/// RMSProp (Tieleman & Hinton).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RmsProp {
+    schedule: Schedule,
+    rho: f64,
+    eps: f64,
+    sq: Vec<f64>,
+    t: usize,
+}
+
+impl RmsProp {
+    /// RMSProp with the standard decay `ρ = 0.9`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for a non-positive rate.
+    pub fn new(lr: f64) -> Result<RmsProp, CoreError> {
+        let schedule = Schedule::Constant(lr);
+        schedule.validate()?;
+        Ok(RmsProp {
+            schedule,
+            rho: 0.9,
+            eps: 1e-8,
+            sq: Vec::new(),
+            t: 0,
+        })
+    }
+}
+
+impl Optimizer for RmsProp {
+    fn step(&mut self, params: &mut [f64], grad: &[f64]) -> Result<(), CoreError> {
+        check_lengths(params, grad)?;
+        if self.sq.len() != params.len() {
+            self.sq = vec![0.0; params.len()];
+        }
+        let lr = self.schedule.at(self.t);
+        for i in 0..params.len() {
+            self.sq[i] = self.rho * self.sq[i] + (1.0 - self.rho) * grad[i] * grad[i];
+            params[i] -= lr * grad[i] / (self.sq[i].sqrt() + self.eps);
+        }
+        self.t += 1;
+        Ok(())
+    }
+
+    fn reset(&mut self) {
+        self.sq.clear();
+        self.t = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "rmsprop"
+    }
+}
+
+/// AdaGrad (Duchi et al. 2011).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaGrad {
+    schedule: Schedule,
+    eps: f64,
+    accum: Vec<f64>,
+    t: usize,
+}
+
+impl AdaGrad {
+    /// AdaGrad at rate `lr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for a non-positive rate.
+    pub fn new(lr: f64) -> Result<AdaGrad, CoreError> {
+        let schedule = Schedule::Constant(lr);
+        schedule.validate()?;
+        Ok(AdaGrad {
+            schedule,
+            eps: 1e-8,
+            accum: Vec::new(),
+            t: 0,
+        })
+    }
+}
+
+impl Optimizer for AdaGrad {
+    fn step(&mut self, params: &mut [f64], grad: &[f64]) -> Result<(), CoreError> {
+        check_lengths(params, grad)?;
+        if self.accum.len() != params.len() {
+            self.accum = vec![0.0; params.len()];
+        }
+        let lr = self.schedule.at(self.t);
+        for i in 0..params.len() {
+            self.accum[i] += grad[i] * grad[i];
+            params[i] -= lr * grad[i] / (self.accum[i].sqrt() + self.eps);
+        }
+        self.t += 1;
+        Ok(())
+    }
+
+    fn reset(&mut self) {
+        self.accum.clear();
+        self.t = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "adagrad"
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Schedule::Constant(r) => write!(f, "constant({r})"),
+            Schedule::Exponential { rate, decay } => write!(f, "exp({rate}, {decay})"),
+            Schedule::InverseTime { rate, step } => write!(f, "inv_time({rate}, {step})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Quadratic bowl f(x) = Σ (x_i − c_i)², gradient 2(x − c).
+    fn quad_grad(x: &[f64], c: &[f64]) -> Vec<f64> {
+        x.iter().zip(c.iter()).map(|(xi, ci)| 2.0 * (xi - ci)).collect()
+    }
+
+    fn run<O: Optimizer>(mut opt: O, iters: usize) -> Vec<f64> {
+        let target = [3.0, -1.0, 0.5];
+        let mut x = vec![0.0; 3];
+        for _ in 0..iters {
+            let g = quad_grad(&x, &target);
+            opt.step(&mut x, &g).unwrap();
+        }
+        x
+    }
+
+    fn assert_near_target(x: &[f64], tol: f64) {
+        let target = [3.0, -1.0, 0.5];
+        for (xi, ti) in x.iter().zip(target.iter()) {
+            assert!((xi - ti).abs() < tol, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn gradient_descent_converges_on_quadratic() {
+        assert_near_target(&run(GradientDescent::new(0.1).unwrap(), 100), 1e-6);
+    }
+
+    #[test]
+    fn momentum_converges_on_quadratic() {
+        assert_near_target(&run(Momentum::new(0.05, 0.9).unwrap(), 200), 1e-4);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        assert_near_target(&run(Adam::new(0.1).unwrap(), 500), 1e-3);
+    }
+
+    #[test]
+    fn rmsprop_converges_on_quadratic() {
+        assert_near_target(&run(RmsProp::new(0.05).unwrap(), 800), 1e-2);
+    }
+
+    #[test]
+    fn adagrad_converges_on_quadratic() {
+        assert_near_target(&run(AdaGrad::new(1.0).unwrap(), 800), 1e-2);
+    }
+
+    #[test]
+    fn schedules_evaluate() {
+        assert_eq!(Schedule::Constant(0.1).at(99), 0.1);
+        let e = Schedule::Exponential { rate: 1.0, decay: 0.5 };
+        assert_eq!(e.at(0), 1.0);
+        assert_eq!(e.at(2), 0.25);
+        let it = Schedule::InverseTime { rate: 1.0, step: 10 };
+        assert_eq!(it.at(0), 1.0);
+        assert_eq!(it.at(10), 0.5);
+        assert!(!e.to_string().is_empty());
+        assert!(!it.to_string().is_empty());
+        assert!(!Schedule::Constant(0.1).to_string().is_empty());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(GradientDescent::new(0.0).is_err());
+        assert!(GradientDescent::new(-1.0).is_err());
+        assert!(GradientDescent::new(f64::NAN).is_err());
+        assert!(Momentum::new(0.1, 1.0).is_err());
+        assert!(Adam::with_config(Schedule::Constant(0.1), 1.0, 0.999, 1e-8).is_err());
+        assert!(Adam::with_config(Schedule::Constant(0.1), 0.9, 0.999, 0.0).is_err());
+        assert!(GradientDescent::with_schedule(Schedule::Exponential { rate: 1.0, decay: 1.5 })
+            .is_err());
+        assert!(GradientDescent::with_schedule(Schedule::InverseTime { rate: 1.0, step: 0 })
+            .is_err());
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let mut gd = GradientDescent::new(0.1).unwrap();
+        let mut x = vec![0.0; 2];
+        assert!(gd.step(&mut x, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn reset_restores_initial_behavior() {
+        let mut adam = Adam::new(0.1).unwrap();
+        let mut x1 = vec![0.0; 1];
+        adam.step(&mut x1, &[1.0]).unwrap();
+        adam.step(&mut x1, &[1.0]).unwrap();
+        adam.reset();
+        let mut x2 = vec![0.0; 1];
+        adam.step(&mut x2, &[1.0]).unwrap();
+        // After reset, the first step from the same point must match a
+        // freshly constructed optimizer's first step.
+        let mut fresh = Adam::new(0.1).unwrap();
+        let mut x3 = vec![0.0; 1];
+        fresh.step(&mut x3, &[1.0]).unwrap();
+        assert!((x2[0] - x3[0]).abs() < 1e-15);
+    }
+
+    #[test]
+    fn adam_first_step_size_is_lr() {
+        // With bias correction, |Δθ| of the very first Adam step ≈ lr.
+        let mut adam = Adam::new(0.1).unwrap();
+        let mut x = vec![0.0; 1];
+        adam.step(&mut x, &[0.42]).unwrap();
+        assert!((x[0].abs() - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(GradientDescent::new(0.1).unwrap().name(), "gradient_descent");
+        assert_eq!(Adam::new(0.1).unwrap().name(), "adam");
+        assert_eq!(Momentum::new(0.1, 0.5).unwrap().name(), "momentum");
+        assert_eq!(RmsProp::new(0.1).unwrap().name(), "rmsprop");
+        assert_eq!(AdaGrad::new(0.1).unwrap().name(), "adagrad");
+    }
+
+    #[test]
+    fn decaying_schedule_slows_gd() {
+        let fixed = run(GradientDescent::new(0.01).unwrap(), 50);
+        let decayed = run(
+            GradientDescent::with_schedule(Schedule::Exponential { rate: 0.01, decay: 0.9 })
+                .unwrap(),
+            50,
+        );
+        // Decayed schedule moves less far from the origin toward the target.
+        let d_fixed: f64 = fixed.iter().map(|x| x * x).sum();
+        let d_dec: f64 = decayed.iter().map(|x| x * x).sum();
+        assert!(d_dec < d_fixed);
+    }
+}

@@ -1,0 +1,254 @@
+//! Simultaneous Perturbation Stochastic Approximation (Spall 1992) — the
+//! standard gradient-free optimizer for noisy/hardware VQAs, provided as a
+//! baseline: does avoiding exact gradients change the plateau picture?
+//! (It doesn't — SPSA's perturbation estimate inherits the same vanishing
+//! signal — and this module lets the benches demonstrate that.)
+//!
+//! Per iteration, with decaying gains `a_k = a/(k+1+A)^α`,
+//! `c_k = c/(k+1)^γ` and a random sign vector `Δ`:
+//!
+//! ```text
+//! ĝ = [C(θ + c_k Δ) − C(θ − c_k Δ)] / (2 c_k) · Δ⁻¹
+//! θ ← θ − a_k ĝ
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use plateau_core::{ansatz::training_ansatz, cost::CostKind};
+//! use plateau_core::spsa::{train_spsa, SpsaConfig};
+//! use plateau_core::init::{FanMode, InitStrategy};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let a = training_ansatz(3, 2)?;
+//! let mut rng = StdRng::seed_from_u64(9);
+//! let theta0 = InitStrategy::XavierNormal.sample_params(&a.shape, FanMode::Qubits, &mut rng)?;
+//! let hist = train_spsa(
+//!     &a.circuit,
+//!     &CostKind::Global.observable(3),
+//!     theta0,
+//!     &SpsaConfig::default(),
+//!     120,
+//!     &mut rng,
+//! )?;
+//! assert!(hist.final_loss() < hist.initial_loss());
+//! # Ok::<(), plateau_core::CoreError>(())
+//! ```
+
+use crate::error::CoreError;
+use crate::train::TrainingHistory;
+use plateau_grad::expectation;
+use plateau_sim::{Circuit, Observable};
+use rand::Rng;
+
+/// SPSA gain-sequence configuration (Spall's standard parameterization).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SpsaConfig {
+    /// Step-size numerator `a`.
+    pub a: f64,
+    /// Step-size stabilizer `A` (typically ~10% of the iteration budget).
+    pub big_a: f64,
+    /// Step-size decay exponent α (0.602 is Spall's asymptotically optimal
+    /// practical value).
+    pub alpha: f64,
+    /// Perturbation numerator `c`.
+    pub c: f64,
+    /// Perturbation decay exponent γ (0.101 standard).
+    pub gamma: f64,
+}
+
+impl Default for SpsaConfig {
+    fn default() -> Self {
+        SpsaConfig {
+            a: 0.2,
+            big_a: 10.0,
+            alpha: 0.602,
+            c: 0.2,
+            gamma: 0.101,
+        }
+    }
+}
+
+impl SpsaConfig {
+    fn validate(&self) -> Result<(), CoreError> {
+        let ok = self.a > 0.0
+            && self.big_a >= 0.0
+            && self.alpha > 0.0
+            && self.c > 0.0
+            && self.gamma > 0.0
+            && [self.a, self.big_a, self.alpha, self.c, self.gamma]
+                .iter()
+                .all(|v| v.is_finite());
+        if ok {
+            Ok(())
+        } else {
+            Err(CoreError::InvalidConfig("invalid SPSA gain sequence".into()))
+        }
+    }
+
+    fn step_gain(&self, k: usize) -> f64 {
+        self.a / (k as f64 + 1.0 + self.big_a).powf(self.alpha)
+    }
+
+    fn perturbation_gain(&self, k: usize) -> f64 {
+        self.c / (k as f64 + 1.0).powf(self.gamma)
+    }
+}
+
+/// Trains with SPSA for `iterations` steps (each step costs exactly two
+/// circuit evaluations regardless of the parameter count).
+///
+/// The recorded `grad_norms` are the norms of the SPSA gradient
+/// *estimates*, not exact gradients.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] for bad gains and propagates
+/// simulator errors.
+pub fn train_spsa<R: Rng + ?Sized>(
+    circuit: &Circuit,
+    observable: &Observable,
+    initial_params: Vec<f64>,
+    config: &SpsaConfig,
+    iterations: usize,
+    rng: &mut R,
+) -> Result<TrainingHistory, CoreError> {
+    config.validate()?;
+    let mut params = initial_params;
+    circuit.check_params(&params)?;
+    let n = params.len();
+
+    let mut losses = Vec::with_capacity(iterations + 1);
+    let mut grad_norms = Vec::with_capacity(iterations);
+    losses.push(expectation(circuit, &params, observable)?);
+
+    let mut work_plus = params.clone();
+    let mut work_minus = params.clone();
+    for k in 0..iterations {
+        let ck = config.perturbation_gain(k);
+        let ak = config.step_gain(k);
+        // Rademacher ±1 perturbation directions.
+        let delta: Vec<f64> = (0..n)
+            .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+            .collect();
+        for i in 0..n {
+            work_plus[i] = params[i] + ck * delta[i];
+            work_minus[i] = params[i] - ck * delta[i];
+        }
+        let f_plus = expectation(circuit, &work_plus, observable)?;
+        let f_minus = expectation(circuit, &work_minus, observable)?;
+        let scale = (f_plus - f_minus) / (2.0 * ck);
+
+        let mut norm_sq = 0.0;
+        for i in 0..n {
+            // Δ entries are ±1 so Δ⁻¹ = Δ.
+            let ghat = scale * delta[i];
+            params[i] -= ak * ghat;
+            norm_sq += ghat * ghat;
+        }
+        grad_norms.push(norm_sq.sqrt());
+        losses.push(expectation(circuit, &params, observable)?);
+    }
+
+    Ok(TrainingHistory {
+        losses,
+        grad_norms,
+        final_params: params,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ansatz::training_ansatz;
+    use crate::cost::CostKind;
+    use crate::init::{FanMode, InitStrategy};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gain_sequences_decay() {
+        let cfg = SpsaConfig::default();
+        assert!(cfg.step_gain(0) > cfg.step_gain(10));
+        assert!(cfg.step_gain(10) > cfg.step_gain(100));
+        assert!(cfg.perturbation_gain(0) > cfg.perturbation_gain(100));
+    }
+
+    #[test]
+    fn spsa_trains_from_bounded_init() {
+        let a = training_ansatz(4, 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let theta0 = InitStrategy::XavierNormal
+            .sample_params(&a.shape, FanMode::Qubits, &mut rng)
+            .unwrap();
+        let obs = CostKind::Global.observable(4);
+        let hist =
+            train_spsa(&a.circuit, &obs, theta0, &SpsaConfig::default(), 200, &mut rng).unwrap();
+        assert!(
+            hist.final_loss() < 0.5 * hist.initial_loss(),
+            "{} → {}",
+            hist.initial_loss(),
+            hist.final_loss()
+        );
+        assert_eq!(hist.losses.len(), 201);
+        assert_eq!(hist.grad_norms.len(), 200);
+    }
+
+    #[test]
+    fn spsa_cannot_escape_the_plateau_either() {
+        // From a random start at moderate width, the SPSA estimate carries
+        // the same exponentially small signal: the loss barely moves.
+        let a = training_ansatz(8, 5).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let theta0 = InitStrategy::Random
+            .sample_params(&a.shape, FanMode::Qubits, &mut rng)
+            .unwrap();
+        let obs = CostKind::Global.observable(8);
+        let hist =
+            train_spsa(&a.circuit, &obs, theta0, &SpsaConfig::default(), 50, &mut rng).unwrap();
+        assert!(
+            hist.final_loss() > 0.9,
+            "random init should stay on the plateau, got {}",
+            hist.final_loss()
+        );
+    }
+
+    #[test]
+    fn config_validation() {
+        let a = training_ansatz(2, 1).unwrap();
+        let obs = CostKind::Global.observable(2);
+        let theta = vec![0.1; a.circuit.n_params()];
+        let mut rng = StdRng::seed_from_u64(5);
+        let bad = SpsaConfig { c: 0.0, ..SpsaConfig::default() };
+        assert!(train_spsa(&a.circuit, &obs, theta.clone(), &bad, 1, &mut rng).is_err());
+        let bad = SpsaConfig { a: f64::NAN, ..SpsaConfig::default() };
+        assert!(train_spsa(&a.circuit, &obs, theta, &bad, 1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn reproducible_with_seed() {
+        let a = training_ansatz(3, 1).unwrap();
+        let obs = CostKind::Global.observable(3);
+        let theta = vec![0.3; a.circuit.n_params()];
+        let h1 = train_spsa(
+            &a.circuit,
+            &obs,
+            theta.clone(),
+            &SpsaConfig::default(),
+            20,
+            &mut StdRng::seed_from_u64(7),
+        )
+        .unwrap();
+        let h2 = train_spsa(
+            &a.circuit,
+            &obs,
+            theta,
+            &SpsaConfig::default(),
+            20,
+            &mut StdRng::seed_from_u64(7),
+        )
+        .unwrap();
+        assert_eq!(h1, h2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Analytic reference values for the barren-plateau experiments.
+//!
+//! Two regimes bracket the paper's phenomenology:
+//!
+//! - **2-design regime** (deep, wide-angle circuits — the random
+//!   baseline): McClean et al. showed the gradient variance of a cost
+//!   whose circuit approximates a unitary 2-design on both sides of the
+//!   differentiated gate scales as `Var ∝ 2^{−2n}`, i.e. a log-variance
+//!   slope of `−2·ln 2 ≈ −1.386` per qubit. Our measured random slope
+//!   (≈ −1.34 at depth 50) should approach this from above.
+//! - **Near-identity regime** (bounded initializers): with all angles
+//!   i.i.d. `N(0, σ²)` and `σ²·L` small, the circuit is a perturbation of
+//!   the identity; the global cost responds quadratically per angle and
+//!   the last-parameter gradient is `≈ θ_last/2` for a flip-generating
+//!   gate (RX/RY) and `0` for a phase gate (RZ, which commutes with the
+//!   measurement basis at leading order). Drawing uniformly from
+//!   {RX, RY, RZ}, `Var[∂C/∂θ_last] ≈ (2/3)·σ²/4 = σ²/6`, independent of
+//!   qubit count — which is exactly why the bounded initializers' decay
+//!   curves flatten.
+//!
+//! These are *reference asymptotics*, not substitutes for measurement;
+//! the `ablation_theory` bench prints measured-vs-predicted side by side.
+
+/// Per-qubit log-variance decay rate of an ideal 2-design ensemble:
+/// `−2·ln 2` (variance loses two bits per added qubit).
+pub fn two_design_decay_rate() -> f64 {
+    -2.0 * std::f64::consts::LN_2
+}
+
+/// Near-identity prediction for `Var[∂C/∂θ_last]` of the variance ansatz
+/// (uniform gate draw from {RX, RY, RZ}) under i.i.d. angles of variance
+/// `σ²`, at `layers` rotations per qubit.
+///
+/// Derivation sketch: to first order the CZ chains act as identity, each
+/// qubit accumulates a complex flip amplitude `A_q` with every RX
+/// contributing `−iθ/2` and every RY `+θ/2`, and
+/// `C ≈ Σ_q |A_q|²`. The last parameter's gradient is the same-axis
+/// amplitude sum on its qubit, so (with the last gate flip-type with
+/// probability 2/3 and each of the other `L−1` gates matching its axis
+/// with probability 1/3):
+///
+/// ```text
+/// Var ≈ (2/3) · (σ²/4) · (1 + (L−1)/3)
+/// ```
+///
+/// Qubit-count independent — the analytic reason the bounded
+/// initializers' decay curves flatten.
+pub fn near_identity_gradient_variance(sigma_sq: f64, layers: usize) -> f64 {
+    (2.0 / 3.0) * (sigma_sq / 4.0) * (1.0 + (layers.saturating_sub(1)) as f64 / 3.0)
+}
+
+/// Whether a measured decay rate is consistent with the 2-design
+/// asymptote within `tolerance` (absolute, on the per-qubit rate).
+pub fn is_two_design_rate(measured_rate: f64, tolerance: f64) -> bool {
+    (measured_rate - two_design_decay_rate()).abs() <= tolerance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostKind;
+    use crate::init::{FanMode, InitStrategy};
+    use crate::variance::{variance_scan, VarianceConfig};
+
+    #[test]
+    fn two_design_rate_value() {
+        assert!((two_design_decay_rate() + 1.3862943611198906).abs() < 1e-12);
+        assert!(is_two_design_rate(-1.35, 0.1));
+        assert!(!is_two_design_rate(-0.5, 0.1));
+    }
+
+    #[test]
+    fn deep_random_circuits_approach_the_two_design_rate() {
+        let cfg = VarianceConfig {
+            qubit_counts: vec![2, 4, 6],
+            layers: 40,
+            n_circuits: 80,
+            ..VarianceConfig::default()
+        };
+        let scan = variance_scan(&cfg, &[InitStrategy::Random]).expect("scan");
+        let rate = scan.curves[0].decay_fit().expect("fit").rate;
+        assert!(
+            is_two_design_rate(rate, 0.35),
+            "measured {rate} vs prediction {}",
+            two_design_decay_rate()
+        );
+    }
+
+    #[test]
+    fn near_identity_prediction_matches_small_angle_ensembles() {
+        // BetaInit with large α = β gives controllably tiny angle
+        // variance: Var[θ] = π² αβ / ((α+β)²(α+β+1)). Two settings with a
+        // known σ² ratio (≈ 2) probe both the absolute level and the linearity
+        // of the perturbative prediction.
+        let layers = 2;
+        let cfg = VarianceConfig {
+            qubit_counts: vec![4, 6],
+            layers,
+            n_circuits: 200,
+            cost: CostKind::Global,
+            fan_mode: FanMode::Qubits,
+            ..VarianceConfig::default()
+        };
+        let narrow = InitStrategy::BetaInit { alpha: 200.0, beta: 200.0 };
+        let wide = InitStrategy::BetaInit { alpha: 100.0, beta: 100.0 };
+        let sigma_sq = |s: &InitStrategy| {
+            s.nominal_variance(&crate::init::LayerShape::new(4, 4, layers).unwrap(), FanMode::Qubits)
+                .expect("beta variance is analytic")
+        };
+        let scan = variance_scan(&cfg, &[narrow, wide]).expect("scan");
+
+        for strategy in [narrow, wide] {
+            let s2 = sigma_sq(&strategy);
+            let predicted = near_identity_gradient_variance(s2, layers);
+            for point in &scan.curve_of(strategy).expect("curve").points {
+                let ratio = point.variance / predicted;
+                assert!(
+                    (0.5..2.0).contains(&ratio),
+                    "{strategy} at q={}: measured {:.3e} vs predicted {predicted:.3e} (ratio {ratio:.2})",
+                    point.n_qubits,
+                    point.variance
+                );
+            }
+        }
+
+        // Linearity in σ²: the two settings' variance ratio tracks the
+        // analytic σ² ratio.
+        let expected_ratio = sigma_sq(&wide) / sigma_sq(&narrow);
+        let measured_ratio = scan.curve_of(wide).expect("wide").points[0].variance
+            / scan.curve_of(narrow).expect("narrow").points[0].variance;
+        assert!(
+            (measured_ratio / expected_ratio - 1.0).abs() < 0.5,
+            "variance should be linear in σ²: measured ratio {measured_ratio:.2} vs {expected_ratio:.2}"
+        );
+    }
+}

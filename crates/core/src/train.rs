@@ -1,0 +1,230 @@
+//! Training loop for the identity-learning task (the paper's §IV-D / §V).
+//!
+//! Given an ansatz, a cost observable, an initial parameter vector, and an
+//! optimizer, [`train`] runs a fixed number of iterations (the paper uses
+//! 50) recording the loss trajectory — the data series behind Fig 5b/5c.
+//!
+//! # Examples
+//!
+//! ```
+//! use plateau_core::{ansatz::training_ansatz, cost::CostKind, optim::Adam, train::train};
+//! use plateau_core::init::{FanMode, InitStrategy};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let a = training_ansatz(4, 2)?;
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let theta0 = InitStrategy::XavierNormal.sample_params(&a.shape, FanMode::Qubits, &mut rng)?;
+//! let mut adam = Adam::new(0.1)?;
+//! let hist = train(&a.circuit, &CostKind::Global.observable(4), theta0, &mut adam, 30)?;
+//! assert_eq!(hist.losses.len(), 31); // initial loss + one per iteration
+//! assert!(hist.final_loss() < hist.initial_loss());
+//! # Ok::<(), plateau_core::CoreError>(())
+//! ```
+
+use crate::error::CoreError;
+use crate::optim::Optimizer;
+use plateau_grad::{expectation, Adjoint, GradientEngine};
+use plateau_sim::{Circuit, Observable};
+
+/// The recorded trajectory of one training run.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TrainingHistory {
+    /// Loss before training plus after each iteration
+    /// (`iterations + 1` entries).
+    pub losses: Vec<f64>,
+    /// L2 norm of the gradient at each iteration (`iterations` entries).
+    pub grad_norms: Vec<f64>,
+    /// Parameters after the final iteration.
+    pub final_params: Vec<f64>,
+}
+
+impl TrainingHistory {
+    /// Loss at initialization.
+    pub fn initial_loss(&self) -> f64 {
+        self.losses[0]
+    }
+
+    /// Loss after the final iteration.
+    pub fn final_loss(&self) -> f64 {
+        *self.losses.last().expect("history is never empty")
+    }
+
+    /// First iteration (1-based) at which the loss drops below `threshold`,
+    /// or `None` if it never does. Iteration 0 means "already below at
+    /// initialization".
+    pub fn iterations_to_reach(&self, threshold: f64) -> Option<usize> {
+        self.losses.iter().position(|&l| l < threshold)
+    }
+
+    /// Total loss reduction, `initial − final`.
+    pub fn improvement(&self) -> f64 {
+        self.initial_loss() - self.final_loss()
+    }
+}
+
+/// Trains `circuit` against `observable` for `iterations` steps using the
+/// exact adjoint gradient, mutating a copy of `initial_params` with
+/// `optimizer`.
+///
+/// # Errors
+///
+/// Propagates configuration errors (parameter-count mismatches, optimizer
+/// length mismatches) as [`CoreError`].
+pub fn train(
+    circuit: &Circuit,
+    observable: &Observable,
+    initial_params: Vec<f64>,
+    optimizer: &mut dyn Optimizer,
+    iterations: usize,
+) -> Result<TrainingHistory, CoreError> {
+    train_with_engine(circuit, observable, initial_params, optimizer, iterations, &Adjoint)
+}
+
+/// [`train`] with an explicit gradient engine (used by tests to show that
+/// the training trajectory is engine-independent, and by the shot-noise
+/// ablation).
+///
+/// # Errors
+///
+/// Propagates configuration errors as [`CoreError`].
+pub fn train_with_engine(
+    circuit: &Circuit,
+    observable: &Observable,
+    initial_params: Vec<f64>,
+    optimizer: &mut dyn Optimizer,
+    iterations: usize,
+    engine: &dyn GradientEngine,
+) -> Result<TrainingHistory, CoreError> {
+    let mut params = initial_params;
+    circuit.check_params(&params)?;
+
+    let mut losses = Vec::with_capacity(iterations + 1);
+    let mut grad_norms = Vec::with_capacity(iterations);
+    losses.push(expectation(circuit, &params, observable)?);
+
+    for _ in 0..iterations {
+        let grad = engine.gradient(circuit, &params, observable)?;
+        grad_norms.push(grad.iter().map(|g| g * g).sum::<f64>().sqrt());
+        optimizer.step(&mut params, &grad)?;
+        losses.push(expectation(circuit, &params, observable)?);
+    }
+
+    Ok(TrainingHistory {
+        losses,
+        grad_norms,
+        final_params: params,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ansatz::training_ansatz;
+    use crate::cost::CostKind;
+    use crate::init::{FanMode, InitStrategy};
+    use crate::optim::{Adam, GradientDescent};
+    use plateau_grad::ParameterShift;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(n: usize, layers: usize, strategy: InitStrategy, seed: u64) -> (Circuit, Vec<f64>) {
+        let a = training_ansatz(n, layers).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let theta = strategy
+            .sample_params(&a.shape, FanMode::Qubits, &mut rng)
+            .unwrap();
+        (a.circuit, theta)
+    }
+
+    #[test]
+    fn xavier_init_trains_to_low_cost() {
+        let (c, theta) = setup(4, 3, InitStrategy::XavierNormal, 0);
+        let obs = CostKind::Global.observable(4);
+        let mut adam = Adam::new(0.1).unwrap();
+        let hist = train(&c, &obs, theta, &mut adam, 50).unwrap();
+        assert!(hist.final_loss() < 0.05, "final {}", hist.final_loss());
+        assert_eq!(hist.losses.len(), 51);
+        assert_eq!(hist.grad_norms.len(), 50);
+        assert_eq!(hist.final_params.len(), c.n_params());
+    }
+
+    #[test]
+    fn gd_also_decreases_cost() {
+        let (c, theta) = setup(4, 2, InitStrategy::XavierUniform, 1);
+        let obs = CostKind::Global.observable(4);
+        let mut gd = GradientDescent::new(0.1).unwrap();
+        let hist = train(&c, &obs, theta, &mut gd, 50).unwrap();
+        assert!(hist.improvement() > 0.0);
+        assert!(hist.final_loss() < hist.initial_loss());
+    }
+
+    #[test]
+    fn zero_init_stays_at_minimum() {
+        let (c, _) = setup(3, 2, InitStrategy::Zero, 2);
+        let theta = vec![0.0; c.n_params()];
+        let obs = CostKind::Global.observable(3);
+        let mut gd = GradientDescent::new(0.1).unwrap();
+        let hist = train(&c, &obs, theta, &mut gd, 5).unwrap();
+        for l in &hist.losses {
+            assert!(l.abs() < 1e-12);
+        }
+        for g in &hist.grad_norms {
+            assert!(g.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn engine_choice_does_not_change_trajectory() {
+        let (c, theta) = setup(3, 2, InitStrategy::He, 3);
+        let obs = CostKind::Global.observable(3);
+        let mut gd1 = GradientDescent::new(0.1).unwrap();
+        let h1 = train_with_engine(&c, &obs, theta.clone(), &mut gd1, 10, &Adjoint).unwrap();
+        let mut gd2 = GradientDescent::new(0.1).unwrap();
+        let h2 = train_with_engine(&c, &obs, theta, &mut gd2, 10, &ParameterShift).unwrap();
+        for (a, b) in h1.losses.iter().zip(h2.losses.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn history_helpers() {
+        let hist = TrainingHistory {
+            losses: vec![0.9, 0.5, 0.2, 0.05],
+            grad_norms: vec![1.0, 0.8, 0.3],
+            final_params: vec![0.0],
+        };
+        assert_eq!(hist.initial_loss(), 0.9);
+        assert_eq!(hist.final_loss(), 0.05);
+        assert_eq!(hist.iterations_to_reach(0.3), Some(2));
+        assert_eq!(hist.iterations_to_reach(0.01), None);
+        assert!((hist.improvement() - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_iterations_records_only_initial_loss() {
+        let (c, theta) = setup(2, 1, InitStrategy::Random, 4);
+        let obs = CostKind::Global.observable(2);
+        let mut gd = GradientDescent::new(0.1).unwrap();
+        let hist = train(&c, &obs, theta, &mut gd, 0).unwrap();
+        assert_eq!(hist.losses.len(), 1);
+        assert!(hist.grad_norms.is_empty());
+    }
+
+    #[test]
+    fn wrong_param_length_is_error() {
+        let (c, _) = setup(2, 1, InitStrategy::Random, 5);
+        let obs = CostKind::Global.observable(2);
+        let mut gd = GradientDescent::new(0.1).unwrap();
+        assert!(train(&c, &obs, vec![0.0; 1], &mut gd, 1).is_err());
+    }
+
+    #[test]
+    fn local_cost_trains_too() {
+        let (c, theta) = setup(4, 2, InitStrategy::LeCun, 6);
+        let obs = CostKind::Local.observable(4);
+        let mut adam = Adam::new(0.1).unwrap();
+        let hist = train(&c, &obs, theta, &mut adam, 40).unwrap();
+        assert!(hist.final_loss() < hist.initial_loss());
+    }
+}

@@ -1,0 +1,535 @@
+//! The gradient-variance analysis harness — the paper's central experiment
+//! (§IV-C, Fig 5a, and the headline improvement percentages).
+//!
+//! For each qubit count `q` and each initialization strategy `t`, the
+//! harness builds `n_circuits` random HEA circuits (Eq. 2), samples
+//! parameters with `t`, computes `∂C/∂θ_last`, and records
+//! `V_{q,t} = Var(G_{q,t})`. Fitting `ln V` against `q` gives each
+//! strategy's *variance decay rate*; the improvement of strategy `t` over
+//! the random baseline is `(|b_random| − |b_t|)/|b_random| · 100`.
+//!
+//! Ensemble members share their circuit *structure* across strategies
+//! (seeded by `(master_seed, q, i)` only), so strategy comparisons are
+//! paired and the only varying factor is the parameter distribution.
+//!
+//! # Examples
+//!
+//! ```
+//! use plateau_core::init::InitStrategy;
+//! use plateau_core::variance::{variance_scan, VarianceConfig};
+//!
+//! let cfg = VarianceConfig {
+//!     qubit_counts: vec![2, 4],
+//!     layers: 10,
+//!     n_circuits: 20,
+//!     ..VarianceConfig::default()
+//! };
+//! let scan = variance_scan(&cfg, &[InitStrategy::Random, InitStrategy::XavierNormal])?;
+//! assert_eq!(scan.curves.len(), 2);
+//! assert_eq!(scan.curves[0].points.len(), 2);
+//! assert!(scan.curves[0].points[0].variance > 0.0);
+//! # Ok::<(), plateau_core::CoreError>(())
+//! ```
+
+use crate::ansatz::{training_ansatz, variance_ansatz, Ansatz};
+use crate::cost::CostKind;
+use crate::error::CoreError;
+use crate::init::{FanMode, InitStrategy};
+use plateau_grad::{GradientEngine, ParameterShift};
+use plateau_stats::{decay_improvement_percent, fit_exponential_decay, variance, ExpDecayFit};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// Which ansatz family the scan ensembles over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum AnsatzKind {
+    /// The paper's Eq. 2: one rotation per qubit per layer, drawn uniformly
+    /// from `{RX, RY, RZ}` per ensemble member.
+    #[default]
+    RandomRotations,
+    /// The paper's Eq. 3 training ansatz: RX·RY per qubit per layer
+    /// (deterministic structure — ensemble members differ only in their
+    /// parameter draw). Used by the fan-mode ablation, where
+    /// `params_per_layer = 2·n_qubits` makes the fan conventions diverge.
+    Training,
+}
+
+/// Configuration of a variance scan.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VarianceConfig {
+    /// Qubit counts to sweep (paper: `{2, 4, 6, 8, 10}`).
+    pub qubit_counts: Vec<usize>,
+    /// Layers per circuit. The paper keeps "substantial depth"; its
+    /// motivating figure uses 100 layers, which is this default.
+    pub layers: usize,
+    /// Ensemble size per `(q, strategy)` cell (paper: 200).
+    pub n_circuits: usize,
+    /// Cost operator to differentiate.
+    pub cost: CostKind,
+    /// Fan convention for the initializers.
+    pub fan_mode: FanMode,
+    /// Ansatz family to ensemble over.
+    pub ansatz: AnsatzKind,
+    /// Master seed; every circuit and parameter draw derives from it
+    /// deterministically, independent of thread scheduling.
+    pub seed: u64,
+}
+
+impl Default for VarianceConfig {
+    fn default() -> Self {
+        VarianceConfig {
+            qubit_counts: vec![2, 4, 6, 8, 10],
+            layers: 100,
+            n_circuits: 200,
+            cost: CostKind::Global,
+            fan_mode: FanMode::Qubits,
+            ansatz: AnsatzKind::RandomRotations,
+            seed: 0x706c6174,
+        }
+    }
+}
+
+impl VarianceConfig {
+    fn validate(&self) -> Result<(), CoreError> {
+        if self.qubit_counts.is_empty() {
+            return Err(CoreError::InvalidConfig("qubit_counts must be non-empty".into()));
+        }
+        if self.qubit_counts.contains(&0) {
+            return Err(CoreError::InvalidConfig("qubit counts must be nonzero".into()));
+        }
+        if self.layers == 0 {
+            return Err(CoreError::InvalidConfig("layers must be nonzero".into()));
+        }
+        if self.n_circuits < 2 {
+            return Err(CoreError::InvalidConfig(
+                "variance needs at least two circuits per cell".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One `(qubit count, strategy)` cell of the scan.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VariancePoint {
+    /// Qubit count of this cell.
+    pub n_qubits: usize,
+    /// `Var(∂C/∂θ_last)` over the ensemble.
+    pub variance: f64,
+    /// The raw gradient samples (length = `n_circuits`), kept for
+    /// bootstrap confidence intervals.
+    pub gradients: Vec<f64>,
+}
+
+/// The variance-vs-qubits curve of one strategy.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct StrategyCurve {
+    /// The initialization strategy.
+    pub strategy: InitStrategy,
+    /// One point per qubit count, in the order of
+    /// [`VarianceConfig::qubit_counts`].
+    pub points: Vec<VariancePoint>,
+}
+
+impl StrategyCurve {
+    /// Fits `Var(q) = A·e^{b·q}` through this curve.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Fit`] when the fit is ill-posed (e.g. fewer
+    /// than two qubit counts or a zero variance).
+    pub fn decay_fit(&self) -> Result<ExpDecayFit, CoreError> {
+        let qs: Vec<f64> = self.points.iter().map(|p| p.n_qubits as f64).collect();
+        let vars: Vec<f64> = self.points.iter().map(|p| p.variance).collect();
+        Ok(fit_exponential_decay(&qs, &vars)?)
+    }
+
+    /// Percentile-bootstrap confidence interval on the decay rate `b`:
+    /// each resample redraws the per-cell gradient ensembles (with
+    /// replacement), recomputes the cell variances, and refits the
+    /// exponential. This propagates the 200-circuit sampling error into
+    /// the *slope* — the quantity behind the paper's headline percentages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for a zero resample budget or
+    /// a confidence level outside `(0, 1)`, and [`CoreError::Fit`] when a
+    /// resampled fit is ill-posed.
+    pub fn decay_rate_ci<R: rand::Rng>(
+        &self,
+        resamples: usize,
+        level: f64,
+        rng: &mut R,
+    ) -> Result<plateau_stats::ConfidenceInterval, CoreError> {
+        if resamples == 0 {
+            return Err(CoreError::InvalidConfig("resamples must be nonzero".into()));
+        }
+        if !(level > 0.0 && level < 1.0) {
+            return Err(CoreError::InvalidConfig("confidence level must be in (0, 1)".into()));
+        }
+        let estimate = self.decay_fit()?.rate;
+        let qs: Vec<f64> = self.points.iter().map(|p| p.n_qubits as f64).collect();
+        let mut rates = Vec::with_capacity(resamples);
+        for _ in 0..resamples {
+            let vars: Vec<f64> = self
+                .points
+                .iter()
+                .map(|p| {
+                    let g = &p.gradients;
+                    let resampled: Vec<f64> =
+                        (0..g.len()).map(|_| g[rng.gen_range(0..g.len())]).collect();
+                    variance(&resampled)
+                })
+                .collect();
+            rates.push(fit_exponential_decay(&qs, &vars).map(|f| f.rate)?);
+        }
+        let alpha = 1.0 - level;
+        Ok(plateau_stats::ConfidenceInterval {
+            estimate,
+            low: plateau_stats::quantile(&rates, alpha / 2.0),
+            high: plateau_stats::quantile(&rates, 1.0 - alpha / 2.0),
+            level,
+        })
+    }
+}
+
+/// Full result of a variance scan.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VarianceScan {
+    /// The configuration that produced this scan.
+    pub config: VarianceConfig,
+    /// One curve per strategy, in input order.
+    pub curves: Vec<StrategyCurve>,
+}
+
+/// One row of the improvement table (the paper's headline numbers).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Improvement {
+    /// The strategy being compared against the baseline.
+    pub strategy: InitStrategy,
+    /// Fitted decay rate `b` of the strategy (negative = decaying).
+    pub decay_rate: f64,
+    /// R² of the log-linear fit.
+    pub r_squared: f64,
+    /// `(|b_baseline| − |b|)/|b_baseline| · 100`.
+    pub improvement_percent: f64,
+}
+
+impl VarianceScan {
+    /// The curve of a given strategy, if present.
+    pub fn curve_of(&self, strategy: InitStrategy) -> Option<&StrategyCurve> {
+        self.curves.iter().find(|c| c.strategy == strategy)
+    }
+
+    /// Builds the improvement table relative to `baseline` (the paper uses
+    /// [`InitStrategy::Random`]). The baseline itself is excluded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when `baseline` is not in the
+    /// scan, or [`CoreError::Fit`] when a decay fit is ill-posed.
+    pub fn improvements_vs(&self, baseline: InitStrategy) -> Result<Vec<Improvement>, CoreError> {
+        let base_curve = self.curve_of(baseline).ok_or_else(|| {
+            CoreError::InvalidConfig(format!("baseline {baseline} not in scan"))
+        })?;
+        let b_ref = base_curve.decay_fit()?.rate;
+        let mut out = Vec::new();
+        for curve in &self.curves {
+            if curve.strategy == baseline {
+                continue;
+            }
+            let fit = curve.decay_fit()?;
+            out.push(Improvement {
+                strategy: curve.strategy,
+                decay_rate: fit.rate,
+                r_squared: fit.r_squared,
+                improvement_percent: decay_improvement_percent(b_ref, fit.rate),
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// SplitMix64 — used to derive independent per-task seeds from the master
+/// seed so results are reproducible regardless of rayon's scheduling.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+fn derive_seed(master: u64, a: u64, b: u64, c: u64) -> u64 {
+    splitmix64(master ^ splitmix64(a ^ splitmix64(b ^ splitmix64(c))))
+}
+
+/// Computes one gradient sample: build circuit `(q, i)`, draw parameters
+/// with `strategy`, differentiate the last parameter.
+fn gradient_sample(
+    config: &VarianceConfig,
+    strategy: InitStrategy,
+    strategy_idx: usize,
+    q: usize,
+    i: usize,
+) -> Result<f64, CoreError> {
+    // Circuit structure depends only on (master, q, i): all strategies see
+    // the same random gate pattern for ensemble member i.
+    let ansatz: Ansatz = match config.ansatz {
+        AnsatzKind::RandomRotations => {
+            let mut circ_rng =
+                StdRng::seed_from_u64(derive_seed(config.seed, 1, q as u64, i as u64));
+            variance_ansatz(q, config.layers, &mut circ_rng)?
+        }
+        AnsatzKind::Training => training_ansatz(q, config.layers)?,
+    };
+
+    let mut param_rng = StdRng::seed_from_u64(derive_seed(
+        config.seed,
+        2 + strategy_idx as u64,
+        q as u64,
+        i as u64,
+    ));
+    let params = strategy.sample_params(&ansatz.shape, config.fan_mode, &mut param_rng)?;
+
+    let obs = config.cost.observable(q);
+    Ok(ParameterShift.partial_last(&ansatz.circuit, &params, &obs)?)
+}
+
+/// Runs the full variance scan for the given strategies.
+///
+/// Work is parallelized over ensemble members with rayon; determinism is
+/// guaranteed by per-task seed derivation.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] for a degenerate configuration and
+/// propagates simulation errors.
+pub fn variance_scan(
+    config: &VarianceConfig,
+    strategies: &[InitStrategy],
+) -> Result<VarianceScan, CoreError> {
+    config.validate()?;
+    if strategies.is_empty() {
+        return Err(CoreError::InvalidConfig("at least one strategy required".into()));
+    }
+
+    let mut curves = Vec::with_capacity(strategies.len());
+    for (s_idx, &strategy) in strategies.iter().enumerate() {
+        let mut points = Vec::with_capacity(config.qubit_counts.len());
+        for &q in &config.qubit_counts {
+            let gradients: Result<Vec<f64>, CoreError> = (0..config.n_circuits)
+                .into_par_iter()
+                .map(|i| gradient_sample(config, strategy, s_idx, q, i))
+                .collect();
+            let gradients = gradients?;
+            points.push(VariancePoint {
+                n_qubits: q,
+                variance: variance(&gradients),
+                gradients,
+            });
+        }
+        curves.push(StrategyCurve { strategy, points });
+    }
+
+    Ok(VarianceScan {
+        config: config.clone(),
+        curves,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> VarianceConfig {
+        VarianceConfig {
+            qubit_counts: vec![2, 4, 6],
+            layers: 12,
+            n_circuits: 40,
+            ..VarianceConfig::default()
+        }
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        let c = VarianceConfig::default();
+        assert_eq!(c.qubit_counts, vec![2, 4, 6, 8, 10]);
+        assert_eq!(c.n_circuits, 200);
+        assert_eq!(c.cost, CostKind::Global);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_configs() {
+        let mut c = small_config();
+        c.qubit_counts.clear();
+        assert!(variance_scan(&c, &[InitStrategy::Random]).is_err());
+
+        let mut c = small_config();
+        c.n_circuits = 1;
+        assert!(variance_scan(&c, &[InitStrategy::Random]).is_err());
+
+        let mut c = small_config();
+        c.layers = 0;
+        assert!(variance_scan(&c, &[InitStrategy::Random]).is_err());
+
+        let mut c = small_config();
+        c.qubit_counts = vec![0];
+        assert!(variance_scan(&c, &[InitStrategy::Random]).is_err());
+
+        assert!(variance_scan(&small_config(), &[]).is_err());
+    }
+
+    #[test]
+    fn scan_shape_and_determinism() {
+        let cfg = small_config();
+        let strategies = [InitStrategy::Random, InitStrategy::XavierNormal];
+        let a = variance_scan(&cfg, &strategies).unwrap();
+        assert_eq!(a.curves.len(), 2);
+        for curve in &a.curves {
+            assert_eq!(curve.points.len(), 3);
+            for p in &curve.points {
+                assert_eq!(p.gradients.len(), 40);
+                assert!(p.variance.is_finite());
+            }
+        }
+        // Re-running with the same seed reproduces everything exactly.
+        let b = variance_scan(&cfg, &strategies).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_variance_decays_with_qubits() {
+        let cfg = VarianceConfig {
+            qubit_counts: vec![2, 6],
+            layers: 30,
+            n_circuits: 60,
+            ..VarianceConfig::default()
+        };
+        let scan = variance_scan(&cfg, &[InitStrategy::Random]).unwrap();
+        let pts = &scan.curves[0].points;
+        assert!(
+            pts[0].variance > pts[1].variance,
+            "variance should decay: {} vs {}",
+            pts[0].variance,
+            pts[1].variance
+        );
+    }
+
+    #[test]
+    fn bounded_init_decays_slower_than_random() {
+        let cfg = VarianceConfig {
+            qubit_counts: vec![2, 4, 6],
+            layers: 20,
+            n_circuits: 60,
+            ..VarianceConfig::default()
+        };
+        let scan =
+            variance_scan(&cfg, &[InitStrategy::Random, InitStrategy::XavierNormal]).unwrap();
+        let rand_fit = scan.curve_of(InitStrategy::Random).unwrap().decay_fit().unwrap();
+        let xav_fit = scan
+            .curve_of(InitStrategy::XavierNormal)
+            .unwrap()
+            .decay_fit()
+            .unwrap();
+        assert!(rand_fit.rate < 0.0, "random rate {}", rand_fit.rate);
+        assert!(
+            xav_fit.rate.abs() < rand_fit.rate.abs(),
+            "xavier {} should decay slower than random {}",
+            xav_fit.rate,
+            rand_fit.rate
+        );
+    }
+
+    #[test]
+    fn improvements_table() {
+        let cfg = small_config();
+        let scan =
+            variance_scan(&cfg, &[InitStrategy::Random, InitStrategy::He]).unwrap();
+        let imps = scan.improvements_vs(InitStrategy::Random).unwrap();
+        assert_eq!(imps.len(), 1);
+        assert_eq!(imps[0].strategy, InitStrategy::He);
+        assert!(imps[0].improvement_percent.is_finite());
+        // Missing baseline errors out.
+        assert!(scan.improvements_vs(InitStrategy::LeCun).is_err());
+    }
+
+    #[test]
+    fn curve_of_lookup() {
+        let cfg = small_config();
+        let scan = variance_scan(&cfg, &[InitStrategy::Random]).unwrap();
+        assert!(scan.curve_of(InitStrategy::Random).is_some());
+        assert!(scan.curve_of(InitStrategy::He).is_none());
+    }
+
+    #[test]
+    fn seed_changes_results() {
+        let cfg = small_config();
+        let mut cfg2 = small_config();
+        cfg2.seed = cfg.seed + 1;
+        let a = variance_scan(&cfg, &[InitStrategy::Random]).unwrap();
+        let b = variance_scan(&cfg2, &[InitStrategy::Random]).unwrap();
+        assert_ne!(a.curves[0].points[0].gradients, b.curves[0].points[0].gradients);
+    }
+
+    #[test]
+    fn decay_rate_ci_brackets_the_point_estimate() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let cfg = small_config();
+        let scan = variance_scan(&cfg, &[InitStrategy::Random]).unwrap();
+        let curve = &scan.curves[0];
+        let mut rng = StdRng::seed_from_u64(77);
+        let ci = curve.decay_rate_ci(200, 0.95, &mut rng).unwrap();
+        assert!(ci.low <= ci.estimate && ci.estimate <= ci.high);
+        assert!(ci.high - ci.low > 0.0);
+        assert!(ci.high - ci.low < 2.0, "CI implausibly wide: {ci:?}");
+        // Deterministic under the same seed.
+        let mut rng2 = StdRng::seed_from_u64(77);
+        assert_eq!(ci, curve.decay_rate_ci(200, 0.95, &mut rng2).unwrap());
+        // Validation paths.
+        assert!(curve.decay_rate_ci(0, 0.95, &mut rng).is_err());
+        assert!(curve.decay_rate_ci(10, 1.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn training_ansatz_kind_runs_and_differs_from_random_rotations() {
+        let base = VarianceConfig {
+            qubit_counts: vec![2, 3],
+            layers: 6,
+            n_circuits: 12,
+            ..VarianceConfig::default()
+        };
+        let train_cfg = VarianceConfig {
+            ansatz: AnsatzKind::Training,
+            ..base.clone()
+        };
+        let a = variance_scan(&base, &[InitStrategy::Random]).unwrap();
+        let b = variance_scan(&train_cfg, &[InitStrategy::Random]).unwrap();
+        // The training ansatz has 2 params per qubit per layer, so the
+        // parameter draws (and hence gradients) differ.
+        assert_ne!(
+            a.curves[0].points[0].gradients,
+            b.curves[0].points[0].gradients
+        );
+        // And it is deterministic: no per-member structural randomness.
+        let b2 = variance_scan(&train_cfg, &[InitStrategy::Random]).unwrap();
+        assert_eq!(b, b2);
+    }
+
+    #[test]
+    fn splitmix_derivation_spreads_bits() {
+        // Adjacent task indices give unrelated seeds.
+        let s1 = derive_seed(7, 1, 2, 3);
+        let s2 = derive_seed(7, 1, 2, 4);
+        assert_ne!(s1, s2);
+        assert!((s1 ^ s2).count_ones() > 8);
+    }
+}

@@ -1,0 +1,98 @@
+//! The [`GradientEngine`] trait: a uniform interface over the three
+//! differentiation strategies so harnesses can swap engines freely.
+
+use plateau_sim::{Circuit, Observable, SimError};
+
+/// Evaluates the cost `E(θ) = ⟨0|U†(θ) H U(θ)|0⟩`.
+///
+/// # Errors
+///
+/// Propagates parameter-count and observable-size mismatches.
+///
+/// # Examples
+///
+/// ```
+/// use plateau_grad::expectation;
+/// use plateau_sim::{Circuit, Observable};
+///
+/// let mut c = Circuit::new(1)?;
+/// c.ry(0)?;
+/// let obs = Observable::global_cost(1);
+/// // C(θ) = 1 − cos²(θ/2) = sin²(θ/2)
+/// let theta = 0.8f64;
+/// let c_val = expectation(&c, &[theta], &obs)?;
+/// assert!((c_val - (theta / 2.0).sin().powi(2)).abs() < 1e-12);
+/// # Ok::<(), plateau_sim::SimError>(())
+/// ```
+pub fn expectation(circuit: &Circuit, params: &[f64], obs: &Observable) -> Result<f64, SimError> {
+    let state = circuit.run(params)?;
+    obs.expectation(&state)
+}
+
+/// A strategy for computing `∂E/∂θ` of a parameterized circuit against a
+/// Hermitian observable.
+///
+/// Implementations: [`crate::ParameterShift`] (exact, 2 or 4 circuit
+/// evaluations per parameter), [`crate::Adjoint`] (exact, one forward plus
+/// one backward sweep for *all* parameters), [`crate::FiniteDifference`]
+/// (approximate; test oracle).
+pub trait GradientEngine {
+    /// Gradient with respect to every free parameter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter-count and observable-size mismatches.
+    fn gradient(
+        &self,
+        circuit: &Circuit,
+        params: &[f64],
+        obs: &Observable,
+    ) -> Result<Vec<f64>, SimError>;
+
+    /// Partial derivative with respect to the single parameter `index`.
+    ///
+    /// The default implementation computes the full gradient and projects;
+    /// engines with a cheaper single-parameter path override this — the
+    /// paper's variance analysis differentiates only the *last* parameter,
+    /// so this path matters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ParamOutOfRange`] for a bad index, plus
+    /// whole-gradient error conditions.
+    fn partial(
+        &self,
+        circuit: &Circuit,
+        params: &[f64],
+        obs: &Observable,
+        index: usize,
+    ) -> Result<f64, SimError> {
+        if index >= circuit.n_params() {
+            return Err(SimError::ParamOutOfRange {
+                index,
+                n_params: circuit.n_params(),
+            });
+        }
+        Ok(self.gradient(circuit, params, obs)?[index])
+    }
+
+    /// Partial derivative with respect to the **last** parameter — the
+    /// paper's variance-analysis quantity (§IV-C).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ParamOutOfRange`] when the circuit has no free
+    /// parameters.
+    fn partial_last(
+        &self,
+        circuit: &Circuit,
+        params: &[f64],
+        obs: &Observable,
+    ) -> Result<f64, SimError> {
+        let n = circuit.n_params();
+        if n == 0 {
+            return Err(SimError::ParamOutOfRange { index: 0, n_params: 0 });
+        }
+        self.partial(circuit, params, obs, n - 1)
+    }
+}

@@ -1,0 +1,474 @@
+//! Double-precision complex arithmetic.
+//!
+//! The whole quantum stack works over [`C64`]. The type is deliberately a
+//! plain `#[repr(C)]` pair of `f64`s so that a `&[C64]` statevector can be
+//! reinterpreted cheaply and copied without bookkeeping.
+//!
+//! # Examples
+//!
+//! ```
+//! use plateau_linalg::C64;
+//!
+//! let i = C64::I;
+//! assert_eq!(i * i, C64::new(-1.0, 0.0));
+//! assert!((C64::from_polar(2.0, std::f64::consts::FRAC_PI_2) - 2.0 * i).norm() < 1e-12);
+//! ```
+
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// The additive identity, `0 + 0i`.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity, `1 + 0i`.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit, `0 + 1i`.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from its real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        C64 { re, im: 0.0 }
+    }
+
+    /// Creates a purely imaginary complex number.
+    #[inline]
+    pub const fn imag(im: f64) -> Self {
+        C64 { re: 0.0, im }
+    }
+
+    /// Creates a complex number from polar coordinates `r * e^{iθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        C64::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Returns `e^{iθ}`, a point on the unit circle.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        C64::new(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        C64::new(self.re, -self.im)
+    }
+
+    /// Squared modulus `|z|²`; cheaper than [`C64::norm`] and exact for
+    /// probability computations.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument (phase angle) in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns NaN components when `self` is zero, mirroring `f64` division.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        C64::new(self.re / d, -self.im / d)
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        C64::new(r * self.im.cos(), r * self.im.sin())
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        C64::new(self.re * k, self.im * k)
+    }
+
+    /// Fused multiply-add: `self * b + c`.
+    #[inline]
+    pub fn mul_add(self, b: C64, c: C64) -> Self {
+        C64::new(
+            self.re * b.re - self.im * b.im + c.re,
+            self.re * b.im + self.im * b.re + c.im,
+        )
+    }
+
+    /// Returns `true` when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Approximate equality within absolute tolerance `tol` on both parts.
+    #[inline]
+    pub fn approx_eq(self, other: C64, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+}
+
+impl From<f64> for C64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        C64::real(re)
+    }
+}
+
+impl From<(f64, f64)> for C64 {
+    #[inline]
+    fn from((re, im): (f64, f64)) -> Self {
+        C64::new(re, im)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w = z·w⁻¹ is the definition
+    fn div(self, rhs: C64) -> C64 {
+        self * rhs.recip()
+    }
+}
+
+impl Add<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: f64) -> C64 {
+        C64::new(self.re + rhs, self.im)
+    }
+}
+
+impl Sub<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: f64) -> C64 {
+        C64::new(self.re - rhs, self.im)
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: f64) -> C64 {
+        self.scale(rhs)
+    }
+}
+
+impl Div<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: f64) -> C64 {
+        C64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Add<C64> for f64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self + rhs.re, rhs.im)
+    }
+}
+
+impl Sub<C64> for f64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self - rhs.re, -rhs.im)
+    }
+}
+
+impl Mul<C64> for f64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        rhs.scale(self)
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: C64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: C64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl MulAssign<f64> for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f64) {
+        self.re *= rhs;
+        self.im *= rhs;
+    }
+}
+
+impl DivAssign for C64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: C64) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for C64 {
+    fn sum<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(C64::ZERO, Add::add)
+    }
+}
+
+impl<'a> Sum<&'a C64> for C64 {
+    fn sum<I: Iterator<Item = &'a C64>>(iter: I) -> C64 {
+        iter.fold(C64::ZERO, |acc, z| acc + *z)
+    }
+}
+
+impl Product for C64 {
+    fn product<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(C64::ONE, Mul::mul)
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Serialize for C64 {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (self.re, self.im).serialize(s)
+    }
+}
+
+#[cfg(feature = "serde")]
+impl<'de> serde::Deserialize<'de> for C64 {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let (re, im) = <(f64, f64)>::deserialize(d)?;
+        Ok(C64::new(re, im))
+    }
+}
+
+/// Shorthand constructor: `c64(re, im)`.
+///
+/// # Examples
+///
+/// ```
+/// use plateau_linalg::{c64, C64};
+/// assert_eq!(c64(1.0, -2.0), C64::new(1.0, -2.0));
+/// ```
+#[inline]
+pub const fn c64(re: f64, im: f64) -> C64 {
+    C64::new(re, im)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn constants_behave() {
+        assert_eq!(C64::ZERO + C64::ONE, C64::ONE);
+        assert_eq!(C64::I * C64::I, -C64::ONE);
+        assert_eq!(C64::ONE * C64::I, C64::I);
+    }
+
+    #[test]
+    fn arithmetic_field_axioms() {
+        let a = c64(1.5, -2.25);
+        let b = c64(-0.5, 3.0);
+        let c = c64(0.25, 0.75);
+        assert!(((a + b) + c).approx_eq(a + (b + c), TOL));
+        assert!(((a * b) * c).approx_eq(a * (b * c), TOL));
+        assert!((a * (b + c)).approx_eq(a * b + a * c, TOL));
+        assert!((a - a).approx_eq(C64::ZERO, TOL));
+        assert!((a * a.recip()).approx_eq(C64::ONE, TOL));
+    }
+
+    #[test]
+    fn division_matches_multiplication_by_inverse() {
+        let a = c64(3.0, 4.0);
+        let b = c64(-1.0, 2.0);
+        assert!((a / b * b).approx_eq(a, TOL));
+    }
+
+    #[test]
+    fn conjugation_and_norms() {
+        let z = c64(3.0, -4.0);
+        assert_eq!(z.conj(), c64(3.0, 4.0));
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.norm(), 5.0);
+        assert!((z * z.conj()).approx_eq(c64(25.0, 0.0), TOL));
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = C64::from_polar(2.0, 0.7);
+        assert!((z.norm() - 2.0).abs() < TOL);
+        assert!((z.arg() - 0.7).abs() < TOL);
+    }
+
+    #[test]
+    fn cis_is_unit_circle() {
+        for k in 0..16 {
+            let t = k as f64 / 16.0 * 2.0 * PI;
+            assert!((C64::cis(t).norm() - 1.0).abs() < TOL);
+        }
+        assert!(C64::cis(FRAC_PI_2).approx_eq(C64::I, TOL));
+    }
+
+    #[test]
+    fn exp_euler_identity() {
+        // e^{iπ} + 1 = 0
+        let z = C64::imag(PI).exp() + C64::ONE;
+        assert!(z.norm() < 1e-12);
+    }
+
+    #[test]
+    fn exp_splits_into_modulus_and_phase() {
+        let z = c64(0.5, 1.2);
+        let e = z.exp();
+        assert!((e.norm() - 0.5f64.exp()).abs() < TOL);
+        assert!((e.arg() - 1.2).abs() < TOL);
+    }
+
+    #[test]
+    fn mixed_real_ops() {
+        let z = c64(1.0, 1.0);
+        assert_eq!(z * 2.0, c64(2.0, 2.0));
+        assert_eq!(2.0 * z, c64(2.0, 2.0));
+        assert_eq!(z + 1.0, c64(2.0, 1.0));
+        assert_eq!(1.0 - z, c64(0.0, -1.0));
+        assert_eq!(z / 2.0, c64(0.5, 0.5));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut z = c64(1.0, 2.0);
+        z += c64(1.0, 1.0);
+        assert_eq!(z, c64(2.0, 3.0));
+        z -= c64(2.0, 0.0);
+        assert_eq!(z, c64(0.0, 3.0));
+        z *= C64::I;
+        assert_eq!(z, c64(-3.0, 0.0));
+        z *= 2.0;
+        assert_eq!(z, c64(-6.0, 0.0));
+        z /= c64(-2.0, 0.0);
+        assert!(z.approx_eq(c64(3.0, 0.0), TOL));
+    }
+
+    #[test]
+    fn sum_and_product() {
+        let v = [c64(1.0, 0.0), c64(0.0, 1.0), c64(2.0, -1.0)];
+        let s: C64 = v.iter().sum();
+        assert_eq!(s, c64(3.0, 0.0));
+        let p: C64 = v.iter().copied().product();
+        // (1)(i)(2 - i) = i(2 - i) = 1 + 2i
+        assert!(p.approx_eq(c64(1.0, 2.0), TOL));
+    }
+
+    #[test]
+    fn mul_add_matches_separate_ops() {
+        let a = c64(1.1, -0.3);
+        let b = c64(0.7, 2.0);
+        let c = c64(-5.0, 0.25);
+        assert!(a.mul_add(b, c).approx_eq(a * b + c, TOL));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(c64(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(c64(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(c64(1.0, 2.0).is_finite());
+        assert!(!c64(f64::NAN, 0.0).is_finite());
+        assert!(!c64(0.0, f64::INFINITY).is_finite());
+    }
+}

@@ -1,0 +1,320 @@
+//! Eigendecomposition of Hermitian (and real symmetric) matrices via the
+//! cyclic Jacobi method.
+//!
+//! Sized for the quantum stack's needs: reduced density matrices of a few
+//! qubits (dimension ≤ ~64), where Jacobi's simplicity and unconditional
+//! stability beat fancier algorithms. Used by the entanglement-entropy
+//! analysis in `plateau-core`.
+//!
+//! # Examples
+//!
+//! ```
+//! use plateau_linalg::{c64, eigh, CMatrix};
+//!
+//! // A real symmetric matrix with known eigenvalues {1, 3}.
+//! let m = CMatrix::from_rows(&[
+//!     &[c64(2.0, 0.0), c64(1.0, 0.0)],
+//!     &[c64(1.0, 0.0), c64(2.0, 0.0)],
+//! ]);
+//! let eig = eigh(&m, 1e-12, 100).expect("hermitian input");
+//! assert!((eig.values[0] - 1.0).abs() < 1e-10);
+//! assert!((eig.values[1] - 3.0).abs() < 1e-10);
+//! ```
+
+use crate::complex::C64;
+use crate::matrix::CMatrix;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by the eigensolver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EigenError {
+    /// The input matrix is not square.
+    NotSquare,
+    /// The input matrix is not Hermitian within the requested tolerance.
+    NotHermitian {
+        /// Largest deviation |A − A†| found.
+        deviation: f64,
+    },
+    /// The sweep limit was reached before off-diagonals converged.
+    NoConvergence {
+        /// Residual off-diagonal Frobenius norm.
+        off_diagonal: f64,
+    },
+}
+
+impl fmt::Display for EigenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EigenError::NotSquare => f.write_str("matrix must be square"),
+            EigenError::NotHermitian { deviation } => {
+                write!(f, "matrix is not hermitian (deviation {deviation:.3e})")
+            }
+            EigenError::NoConvergence { off_diagonal } => {
+                write!(f, "jacobi sweeps did not converge (residual {off_diagonal:.3e})")
+            }
+        }
+    }
+}
+
+impl Error for EigenError {}
+
+/// Result of a Hermitian eigendecomposition: `A = V diag(values) V†`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EigenDecomposition {
+    /// Real eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Unitary matrix whose columns are the corresponding eigenvectors.
+    pub vectors: CMatrix,
+}
+
+/// Computes all eigenvalues and eigenvectors of a Hermitian matrix by
+/// cyclic complex Jacobi rotations.
+///
+/// `tol` bounds both the accepted Hermiticity deviation of the input and
+/// the off-diagonal residual at convergence; `max_sweeps` bounds the work.
+///
+/// # Errors
+///
+/// Returns [`EigenError`] for non-square or non-Hermitian input, or if the
+/// sweep budget is exhausted.
+pub fn eigh(a: &CMatrix, tol: f64, max_sweeps: usize) -> Result<EigenDecomposition, EigenError> {
+    if !a.is_square() {
+        return Err(EigenError::NotSquare);
+    }
+    let n = a.rows();
+    let deviation = a.max_abs_diff(&a.dagger());
+    if deviation > tol.max(1e-9) {
+        return Err(EigenError::NotHermitian { deviation });
+    }
+
+    let mut m = a.clone();
+    // Symmetrize to kill the (tolerated) numerical skew part.
+    for i in 0..n {
+        for j in 0..n {
+            let sym = (m[(i, j)] + m[(j, i)].conj()).scale(0.5);
+            m[(i, j)] = sym;
+        }
+    }
+    let mut v = CMatrix::identity(n);
+
+    let off_norm = |m: &CMatrix| -> f64 {
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    s += m[(i, j)].norm_sqr();
+                }
+            }
+        }
+        s.sqrt()
+    };
+
+    for _ in 0..max_sweeps {
+        if off_norm(&m) <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.norm() <= tol * 1e-3 {
+                    continue;
+                }
+                // Phase rotation to make the pivot real, then a classical
+                // 2×2 Jacobi rotation.
+                let phase = if apq.norm() > 0.0 {
+                    apq / C64::real(apq.norm())
+                } else {
+                    C64::ONE
+                };
+                let app = m[(p, p)].re;
+                let aqq = m[(q, q)].re;
+                let abs_apq = apq.norm();
+
+                let theta = 0.5 * (2.0 * abs_apq).atan2(aqq - app);
+                let (c, s) = (theta.cos(), theta.sin());
+                // Complex Givens rotation G with
+                //   G[p][p]=c, G[p][q]=s·phase, G[q][p]=-s·phase*, G[q][q]=c
+                // applied as M ← G† M G, V ← V G.
+                let gs = phase.scale(s);
+
+                // Update rows/columns p and q of M.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = mkp.scale(c) - mkq * gs.conj();
+                    m[(k, q)] = mkp * gs + mkq.scale(c);
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = mpk.scale(c) - gs * mqk;
+                    m[(q, k)] = gs.conj() * mpk + mqk.scale(c);
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = vkp.scale(c) - vkq * gs.conj();
+                    v[(k, q)] = vkp * gs + vkq.scale(c);
+                }
+            }
+        }
+    }
+
+    let residual = off_norm(&m);
+    if residual > tol.max(1e-10) * (n as f64) {
+        return Err(EigenError::NoConvergence {
+            off_diagonal: residual,
+        });
+    }
+
+    // Extract eigenpairs and sort ascending.
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)].re, i)).collect();
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite eigenvalues"));
+    let values: Vec<f64> = pairs.iter().map(|(val, _)| *val).collect();
+    let mut vectors = CMatrix::zeros(n, n);
+    for (new_col, (_, old_col)) in pairs.iter().enumerate() {
+        for row in 0..n {
+            vectors[(row, new_col)] = v[(row, *old_col)];
+        }
+    }
+
+    Ok(EigenDecomposition { values, vectors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_hermitian(n: usize, seed: u64) -> CMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let raw = CMatrix::from_fn(n, n, |_, _| {
+            c64(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+        });
+        // (A + A†)/2 is Hermitian.
+        let dag = raw.dagger();
+        (&raw + &dag).scale(c64(0.5, 0.0))
+    }
+
+    fn check_decomposition(a: &CMatrix, eig: &EigenDecomposition, tol: f64) {
+        let n = a.rows();
+        assert!(eig.vectors.is_unitary(1e-8), "eigenvectors not unitary");
+        // A v_k = λ_k v_k for every column.
+        for k in 0..n {
+            let col: Vec<C64> = (0..n).map(|r| eig.vectors[(r, k)]).collect();
+            let av = a.matvec(&col);
+            for r in 0..n {
+                let expected = col[r].scale(eig.values[k]);
+                assert!(
+                    av[r].approx_eq(expected, tol),
+                    "column {k} row {r}: {} vs {}",
+                    av[r],
+                    expected
+                );
+            }
+        }
+        // Ascending order.
+        for w in eig.values.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_is_fixed_point() {
+        let a = CMatrix::from_rows(&[
+            &[c64(3.0, 0.0), C64::ZERO],
+            &[C64::ZERO, c64(-1.0, 0.0)],
+        ]);
+        let eig = eigh(&a, 1e-12, 50).unwrap();
+        assert!((eig.values[0] + 1.0).abs() < 1e-12);
+        assert!((eig.values[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pauli_x_eigenvalues_are_plus_minus_one() {
+        let x = CMatrix::from_rows(&[&[C64::ZERO, C64::ONE], &[C64::ONE, C64::ZERO]]);
+        let eig = eigh(&x, 1e-12, 50).unwrap();
+        assert!((eig.values[0] + 1.0).abs() < 1e-10);
+        assert!((eig.values[1] - 1.0).abs() < 1e-10);
+        check_decomposition(&x, &eig, 1e-9);
+    }
+
+    #[test]
+    fn pauli_y_complex_case() {
+        let y = CMatrix::from_rows(&[&[C64::ZERO, -C64::I], &[C64::I, C64::ZERO]]);
+        let eig = eigh(&y, 1e-12, 50).unwrap();
+        assert!((eig.values[0] + 1.0).abs() < 1e-10);
+        assert!((eig.values[1] - 1.0).abs() < 1e-10);
+        check_decomposition(&y, &eig, 1e-9);
+    }
+
+    #[test]
+    fn random_hermitian_matrices_decompose() {
+        for (n, seed) in [(3usize, 1u64), (4, 2), (6, 3), (8, 4)] {
+            let a = random_hermitian(n, seed);
+            let eig = eigh(&a, 1e-11, 200).unwrap();
+            check_decomposition(&a, &eig, 1e-7);
+            // Trace = sum of eigenvalues.
+            let trace = a.trace().re;
+            let sum: f64 = eig.values.iter().sum();
+            assert!((trace - sum).abs() < 1e-8, "n={n}: {trace} vs {sum}");
+        }
+    }
+
+    #[test]
+    fn projector_eigenvalues_are_zero_and_one() {
+        // |+><+| has eigenvalues {0, 1}.
+        let h = 0.5;
+        let p = CMatrix::from_rows(&[
+            &[c64(h, 0.0), c64(h, 0.0)],
+            &[c64(h, 0.0), c64(h, 0.0)],
+        ]);
+        let eig = eigh(&p, 1e-12, 50).unwrap();
+        assert!(eig.values[0].abs() < 1e-10);
+        assert!((eig.values[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_invalid_input() {
+        let rect = CMatrix::zeros(2, 3);
+        assert_eq!(eigh(&rect, 1e-12, 10).unwrap_err(), EigenError::NotSquare);
+
+        let skew = CMatrix::from_rows(&[
+            &[C64::ZERO, C64::ONE],
+            &[-C64::ONE, C64::ZERO],
+        ]);
+        assert!(matches!(
+            eigh(&skew, 1e-12, 10).unwrap_err(),
+            EigenError::NotHermitian { .. }
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(EigenError::NotSquare.to_string().contains("square"));
+        assert!(EigenError::NotHermitian { deviation: 0.1 }
+            .to_string()
+            .contains("hermitian"));
+        assert!(EigenError::NoConvergence { off_diagonal: 0.1 }
+            .to_string()
+            .contains("converge"));
+    }
+
+    #[test]
+    fn density_matrix_spectrum_is_a_probability_distribution() {
+        // ρ = normalized random PSD: eigenvalues ≥ 0, summing to 1.
+        let b = random_hermitian(4, 9);
+        let bb = &b * &b.dagger(); // PSD
+        let trace = bb.trace().re;
+        let rho = bb.scale(c64(1.0 / trace, 0.0));
+        let eig = eigh(&rho, 1e-11, 200).unwrap();
+        let sum: f64 = eig.values.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-8);
+        for v in &eig.values {
+            assert!(*v > -1e-9, "negative eigenvalue {v}");
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # plateau-linalg
+//!
+//! Dense linear-algebra substrate for the `plateau` quantum stack: complex
+//! arithmetic ([`C64`]), row-major complex and real matrices ([`CMatrix`],
+//! [`RMatrix`]), and Householder QR decomposition ([`qr_decompose`],
+//! [`qr_decompose_signfixed`]).
+//!
+//! The quantum simulator (`plateau-sim`) uses [`C64`] for statevector
+//! amplitudes and [`CMatrix`] both for gate matrices and for the
+//! full-circuit-unitary test oracle; the orthogonal parameter initializer
+//! (`plateau-core`) uses [`RMatrix`] + QR.
+//!
+//! Everything here is implemented from scratch, without external numerics
+//! crates, so the whole reproduction is self-contained and auditable.
+//!
+//! # Examples
+//!
+//! ```
+//! use plateau_linalg::{c64, CMatrix, C64};
+//!
+//! // The Hadamard gate is unitary and self-inverse.
+//! let s = 1.0 / 2f64.sqrt();
+//! let h = CMatrix::from_rows(&[
+//!     &[c64(s, 0.0), c64(s, 0.0)],
+//!     &[c64(s, 0.0), c64(-s, 0.0)],
+//! ]);
+//! assert!(h.is_unitary(1e-12));
+//! assert!((&h * &h).approx_eq(&CMatrix::identity(2), 1e-12));
+//! ```
+
+// Index-based loops are the clearer idiom for the dense numeric kernels
+// in this crate; the iterator rewrites clippy suggests obscure the math.
+#![allow(clippy::needless_range_loop)]
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod complex;
+mod eigen;
+mod matrix;
+mod qr;
+mod solve;
+
+pub use complex::{c64, C64};
+pub use eigen::{eigh, EigenDecomposition, EigenError};
+pub use matrix::{CMatrix, RMatrix};
+pub use qr::{qr_decompose, qr_decompose_signfixed, QrDecomposition};
+pub use solve::{solve, SolveError};

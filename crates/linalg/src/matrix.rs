@@ -1,0 +1,732 @@
+//! Dense row-major matrices over [`C64`] and `f64`.
+//!
+//! These are deliberately small, dependency-free implementations sized for
+//! the needs of the quantum stack: gate matrices (2×2 / 4×4), full circuit
+//! unitaries used as test oracles (up to ~2¹² dimensions), and the real
+//! matrices consumed by the orthogonal parameter initializer.
+//!
+//! # Examples
+//!
+//! ```
+//! use plateau_linalg::{CMatrix, C64};
+//!
+//! let x = CMatrix::from_rows(&[
+//!     &[C64::ZERO, C64::ONE],
+//!     &[C64::ONE, C64::ZERO],
+//! ]);
+//! assert!(x.is_unitary(1e-12));
+//! assert_eq!(&x * &x, CMatrix::identity(2));
+//! ```
+
+use crate::complex::C64;
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// A dense row-major complex matrix.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<C64>,
+}
+
+impl CMatrix {
+    /// Creates a matrix of zeros with the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be nonzero");
+        CMatrix {
+            rows,
+            cols,
+            data: vec![C64::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = CMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = C64::ONE;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[C64]]) -> Self {
+        assert!(!rows.is_empty(), "matrix must have at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix must have at least one column");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "all rows must have equal length");
+            data.extend_from_slice(r);
+        }
+        CMatrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols` or either dimension is zero.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<C64>) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be nonzero");
+        assert_eq!(data.len(), rows * cols, "buffer length must match shape");
+        CMatrix { rows, cols, data }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> C64) -> Self {
+        let mut m = CMatrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` when the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Flat row-major view of the entries.
+    #[inline]
+    pub fn as_slice(&self) -> &[C64] {
+        &self.data
+    }
+
+    /// Mutable flat row-major view of the entries.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [C64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the flat row-major buffer.
+    #[inline]
+    pub fn into_vec(self) -> Vec<C64> {
+        self.data
+    }
+
+    /// Borrow of row `i` as a contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[C64] {
+        assert!(i < self.rows, "row index out of bounds");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Transpose (no conjugation).
+    pub fn transpose(&self) -> CMatrix {
+        CMatrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Conjugate transpose `A†`.
+    pub fn dagger(&self) -> CMatrix {
+        CMatrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)].conj())
+    }
+
+    /// Entry-wise complex conjugate.
+    pub fn conj(&self) -> CMatrix {
+        let mut out = self.clone();
+        for z in &mut out.data {
+            *z = z.conj();
+        }
+        out
+    }
+
+    /// Trace of a square matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> C64 {
+        assert!(self.is_square(), "trace requires a square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Matrix-vector product `A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[C64]) -> Vec<C64> {
+        assert_eq!(x.len(), self.cols, "vector length must match columns");
+        let mut y = vec![C64::ZERO; self.rows];
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let mut acc = C64::ZERO;
+            for (a, b) in row.iter().zip(x.iter()) {
+                acc = a.mul_add(*b, acc);
+            }
+            y[i] = acc;
+        }
+        y
+    }
+
+    /// Kronecker (tensor) product `self ⊗ other`.
+    ///
+    /// Ordering convention: the left factor owns the most-significant block
+    /// index, matching the usual `|a⟩ ⊗ |b⟩` composite-index layout.
+    pub fn kron(&self, other: &CMatrix) -> CMatrix {
+        let mut out = CMatrix::zeros(self.rows * other.rows, self.cols * other.cols);
+        for i1 in 0..self.rows {
+            for j1 in 0..self.cols {
+                let a = self[(i1, j1)];
+                if a == C64::ZERO {
+                    continue;
+                }
+                for i2 in 0..other.rows {
+                    for j2 in 0..other.cols {
+                        out[(i1 * other.rows + i2, j1 * other.cols + j2)] = a * other[(i2, j2)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Scales every entry by a complex factor.
+    pub fn scale(&self, k: C64) -> CMatrix {
+        let mut out = self.clone();
+        for z in &mut out.data {
+            *z *= k;
+        }
+        out
+    }
+
+    /// Frobenius norm `sqrt(Σ |a_ij|²)`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Largest absolute entry-wise difference to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &CMatrix) -> f64 {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (*a - *b).norm())
+            .fold(0.0, f64::max)
+    }
+
+    /// Tests `A†A = I` within entry-wise tolerance `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        let prod = &self.dagger() * self;
+        prod.max_abs_diff(&CMatrix::identity(self.rows)) <= tol
+    }
+
+    /// Tests `A = A†` within entry-wise tolerance `tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        self.is_square() && self.max_abs_diff(&self.dagger()) <= tol
+    }
+
+    /// Approximate equality within entry-wise tolerance `tol`.
+    pub fn approx_eq(&self, other: &CMatrix, tol: f64) -> bool {
+        (self.rows, self.cols) == (other.rows, other.cols) && self.max_abs_diff(other) <= tol
+    }
+
+    /// Approximate equality up to a global phase: finds the phase of the
+    /// largest entry of `self` relative to `other` and compares after
+    /// rotating. Useful for comparing circuit unitaries where a global phase
+    /// is physically meaningless.
+    pub fn approx_eq_up_to_phase(&self, other: &CMatrix, tol: f64) -> bool {
+        if (self.rows, self.cols) != (other.rows, other.cols) {
+            return false;
+        }
+        // Find the entry of `other` with the largest modulus to anchor the phase.
+        let (mut best, mut idx) = (0.0f64, 0usize);
+        for (k, z) in other.data.iter().enumerate() {
+            if z.norm() > best {
+                best = z.norm();
+                idx = k;
+            }
+        }
+        if best < tol {
+            return self.frobenius_norm() <= tol;
+        }
+        let phase = self.data[idx] / other.data[idx];
+        if (phase.norm() - 1.0).abs() > tol {
+            return false;
+        }
+        self.approx_eq(&other.scale(phase), tol)
+    }
+}
+
+impl Index<(usize, usize)> for CMatrix {
+    type Output = C64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &C64 {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut C64 {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add for &CMatrix {
+    type Output = CMatrix;
+    fn add(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(rhs.data.iter()) {
+            *a += *b;
+        }
+        out
+    }
+}
+
+impl Sub for &CMatrix {
+    type Output = CMatrix;
+    fn sub(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(rhs.data.iter()) {
+            *a -= *b;
+        }
+        out
+    }
+}
+
+impl Neg for &CMatrix {
+    type Output = CMatrix;
+    fn neg(self) -> CMatrix {
+        let mut out = self.clone();
+        for z in &mut out.data {
+            *z = -*z;
+        }
+        out
+    }
+}
+
+impl Mul for &CMatrix {
+    type Output = CMatrix;
+    fn mul(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "inner dimensions must agree for matrix product"
+        );
+        let mut out = CMatrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == C64::ZERO {
+                    continue;
+                }
+                let rhs_row = rhs.row(k);
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, b) in out_row.iter_mut().zip(rhs_row.iter()) {
+                    *o = a.mul_add(*b, *o);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for CMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            write!(f, "[")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+/// A dense row-major real matrix, used by the orthogonal initializer.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl RMatrix {
+    /// Creates a matrix of zeros with the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be nonzero");
+        RMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = RMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols` or either dimension is zero.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be nonzero");
+        assert_eq!(data.len(), rows * cols, "buffer length must match shape");
+        RMatrix { rows, cols, data }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = RMatrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Flat row-major view of the entries.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Consumes the matrix, returning the flat row-major buffer.
+    #[inline]
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrow of row `i` as a contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index out of bounds");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> RMatrix {
+        RMatrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Largest absolute entry-wise difference to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &RMatrix) -> f64 {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Tests `AᵀA = I` within entry-wise tolerance `tol` (i.e. the columns
+    /// are orthonormal).
+    pub fn has_orthonormal_columns(&self, tol: f64) -> bool {
+        let gram = &self.transpose() * self;
+        gram.max_abs_diff(&RMatrix::identity(self.cols)) <= tol
+    }
+
+    /// Tests `AAᵀ = I` within entry-wise tolerance `tol` (i.e. the rows are
+    /// orthonormal).
+    pub fn has_orthonormal_rows(&self, tol: f64) -> bool {
+        let gram = self * &self.transpose();
+        gram.max_abs_diff(&RMatrix::identity(self.rows)) <= tol
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+}
+
+impl Index<(usize, usize)> for RMatrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for RMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Mul for &RMatrix {
+    type Output = RMatrix;
+    fn mul(self, rhs: &RMatrix) -> RMatrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "inner dimensions must agree for matrix product"
+        );
+        let mut out = RMatrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = rhs.row(k);
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, b) in out_row.iter_mut().zip(rhs_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for RMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            write!(f, "[")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:.6}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+
+    fn pauli_x() -> CMatrix {
+        CMatrix::from_rows(&[&[C64::ZERO, C64::ONE], &[C64::ONE, C64::ZERO]])
+    }
+
+    fn pauli_y() -> CMatrix {
+        CMatrix::from_rows(&[&[C64::ZERO, -C64::I], &[C64::I, C64::ZERO]])
+    }
+
+    fn pauli_z() -> CMatrix {
+        CMatrix::from_rows(&[&[C64::ONE, C64::ZERO], &[C64::ZERO, -C64::ONE]])
+    }
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let x = pauli_x();
+        let id = CMatrix::identity(2);
+        assert_eq!(&x * &id, x);
+        assert_eq!(&id * &x, x);
+    }
+
+    #[test]
+    fn pauli_algebra() {
+        // XY = iZ, YZ = iX, ZX = iY
+        let (x, y, z) = (pauli_x(), pauli_y(), pauli_z());
+        assert!((&x * &y).approx_eq(&z.scale(C64::I), 1e-12));
+        assert!((&y * &z).approx_eq(&x.scale(C64::I), 1e-12));
+        assert!((&z * &x).approx_eq(&y.scale(C64::I), 1e-12));
+    }
+
+    #[test]
+    fn paulis_are_unitary_and_hermitian() {
+        for m in [pauli_x(), pauli_y(), pauli_z()] {
+            assert!(m.is_unitary(1e-12));
+            assert!(m.is_hermitian(1e-12));
+            assert!(m.trace().approx_eq(C64::ZERO, 1e-12));
+        }
+    }
+
+    #[test]
+    fn dagger_reverses_products() {
+        let a = pauli_x();
+        let b = pauli_y();
+        let lhs = (&a * &b).dagger();
+        let rhs = &b.dagger() * &a.dagger();
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+
+    #[test]
+    fn kron_shape_and_values() {
+        let x = pauli_x();
+        let id = CMatrix::identity(2);
+        let xi = x.kron(&id);
+        assert_eq!(xi.rows(), 4);
+        assert_eq!(xi.cols(), 4);
+        // X ⊗ I flips the high bit: maps |00> -> |10>.
+        let v = xi.matvec(&[C64::ONE, C64::ZERO, C64::ZERO, C64::ZERO]);
+        assert!(v[2].approx_eq(C64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn kron_mixed_product_property() {
+        // (A⊗B)(C⊗D) = (AC)⊗(BD)
+        let a = pauli_x();
+        let b = pauli_y();
+        let c = pauli_z();
+        let d = CMatrix::identity(2);
+        let lhs = &a.kron(&b) * &c.kron(&d);
+        let rhs = (&a * &c).kron(&(&b * &d));
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+
+    #[test]
+    fn matvec_matches_mul() {
+        let a = pauli_y();
+        let v = [c64(0.6, 0.0), c64(0.0, 0.8)];
+        let got = a.matvec(&v);
+        // Y|v> = (-i*v1, i*v0)
+        assert!(got[0].approx_eq(c64(0.8, 0.0), 1e-12));
+        assert!(got[1].approx_eq(c64(0.0, 0.6), 1e-12));
+    }
+
+    #[test]
+    fn frobenius_norm_of_pauli_is_sqrt2() {
+        assert!((pauli_x().frobenius_norm() - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn approx_eq_up_to_phase_detects_global_phase() {
+        let x = pauli_x();
+        let phased = x.scale(C64::cis(0.37));
+        assert!(phased.approx_eq_up_to_phase(&x, 1e-12));
+        assert!(!phased.approx_eq(&x, 1e-6));
+        assert!(!pauli_z().approx_eq_up_to_phase(&x, 1e-6));
+    }
+
+    #[test]
+    fn add_sub_neg() {
+        let x = pauli_x();
+        let z = pauli_z();
+        let s = &x + &z;
+        assert!((&s - &z).approx_eq(&x, 1e-12));
+        assert!((&-&x + &x).approx_eq(&CMatrix::zeros(2, 2), 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn mismatched_mul_panics() {
+        let a = CMatrix::zeros(2, 3);
+        let b = CMatrix::zeros(2, 3);
+        let _ = &a * &b;
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn out_of_bounds_index_panics() {
+        let a = CMatrix::zeros(2, 2);
+        let _ = a[(2, 0)];
+    }
+
+    #[test]
+    fn rmatrix_identity_orthonormal() {
+        let id = RMatrix::identity(4);
+        assert!(id.has_orthonormal_columns(1e-12));
+        assert!(id.has_orthonormal_rows(1e-12));
+    }
+
+    #[test]
+    fn rmatrix_rotation_is_orthogonal() {
+        let t: f64 = 0.83;
+        let r = RMatrix::from_vec(2, 2, vec![t.cos(), -t.sin(), t.sin(), t.cos()]);
+        assert!(r.has_orthonormal_columns(1e-12));
+        assert!(r.has_orthonormal_rows(1e-12));
+    }
+
+    #[test]
+    fn rmatrix_transpose_involution() {
+        let m = RMatrix::from_fn(3, 5, |i, j| (i * 7 + j) as f64);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn rmatrix_mul_known_values() {
+        let a = RMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = RMatrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = &a * &b;
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+}

@@ -1,0 +1,243 @@
+//! Householder QR decomposition of real matrices.
+//!
+//! The orthogonal parameter initializer ([Hu, Xiao & Pennington 2020] as
+//! cited by the paper) draws a Gaussian matrix and orthogonalizes it. The
+//! textbook way to do this — and the way `numpy.linalg.qr`-based
+//! initializers do it — is a Householder QR followed by a sign fix that
+//! makes the diagonal of `R` non-negative, which renders `Q` unique and
+//! (for a Gaussian input) Haar-distributed on the orthogonal group.
+//!
+//! # Examples
+//!
+//! ```
+//! use plateau_linalg::{qr_decompose, RMatrix};
+//!
+//! let a = RMatrix::from_vec(3, 3, vec![2.0, -1.0, 0.5, 1.0, 3.0, -2.0, 0.0, 1.0, 1.0]);
+//! let qr = qr_decompose(&a);
+//! assert!(qr.q.has_orthonormal_columns(1e-10));
+//! let recon = &qr.q * &qr.r;
+//! assert!(recon.max_abs_diff(&a) < 1e-10);
+//! ```
+
+use crate::matrix::RMatrix;
+
+/// Result of a QR decomposition: `A = Q R` with `Q` column-orthonormal
+/// (`m × k`, `k = min(m, n)`) and `R` upper-triangular (`k × n`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QrDecomposition {
+    /// Column-orthonormal factor.
+    pub q: RMatrix,
+    /// Upper-triangular factor.
+    pub r: RMatrix,
+}
+
+/// Computes the reduced (thin) QR decomposition of `a` via Householder
+/// reflections.
+///
+/// Returns `Q` of shape `m × k` and `R` of shape `k × n` where
+/// `k = min(m, n)`, with `A = Q R` and `QᵀQ = I`.
+pub fn qr_decompose(a: &RMatrix) -> QrDecomposition {
+    let m = a.rows();
+    let n = a.cols();
+    let k = m.min(n);
+
+    // Working copy that accumulates R in-place.
+    let mut r = a.clone();
+    // Householder vectors, one per reflection, stored densely for the
+    // back-accumulation of Q.
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(k);
+
+    for j in 0..k {
+        // Build the Householder vector for column j, rows j..m.
+        let mut v = vec![0.0; m - j];
+        let mut norm_sq = 0.0;
+        for i in j..m {
+            v[i - j] = r[(i, j)];
+            norm_sq += r[(i, j)] * r[(i, j)];
+        }
+        let norm = norm_sq.sqrt();
+        if norm > 0.0 {
+            // Choose the sign that avoids cancellation.
+            let alpha = if v[0] >= 0.0 { -norm } else { norm };
+            v[0] -= alpha;
+            let v_norm_sq: f64 = v.iter().map(|x| x * x).sum();
+            if v_norm_sq > 1e-300 {
+                // Apply H = I - 2 v vᵀ / (vᵀv) to the trailing block of R.
+                for col in j..n {
+                    let mut dot = 0.0;
+                    for i in j..m {
+                        dot += v[i - j] * r[(i, col)];
+                    }
+                    let s = 2.0 * dot / v_norm_sq;
+                    for i in j..m {
+                        r[(i, col)] -= s * v[i - j];
+                    }
+                }
+            }
+        }
+        vs.push(v);
+    }
+
+    // Accumulate Q by applying the reflections to the first k columns of the
+    // m×m identity, in reverse order: Q = H_0 H_1 … H_{k-1} [e_0 … e_{k-1}].
+    let mut q = RMatrix::zeros(m, k);
+    for j in 0..k {
+        q[(j, j)] = 1.0;
+    }
+    for j in (0..k).rev() {
+        let v = &vs[j];
+        let v_norm_sq: f64 = v.iter().map(|x| x * x).sum();
+        if v_norm_sq <= 1e-300 {
+            continue;
+        }
+        for col in 0..k {
+            let mut dot = 0.0;
+            for i in j..m {
+                dot += v[i - j] * q[(i, col)];
+            }
+            let s = 2.0 * dot / v_norm_sq;
+            for i in j..m {
+                q[(i, col)] -= s * v[i - j];
+            }
+        }
+    }
+
+    // Zero the strictly-lower part of R (numerically tiny but not exactly 0)
+    // and truncate to k × n.
+    let mut r_out = RMatrix::zeros(k, n);
+    for i in 0..k {
+        for j in i..n {
+            r_out[(i, j)] = r[(i, j)];
+        }
+    }
+
+    QrDecomposition { q, r: r_out }
+}
+
+/// Computes a sign-fixed QR decomposition: the diagonal of `R` is made
+/// non-negative by flipping the signs of the corresponding columns of `Q`
+/// (and rows of `R`).
+///
+/// With a standard-Gaussian input matrix this makes `Q` exactly
+/// Haar-distributed (Mezzadri, *How to generate random matrices from the
+/// classical compact groups*), which is the property the orthogonal
+/// initializer relies on.
+pub fn qr_decompose_signfixed(a: &RMatrix) -> QrDecomposition {
+    let mut qr = qr_decompose(a);
+    let k = qr.r.rows();
+    let n = qr.r.cols();
+    let m = qr.q.rows();
+    for j in 0..k.min(n) {
+        if qr.r[(j, j)] < 0.0 {
+            for col in j..n {
+                qr.r[(j, col)] = -qr.r[(j, col)];
+            }
+            for row in 0..m {
+                qr.q[(row, j)] = -qr.q[(row, j)];
+            }
+        }
+    }
+    qr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> RMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        RMatrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+    }
+
+    fn check_qr(a: &RMatrix, tol: f64) {
+        let qr = qr_decompose(a);
+        let k = a.rows().min(a.cols());
+        assert_eq!(qr.q.rows(), a.rows());
+        assert_eq!(qr.q.cols(), k);
+        assert_eq!(qr.r.rows(), k);
+        assert_eq!(qr.r.cols(), a.cols());
+        assert!(qr.q.has_orthonormal_columns(tol), "Q not orthonormal");
+        // R upper triangular by construction.
+        for i in 0..k {
+            for j in 0..i.min(a.cols()) {
+                assert_eq!(qr.r[(i, j)], 0.0);
+            }
+        }
+        let recon = &qr.q * &qr.r;
+        assert!(
+            recon.max_abs_diff(a) < tol,
+            "QR does not reconstruct A (err {})",
+            recon.max_abs_diff(a)
+        );
+    }
+
+    #[test]
+    fn square_random_matrices() {
+        for seed in 0..10 {
+            check_qr(&random_matrix(5, 5, seed), 1e-10);
+        }
+    }
+
+    #[test]
+    fn tall_matrices() {
+        for seed in 0..5 {
+            check_qr(&random_matrix(8, 3, seed), 1e-10);
+        }
+    }
+
+    #[test]
+    fn wide_matrices() {
+        for seed in 0..5 {
+            check_qr(&random_matrix(3, 8, seed), 1e-10);
+        }
+    }
+
+    #[test]
+    fn identity_decomposes_to_itself() {
+        let id = RMatrix::identity(4);
+        let qr = qr_decompose_signfixed(&id);
+        assert!(qr.q.max_abs_diff(&id) < 1e-12);
+        assert!(qr.r.max_abs_diff(&id) < 1e-12);
+    }
+
+    #[test]
+    fn signfix_makes_diagonal_nonnegative() {
+        for seed in 0..10 {
+            let a = random_matrix(6, 6, seed + 100);
+            let qr = qr_decompose_signfixed(&a);
+            for j in 0..6 {
+                assert!(qr.r[(j, j)] >= 0.0, "R diagonal negative at {j}");
+            }
+            assert!(qr.q.has_orthonormal_columns(1e-10));
+            let recon = &qr.q * &qr.r;
+            assert!(recon.max_abs_diff(&a) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn handles_rank_deficient_matrix() {
+        // Two identical columns.
+        let a = RMatrix::from_vec(3, 2, vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0]);
+        let qr = qr_decompose(&a);
+        let recon = &qr.q * &qr.r;
+        assert!(recon.max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn handles_zero_matrix() {
+        let a = RMatrix::zeros(3, 3);
+        let qr = qr_decompose(&a);
+        let recon = &qr.q * &qr.r;
+        assert!(recon.max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn square_q_is_fully_orthogonal() {
+        let a = random_matrix(7, 7, 42);
+        let qr = qr_decompose_signfixed(&a);
+        assert!(qr.q.has_orthonormal_rows(1e-10));
+        assert!(qr.q.has_orthonormal_columns(1e-10));
+    }
+}

@@ -1,0 +1,171 @@
+//! Linear-system solving for small dense real matrices, via the existing
+//! Householder QR: `Ax = b` → `x = R⁻¹ Qᵀ b`.
+//!
+//! Used by the quantum-natural-gradient optimizer to solve
+//! `(G + λI) δ = ∇C` for the metric-preconditioned step.
+//!
+//! # Examples
+//!
+//! ```
+//! use plateau_linalg::{solve, RMatrix};
+//!
+//! let a = RMatrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 3.0]);
+//! let x = solve(&a, &[5.0, 10.0]).expect("well-conditioned");
+//! assert!((x[0] - 1.0).abs() < 1e-12);
+//! assert!((x[1] - 3.0).abs() < 1e-12);
+//! ```
+
+use crate::matrix::RMatrix;
+use crate::qr::qr_decompose;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a linear system cannot be solved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// The matrix is not square or `b` has the wrong length.
+    ShapeMismatch {
+        /// Matrix rows.
+        rows: usize,
+        /// Matrix columns.
+        cols: usize,
+        /// Right-hand-side length.
+        rhs: usize,
+    },
+    /// The matrix is (numerically) singular.
+    Singular {
+        /// The diagonal entry of `R` that vanished.
+        pivot: f64,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::ShapeMismatch { rows, cols, rhs } => {
+                write!(f, "cannot solve {rows}×{cols} system with rhs of length {rhs}")
+            }
+            SolveError::Singular { pivot } => {
+                write!(f, "matrix is numerically singular (pivot {pivot:.3e})")
+            }
+        }
+    }
+}
+
+impl Error for SolveError {}
+
+/// Solves the square system `A x = b` by QR factorization with back
+/// substitution.
+///
+/// # Errors
+///
+/// Returns [`SolveError::ShapeMismatch`] for non-square `A` or a
+/// wrong-length `b`, and [`SolveError::Singular`] when an `R` pivot
+/// underflows the conditioning threshold.
+pub fn solve(a: &RMatrix, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+    let n = a.rows();
+    if a.cols() != n || b.len() != n {
+        return Err(SolveError::ShapeMismatch {
+            rows: a.rows(),
+            cols: a.cols(),
+            rhs: b.len(),
+        });
+    }
+
+    let qr = qr_decompose(a);
+    // y = Qᵀ b
+    let mut y = vec![0.0; n];
+    for j in 0..n {
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += qr.q[(i, j)] * b[i];
+        }
+        y[j] = acc;
+    }
+    // Back substitution on R x = y.
+    let scale = a.frobenius_norm().max(1.0);
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut acc = y[i];
+        for j in (i + 1)..n {
+            acc -= qr.r[(i, j)] * x[j];
+        }
+        let pivot = qr.r[(i, i)];
+        if pivot.abs() < 1e-13 * scale {
+            return Err(SolveError::Singular { pivot });
+        }
+        x[i] = acc / pivot;
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn identity_system() {
+        let a = RMatrix::identity(3);
+        let x = solve(&a, &[1.0, -2.0, 0.5]).unwrap();
+        assert_eq!(x, vec![1.0, -2.0, 0.5]);
+    }
+
+    #[test]
+    fn known_2x2() {
+        let a = RMatrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 3.0]);
+        let x = solve(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_systems_round_trip() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for n in [3usize, 5, 8] {
+            // Diagonally-dominant → well conditioned.
+            let a = RMatrix::from_fn(n, n, |i, j| {
+                if i == j {
+                    n as f64 + rng.gen_range(0.0..1.0)
+                } else {
+                    rng.gen_range(-1.0..1.0)
+                }
+            });
+            let x_true: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let b: Vec<f64> = (0..n)
+                .map(|i| (0..n).map(|j| a[(i, j)] * x_true[j]).sum())
+                .collect();
+            let x = solve(&a, &b).unwrap();
+            for (got, want) in x.iter().zip(x_true.iter()) {
+                assert!((got - want).abs() < 1e-9, "n={n}: {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let a = RMatrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert!(matches!(
+            solve(&a, &[1.0, 2.0]).unwrap_err(),
+            SolveError::Singular { .. }
+        ));
+    }
+
+    #[test]
+    fn shape_mismatch_is_detected() {
+        let a = RMatrix::zeros(2, 3);
+        assert!(matches!(
+            solve(&a, &[1.0, 2.0]).unwrap_err(),
+            SolveError::ShapeMismatch { .. }
+        ));
+        let sq = RMatrix::identity(2);
+        assert!(solve(&sq, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = SolveError::Singular { pivot: 1e-20 };
+        assert!(e.to_string().contains("singular"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Synthetic two-class datasets for the variational classifier.
+//!
+//! Two standard shapes, both 2-D and scaled into `[−1, 1]²` so they feed
+//! directly into angle encoding:
+//!
+//! - [`two_moons`]: the interleaved half-circles benchmark (not linearly
+//!   separable).
+//! - [`gaussian_blobs`]: two isotropic clusters (linearly separable —
+//!   the sanity-check dataset).
+//!
+//! # Examples
+//!
+//! ```
+//! use plateau_qml::dataset::two_moons;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let data = two_moons(100, 0.05, &mut rng);
+//! assert_eq!(data.len(), 100);
+//! assert!(data.iter().all(|s| s.features.iter().all(|x| x.abs() <= 1.0)));
+//! ```
+
+use rand::Rng;
+use std::f64::consts::PI;
+
+/// One labelled sample: a feature vector and a binary label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Feature values, each in `[−1, 1]`.
+    pub features: Vec<f64>,
+    /// Class label.
+    pub label: bool,
+}
+
+fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    // Box–Muller; cheap and fine for dataset jitter.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * PI * u2).cos()
+}
+
+/// Generates the interleaved two-moons dataset with Gaussian `noise`
+/// (standard deviation in raw units), scaled into `[−1, 1]²`.
+pub fn two_moons<R: Rng>(n_samples: usize, noise: f64, rng: &mut R) -> Vec<Sample> {
+    let mut out = Vec::with_capacity(n_samples);
+    for i in 0..n_samples {
+        let label = i % 2 == 0;
+        let t = rng.gen::<f64>() * PI;
+        // Upper moon centred at (0, 0); lower moon shifted to interleave.
+        let (mut x, mut y) = if label {
+            (t.cos(), t.sin())
+        } else {
+            (1.0 - t.cos(), 0.5 - t.sin())
+        };
+        x += noise * gaussian(rng);
+        y += noise * gaussian(rng);
+        // Raw ranges: x ∈ [−1, 2], y ∈ [−0.5, 1]; affine-map into [−1, 1].
+        let fx = (x - 0.5) / 1.5;
+        let fy = (y - 0.25) / 0.75;
+        out.push(Sample {
+            features: vec![fx.clamp(-1.0, 1.0), fy.clamp(-1.0, 1.0)],
+            label,
+        });
+    }
+    out
+}
+
+/// Generates two isotropic Gaussian blobs centred at `(∓0.5, ∓0.5)` with
+/// the given standard deviation, clipped into `[−1, 1]²`.
+pub fn gaussian_blobs<R: Rng>(n_samples: usize, std: f64, rng: &mut R) -> Vec<Sample> {
+    let mut out = Vec::with_capacity(n_samples);
+    for i in 0..n_samples {
+        let label = i % 2 == 0;
+        let centre = if label { 0.5 } else { -0.5 };
+        let x = (centre + std * gaussian(rng)).clamp(-1.0, 1.0);
+        let y = (centre + std * gaussian(rng)).clamp(-1.0, 1.0);
+        out.push(Sample {
+            features: vec![x, y],
+            label,
+        });
+    }
+    out
+}
+
+/// Splits a dataset into `(train, test)` with the first
+/// `⌈ratio·len⌉` samples in train (callers shuffle via their RNG-seeded
+/// generation order; generation already interleaves classes).
+///
+/// # Panics
+///
+/// Panics unless `0 < ratio < 1`.
+pub fn train_test_split(data: Vec<Sample>, ratio: f64) -> (Vec<Sample>, Vec<Sample>) {
+    assert!(ratio > 0.0 && ratio < 1.0, "ratio must be in (0, 1)");
+    let cut = ((data.len() as f64) * ratio).ceil() as usize;
+    let mut train = data;
+    let test = train.split_off(cut.min(train.len()));
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moons_are_balanced_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = two_moons(200, 0.05, &mut rng);
+        assert_eq!(data.len(), 200);
+        let positives = data.iter().filter(|s| s.label).count();
+        assert_eq!(positives, 100);
+        for s in &data {
+            assert_eq!(s.features.len(), 2);
+            assert!(s.features.iter().all(|x| x.abs() <= 1.0));
+        }
+    }
+
+    #[test]
+    fn blobs_are_roughly_separable() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = gaussian_blobs(400, 0.15, &mut rng);
+        // The diagonal rule x + y > 0 should classify almost everything.
+        let correct = data
+            .iter()
+            .filter(|s| (s.features[0] + s.features[1] > 0.0) == s.label)
+            .count();
+        assert!(correct > 380, "separable check failed: {correct}/400");
+    }
+
+    #[test]
+    fn moons_are_not_linearly_separable_by_the_diagonal() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = two_moons(400, 0.02, &mut rng);
+        let correct = data
+            .iter()
+            .filter(|s| (s.features[0] + s.features[1] > 0.0) == s.label)
+            .count();
+        let accuracy = correct as f64 / 400.0;
+        assert!(
+            (0.2..0.95).contains(&accuracy),
+            "moons should defeat a fixed linear rule: {accuracy}"
+        );
+    }
+
+    #[test]
+    fn split_respects_ratio() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let data = two_moons(100, 0.05, &mut rng);
+        let (train, test) = train_test_split(data, 0.8);
+        assert_eq!(train.len(), 80);
+        assert_eq!(test.len(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio")]
+    fn split_rejects_bad_ratio() {
+        let _ = train_test_split(vec![], 1.5);
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let a = two_moons(50, 0.1, &mut StdRng::seed_from_u64(9));
+        let b = two_moons(50, 0.1, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

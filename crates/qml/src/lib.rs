@@ -1,0 +1,39 @@
+//! # plateau-qml
+//!
+//! The "quantum machine learning" of the paper's title as a working
+//! pipeline: a data re-uploading variational classifier over the plateau
+//! stack, with synthetic datasets and exact adjoint training — the third
+//! application domain (after identity learning and VQE) for the
+//! initialization study.
+//!
+//! - [`dataset`]: two-moons and Gaussian-blob generators plus a
+//!   train/test split.
+//! - [`classifier`]: the re-uploading architecture, masked-gradient
+//!   training, and accuracy evaluation.
+//!
+//! # Examples
+//!
+//! ```
+//! use plateau_core::init::{FanMode, InitStrategy};
+//! use plateau_core::optim::Adam;
+//! use plateau_qml::{classifier::Classifier, dataset::gaussian_blobs};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let data = gaussian_blobs(40, 0.15, &mut rng);
+//! let model = Classifier::new(2, 2, 2)?;
+//! let w0 = model.init_weights(InitStrategy::XavierNormal, FanMode::TensorShape, &mut rng)?;
+//! let mut adam = Adam::new(0.1)?;
+//! let fit = model.fit(w0, &data, &mut adam, 30)?;
+//! assert!(fit.losses.last().unwrap() < &fit.losses[0]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classifier;
+pub mod dataset;
+
+pub use classifier::{Classifier, FitResult};
+pub use dataset::{gaussian_blobs, train_test_split, two_moons, Sample};

@@ -1,0 +1,275 @@
+//! Text-mode circuit diagrams.
+//!
+//! Renders a [`Circuit`] as per-qubit wire lines with greedy column
+//! packing (ops sharing no qubits share a column). Free parameters render
+//! as `θ<i>`, bound angles as numbers — handy for debugging ansatz
+//! builders and for README-grade documentation of circuits.
+//!
+//! # Examples
+//!
+//! ```
+//! use plateau_sim::{diagram::draw, Circuit};
+//!
+//! let mut c = Circuit::new(2)?;
+//! c.h(0)?.rx(1)?.cz(0, 1)?;
+//! let art = draw(&c);
+//! assert!(art.contains("q0:"));
+//! assert!(art.contains("RX(θ0)"));
+//! # Ok::<(), plateau_sim::SimError>(())
+//! ```
+
+use crate::circuit::{Circuit, Op, Param};
+
+/// Cells an op draws (`(qubit, text)` pairs) plus the wire span its
+/// vertical connector crosses.
+type OpCells = (Vec<(usize, String)>, Option<(usize, usize)>);
+
+fn param_label(p: Param) -> String {
+    match p {
+        Param::Free(i) => format!("θ{i}"),
+        Param::Bound(v) => {
+            if (v - v.round()).abs() < 1e-9 {
+                format!("{}", v.round())
+            } else {
+                format!("{v:.2}")
+            }
+        }
+    }
+}
+
+/// The cells one op occupies: `(qubit, text)` plus the span of qubits its
+/// vertical connector must cross.
+fn op_cells(op: &Op) -> OpCells {
+    match op {
+        Op::Fixed { gate, qubits } => match qubits.as_slice() {
+            [q] => (vec![(*q, gate.to_string())], None),
+            [a, b] => {
+                use crate::gate::FixedGate;
+                let (la, lb) = match gate {
+                    FixedGate::Cz => ("●".to_string(), "●".to_string()),
+                    FixedGate::Cx => ("●".to_string(), "⊕".to_string()),
+                    FixedGate::Cy => ("●".to_string(), "Y".to_string()),
+                    FixedGate::Swap => ("✕".to_string(), "✕".to_string()),
+                    other => (other.to_string(), other.to_string()),
+                };
+                (
+                    vec![(*a, la), (*b, lb)],
+                    Some((*a.min(b), *a.max(b))),
+                )
+            }
+            _ => unreachable!("fixed gates are 1- or 2-qubit"),
+        },
+        Op::Rotation { gate, qubit, param } => (
+            vec![(*qubit, format!("{gate}({})", param_label(*param)))],
+            None,
+        ),
+        Op::ControlledRotation {
+            gate,
+            control,
+            target,
+            param,
+        } => (
+            vec![
+                (*control, "●".to_string()),
+                (*target, format!("{gate}({})", param_label(*param))),
+            ],
+            Some((*control.min(target), *control.max(target))),
+        ),
+        Op::TwoQubitRotation {
+            gate,
+            first,
+            second,
+            param,
+        } => {
+            let label = format!("{gate}({})", param_label(*param));
+            (
+                vec![(*first, label.clone()), (*second, label)],
+                Some((*first.min(second), *first.max(second))),
+            )
+        }
+    }
+}
+
+/// Renders the circuit as multi-line text, one wire per qubit
+/// (`q0` topmost).
+pub fn draw(circuit: &Circuit) -> String {
+    let n = circuit.n_qubits();
+    // Greedy packing: each column is a set of ops whose qubit spans
+    // (including connector ranges) are disjoint.
+    let mut columns: Vec<Vec<OpCells>> = Vec::new();
+    let mut col_occupied: Vec<Vec<bool>> = Vec::new();
+
+    for op in circuit.ops() {
+        let (cells, span) = op_cells(op);
+        let (lo, hi) = span.unwrap_or_else(|| {
+            let q = cells[0].0;
+            (q, q)
+        });
+        // Find the first column from the end backwards that is free; ops
+        // must not hop over occupied wires in earlier columns.
+        let mut target = columns.len();
+        while target > 0 {
+            let occ = &col_occupied[target - 1];
+            if (lo..=hi).any(|q| occ[q]) {
+                break;
+            }
+            target -= 1;
+        }
+        if target == columns.len() {
+            columns.push(Vec::new());
+            col_occupied.push(vec![false; n]);
+        }
+        for q in lo..=hi {
+            col_occupied[target][q] = true;
+        }
+        columns[target].push((cells, span));
+    }
+
+    // Build the text grid: per column, compute its width and each wire's
+    // cell content plus connector info.
+    let mut lines: Vec<String> = (0..n).map(|q| format!("q{q}: ")).collect();
+    let prefix_width = lines.iter().map(|l| l.chars().count()).max().unwrap_or(0);
+    for line in &mut lines {
+        while line.chars().count() < prefix_width {
+            line.push(' ');
+        }
+    }
+
+    for column in &columns {
+        let mut cell: Vec<Option<String>> = vec![None; n];
+        let mut connected: Vec<bool> = vec![false; n];
+        for (cells, span) in column {
+            for (q, text) in cells {
+                cell[*q] = Some(text.clone());
+            }
+            if let Some((lo, hi)) = span {
+                for q in *lo..=*hi {
+                    connected[q] = true;
+                }
+            }
+        }
+        let width = cell
+            .iter()
+            .flatten()
+            .map(|s| s.chars().count())
+            .max()
+            .unwrap_or(1)
+            + 2;
+        for q in 0..n {
+            let body = match &cell[q] {
+                Some(text) => {
+                    let pad = width - 1 - text.chars().count();
+                    format!("─{}{}", text, "─".repeat(pad))
+                }
+                None if connected[q] => {
+                    let half = (width - 1) / 2;
+                    format!("{}│{}", "─".repeat(half), "─".repeat(width - 1 - half))
+                }
+                None => "─".repeat(width),
+            };
+            lines[q].push_str(&body);
+        }
+    }
+
+    let mut out = String::new();
+    for line in lines {
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::{FixedGate, RotationGate};
+
+    #[test]
+    fn single_qubit_gates_render() {
+        let mut c = Circuit::new(1).unwrap();
+        c.h(0).unwrap().rx(0).unwrap();
+        c.push_rotation_const(RotationGate::Rz, 0, 1.5).unwrap();
+        let art = draw(&c);
+        assert!(art.contains("q0:"));
+        assert!(art.contains('H'));
+        assert!(art.contains("RX(θ0)"));
+        assert!(art.contains("RZ(1.50)"));
+    }
+
+    #[test]
+    fn cz_draws_controls_on_both_wires() {
+        let mut c = Circuit::new(2).unwrap();
+        c.cz(0, 1).unwrap();
+        let art = draw(&c);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(lines[0].contains('●'));
+        assert!(lines[1].contains('●'));
+    }
+
+    #[test]
+    fn cx_draws_control_and_target() {
+        let mut c = Circuit::new(2).unwrap();
+        c.cx(0, 1).unwrap();
+        let art = draw(&c);
+        assert!(art.contains('●'));
+        assert!(art.contains('⊕'));
+    }
+
+    #[test]
+    fn connector_crosses_intermediate_wires() {
+        let mut c = Circuit::new(3).unwrap();
+        c.cz(0, 2).unwrap();
+        let art = draw(&c);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(lines[1].contains('│'), "middle wire should show a connector:\n{art}");
+    }
+
+    #[test]
+    fn independent_ops_share_a_column() {
+        let mut c = Circuit::new(2).unwrap();
+        c.h(0).unwrap().h(1).unwrap();
+        let art = draw(&c);
+        let lines: Vec<&str> = art.lines().collect();
+        // Both H's at the same horizontal offset.
+        assert_eq!(lines[0].find('H'), lines[1].find('H'));
+    }
+
+    #[test]
+    fn dependent_ops_take_separate_columns() {
+        let mut c = Circuit::new(2).unwrap();
+        c.h(0).unwrap().cz(0, 1).unwrap().h(0).unwrap();
+        let art = draw(&c);
+        let line0: &str = art.lines().next().unwrap();
+        let first_h = line0.find('H').unwrap();
+        let last_h = line0.rfind('H').unwrap();
+        assert!(first_h < last_h, "H gates must be in different columns");
+    }
+
+    #[test]
+    fn swap_and_two_qubit_rotation_render() {
+        let mut c = Circuit::new(2).unwrap();
+        c.push_fixed(FixedGate::Swap, &[0, 1]).unwrap();
+        c.rzz(0, 1).unwrap();
+        let art = draw(&c);
+        assert!(art.contains('✕'));
+        assert!(art.contains("RZZ(θ0)"));
+    }
+
+    #[test]
+    fn paper_ansatz_layer_renders_cleanly() {
+        let mut c = Circuit::new(3).unwrap();
+        for q in 0..3 {
+            c.rx(q).unwrap();
+            c.ry(q).unwrap();
+        }
+        c.cz(0, 1).unwrap();
+        c.cz(1, 2).unwrap();
+        let art = draw(&c);
+        assert_eq!(art.lines().count(), 3);
+        for q in 0..3 {
+            assert!(art.contains(&format!("q{q}:")));
+        }
+        assert!(art.contains("RX(θ0)"));
+        assert!(art.contains("RY(θ5)"));
+    }
+}

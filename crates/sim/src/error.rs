@@ -1,0 +1,168 @@
+//! Error types for the simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by statevector operations, circuit construction, and
+/// execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A qubit operand was at or beyond the register size.
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: usize,
+        /// The register size.
+        n_qubits: usize,
+    },
+    /// The same qubit was used twice in one multi-qubit gate.
+    DuplicateQubits {
+        /// The repeated qubit index.
+        qubit: usize,
+    },
+    /// A gate received the wrong number of operand qubits.
+    WrongArity {
+        /// Gate name.
+        gate: String,
+        /// Arity the gate requires.
+        expected: usize,
+        /// Operand count supplied.
+        found: usize,
+    },
+    /// Vector or matrix dimensions don't match the state.
+    ///
+    /// `expected == 0` encodes "any power of two" for amplitude buffers.
+    DimensionMismatch {
+        /// Expected dimension (0 = any power of two).
+        expected: usize,
+        /// Dimension found.
+        found: usize,
+    },
+    /// An amplitude buffer was not L2-normalized.
+    NotNormalized {
+        /// The norm that was found.
+        norm: f64,
+    },
+    /// A parameter buffer didn't match the circuit's parameter count.
+    WrongParamCount {
+        /// Parameters the circuit declares.
+        expected: usize,
+        /// Parameters supplied.
+        found: usize,
+    },
+    /// A parameter index was out of range for the circuit.
+    ParamOutOfRange {
+        /// The offending parameter index.
+        index: usize,
+        /// The circuit's parameter count.
+        n_params: usize,
+    },
+    /// An observable was built over a different qubit count than the state
+    /// or circuit it was used with.
+    ObservableMismatch {
+        /// Qubits the observable covers.
+        observable_qubits: usize,
+        /// Qubits in the state/circuit.
+        state_qubits: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::QubitOutOfRange { qubit, n_qubits } => {
+                write!(f, "qubit {qubit} out of range for {n_qubits}-qubit register")
+            }
+            SimError::DuplicateQubits { qubit } => {
+                write!(f, "qubit {qubit} used more than once in one gate")
+            }
+            SimError::WrongArity {
+                gate,
+                expected,
+                found,
+            } => write!(f, "gate {gate} takes {expected} qubit(s), got {found}"),
+            SimError::DimensionMismatch { expected, found } => {
+                if *expected == 0 {
+                    write!(f, "dimension {found} is not a valid power of two")
+                } else {
+                    write!(f, "dimension mismatch: expected {expected}, found {found}")
+                }
+            }
+            SimError::NotNormalized { norm } => {
+                write!(f, "state is not normalized (norm {norm})")
+            }
+            SimError::WrongParamCount { expected, found } => {
+                write!(f, "circuit takes {expected} parameter(s), got {found}")
+            }
+            SimError::ParamOutOfRange { index, n_params } => {
+                write!(f, "parameter index {index} out of range for {n_params} parameter(s)")
+            }
+            SimError::ObservableMismatch {
+                observable_qubits,
+                state_qubits,
+            } => write!(
+                f,
+                "observable over {observable_qubits} qubit(s) used with {state_qubits}-qubit state"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(SimError, &str)> = vec![
+            (
+                SimError::QubitOutOfRange { qubit: 7, n_qubits: 4 },
+                "qubit 7",
+            ),
+            (SimError::DuplicateQubits { qubit: 2 }, "more than once"),
+            (
+                SimError::WrongArity {
+                    gate: "CZ".into(),
+                    expected: 2,
+                    found: 1,
+                },
+                "CZ",
+            ),
+            (
+                SimError::DimensionMismatch { expected: 4, found: 8 },
+                "expected 4",
+            ),
+            (
+                SimError::DimensionMismatch { expected: 0, found: 3 },
+                "power of two",
+            ),
+            (SimError::NotNormalized { norm: 2.0 }, "not normalized"),
+            (
+                SimError::WrongParamCount { expected: 3, found: 1 },
+                "3 parameter",
+            ),
+            (
+                SimError::ParamOutOfRange { index: 9, n_params: 4 },
+                "index 9",
+            ),
+            (
+                SimError::ObservableMismatch {
+                    observable_qubits: 2,
+                    state_qubits: 3,
+                },
+                "observable over 2",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "message {msg:?} missing {needle:?}");
+        }
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_error<E: Error + Send + Sync + 'static>(_e: E) {}
+        takes_error(SimError::DuplicateQubits { qubit: 0 });
+    }
+}

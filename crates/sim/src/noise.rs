@@ -1,0 +1,291 @@
+//! Pauli noise channels via Monte-Carlo trajectories.
+//!
+//! The paper's experiments are noiseless; real NISQ devices are not, and
+//! noise itself induces plateaus (noise-induced barren plateaus, Wang et
+//! al. 2021). This module adds a trajectory sampler: after every gate of a
+//! circuit, each operand qubit suffers an independent Pauli error with the
+//! channel's probabilities. Averaging expectation values over trajectories
+//! converges to the density-matrix channel result, without paying the
+//! `4^n` cost of a density-matrix simulator.
+//!
+//! # Examples
+//!
+//! ```
+//! use plateau_sim::{Circuit, NoiseModel, Observable};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut c = Circuit::new(2)?;
+//! c.rx(0)?.ry(1)?.cz(0, 1)?;
+//! let noise = NoiseModel::depolarizing(0.02)?;
+//! let obs = Observable::global_cost(2);
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let noisy = noise.expectation(&c, &[0.0, 0.0], &obs, 400, &mut rng)?;
+//! // Noise lifts the perfectly-solved cost strictly above zero.
+//! assert!(noisy > 0.0);
+//! # Ok::<(), plateau_sim::SimError>(())
+//! ```
+
+use crate::circuit::Circuit;
+use crate::error::SimError;
+use crate::observable::Observable;
+use crate::state::State;
+use rand::Rng;
+
+/// A single-qubit Pauli error channel applied after every gate to each of
+/// the gate's operand qubits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NoiseModel {
+    /// Probability of an X error.
+    pub p_x: f64,
+    /// Probability of a Y error.
+    pub p_y: f64,
+    /// Probability of a Z error.
+    pub p_z: f64,
+}
+
+impl NoiseModel {
+    /// A symmetric depolarizing channel of total strength `p`
+    /// (each Pauli with probability `p/3`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NotNormalized`] when `p ∉ [0, 1]`.
+    pub fn depolarizing(p: f64) -> Result<NoiseModel, SimError> {
+        NoiseModel::new(p / 3.0, p / 3.0, p / 3.0)
+    }
+
+    /// A pure bit-flip channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NotNormalized`] when `p ∉ [0, 1]`.
+    pub fn bit_flip(p: f64) -> Result<NoiseModel, SimError> {
+        NoiseModel::new(p, 0.0, 0.0)
+    }
+
+    /// A pure phase-flip (dephasing) channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NotNormalized`] when `p ∉ [0, 1]`.
+    pub fn phase_flip(p: f64) -> Result<NoiseModel, SimError> {
+        NoiseModel::new(0.0, 0.0, p)
+    }
+
+    /// A general Pauli channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NotNormalized`] when any probability is
+    /// negative or the total exceeds 1.
+    pub fn new(p_x: f64, p_y: f64, p_z: f64) -> Result<NoiseModel, SimError> {
+        let total = p_x + p_y + p_z;
+        let valid = p_x >= 0.0 && p_y >= 0.0 && p_z >= 0.0 && total <= 1.0 + 1e-12;
+        if !valid || !total.is_finite() {
+            return Err(SimError::NotNormalized { norm: total });
+        }
+        Ok(NoiseModel { p_x, p_y, p_z })
+    }
+
+    /// Total error probability per qubit per gate.
+    pub fn total_error_probability(&self) -> f64 {
+        self.p_x + self.p_y + self.p_z
+    }
+
+    /// Samples one Pauli error (or none) for a single qubit location.
+    fn sample_error<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<PauliError> {
+        let u: f64 = rng.gen();
+        if u < self.p_x {
+            Some(PauliError::X)
+        } else if u < self.p_x + self.p_y {
+            Some(PauliError::Y)
+        } else if u < self.p_x + self.p_y + self.p_z {
+            Some(PauliError::Z)
+        } else {
+            None
+        }
+    }
+
+    /// Runs one noisy trajectory: the circuit with random Pauli errors
+    /// injected after every gate on its operand qubits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter and operand validity errors.
+    pub fn run_trajectory<R: Rng + ?Sized>(
+        &self,
+        circuit: &Circuit,
+        params: &[f64],
+        rng: &mut R,
+    ) -> Result<State, SimError> {
+        circuit.check_params(params)?;
+        let mut state = State::zero(circuit.n_qubits());
+        for op in circuit.ops() {
+            op.apply(&mut state, params)?;
+            for q in op.qubits() {
+                if let Some(err) = self.sample_error(rng) {
+                    err.apply(&mut state, q)?;
+                }
+            }
+        }
+        Ok(state)
+    }
+
+    /// Trajectory-averaged expectation value over `trajectories` samples.
+    ///
+    /// Statistical error scales as `1/√trajectories`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::WrongParamCount`] for bad parameters and
+    /// [`SimError::ObservableMismatch`] for a mismatched observable;
+    /// `trajectories == 0` yields [`SimError::DimensionMismatch`].
+    pub fn expectation<R: Rng + ?Sized>(
+        &self,
+        circuit: &Circuit,
+        params: &[f64],
+        obs: &Observable,
+        trajectories: usize,
+        rng: &mut R,
+    ) -> Result<f64, SimError> {
+        if trajectories == 0 {
+            return Err(SimError::DimensionMismatch {
+                expected: 1,
+                found: 0,
+            });
+        }
+        let mut total = 0.0;
+        for _ in 0..trajectories {
+            let state = self.run_trajectory(circuit, params, rng)?;
+            total += obs.expectation(&state)?;
+        }
+        Ok(total / trajectories as f64)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum PauliError {
+    X,
+    Y,
+    Z,
+}
+
+impl PauliError {
+    fn apply(self, state: &mut State, qubit: usize) -> Result<(), SimError> {
+        match self {
+            PauliError::X => state.apply_fixed(crate::gate::FixedGate::X, &[qubit]),
+            PauliError::Y => state.apply_fixed(crate::gate::FixedGate::Y, &[qubit]),
+            PauliError::Z => state.apply_fixed(crate::gate::FixedGate::Z, &[qubit]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn trivial_circuit(n: usize) -> Circuit {
+        let mut c = Circuit::new(n).unwrap();
+        for q in 0..n {
+            c.rx(q).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert!(NoiseModel::depolarizing(0.1).is_ok());
+        assert!(NoiseModel::depolarizing(-0.1).is_err());
+        assert!(NoiseModel::new(0.5, 0.4, 0.3).is_err());
+        assert!(NoiseModel::new(f64::NAN, 0.0, 0.0).is_err());
+        assert!(NoiseModel::bit_flip(1.0).is_ok());
+        assert_eq!(
+            NoiseModel::phase_flip(0.25).unwrap().total_error_probability(),
+            0.25
+        );
+    }
+
+    #[test]
+    fn zero_noise_is_exact() {
+        let c = trivial_circuit(2);
+        let noise = NoiseModel::depolarizing(0.0).unwrap();
+        let obs = Observable::global_cost(2);
+        let params = [0.4, 0.9];
+        let mut rng = StdRng::seed_from_u64(0);
+        let noisy = noise.expectation(&c, &params, &obs, 10, &mut rng).unwrap();
+        let exact = obs.expectation(&c.run(&params).unwrap()).unwrap();
+        assert!((noisy - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bit_flip_on_identity_circuit_analytic() {
+        // One RX(0) gate on |0⟩ at θ=0, bit-flip prob p after it:
+        // cost = 1 − p0 = p exactly.
+        let mut c = Circuit::new(1).unwrap();
+        c.rx(0).unwrap();
+        let p = 0.3;
+        let noise = NoiseModel::bit_flip(p).unwrap();
+        let obs = Observable::global_cost(1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let noisy = noise.expectation(&c, &[0.0], &obs, 40_000, &mut rng).unwrap();
+        assert!((noisy - p).abs() < 0.01, "measured {noisy}, expected {p}");
+    }
+
+    #[test]
+    fn phase_flip_does_not_disturb_computational_basis() {
+        // Z errors are invisible to diagonal observables on basis states.
+        let mut c = Circuit::new(2).unwrap();
+        c.rx(0).unwrap().rx(1).unwrap();
+        let noise = NoiseModel::phase_flip(0.5).unwrap();
+        let obs = Observable::global_cost(2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let noisy = noise
+            .expectation(&c, &[0.0, 0.0], &obs, 500, &mut rng)
+            .unwrap();
+        assert!(noisy.abs() < 1e-12);
+    }
+
+    #[test]
+    fn depolarizing_noise_degrades_solution() {
+        // A solved identity circuit picks up cost proportional to noise.
+        let c = trivial_circuit(3);
+        let obs = Observable::global_cost(3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let weak = NoiseModel::depolarizing(0.01)
+            .unwrap()
+            .expectation(&c, &[0.0; 3], &obs, 4000, &mut rng)
+            .unwrap();
+        let strong = NoiseModel::depolarizing(0.2)
+            .unwrap()
+            .expectation(&c, &[0.0; 3], &obs, 4000, &mut rng)
+            .unwrap();
+        assert!(weak > 0.0);
+        assert!(strong > weak);
+    }
+
+    #[test]
+    fn trajectories_preserve_normalization() {
+        let c = trivial_circuit(3);
+        let noise = NoiseModel::depolarizing(0.3).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..20 {
+            let s = noise.run_trajectory(&c, &[0.1, 0.2, 0.3], &mut rng).unwrap();
+            assert!((s.norm() - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn error_paths() {
+        let c = trivial_circuit(1);
+        let noise = NoiseModel::depolarizing(0.1).unwrap();
+        let obs = Observable::global_cost(1);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(noise.expectation(&c, &[], &obs, 10, &mut rng).is_err());
+        assert!(noise.expectation(&c, &[0.1], &obs, 0, &mut rng).is_err());
+        let wrong_obs = Observable::global_cost(2);
+        assert!(noise.expectation(&c, &[0.1], &wrong_obs, 10, &mut rng).is_err());
+    }
+}

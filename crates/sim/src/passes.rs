@@ -1,0 +1,279 @@
+//! Circuit simplification passes.
+//!
+//! Deep HEA circuits accumulate trivially removable structure — adjacent
+//! self-inverse entanglers, zero-angle rotations, mergeable same-axis
+//! rotations. These passes shrink gate count without changing semantics,
+//! which matters both for simulation throughput (the variance harness runs
+//! hundreds of thousands of circuit executions) and as a correctness
+//! exercise: every pass carries a property test that the full unitary is
+//! preserved.
+//!
+//! Free (trainable) parameters are never merged or dropped — passes only
+//! touch gates whose angles are bound constants, so a simplified circuit
+//! keeps exactly the same trainable-parameter indices.
+//!
+//! # Examples
+//!
+//! ```
+//! use plateau_sim::{passes::simplify, Circuit, RotationGate};
+//!
+//! let mut c = Circuit::new(2)?;
+//! c.cz(0, 1)?.cz(0, 1)?; // cancels
+//! c.push_rotation_const(RotationGate::Rx, 0, 0.3)?;
+//! c.push_rotation_const(RotationGate::Rx, 0, 0.4)?; // merges
+//! c.push_rotation_const(RotationGate::Ry, 1, 0.0)?; // drops
+//! let simplified = simplify(&c);
+//! assert_eq!(simplified.gate_count(), 1);
+//! # Ok::<(), plateau_sim::SimError>(())
+//! ```
+
+use crate::circuit::{Circuit, Op, Param};
+
+/// Returns `true` when the op is a bound rotation with angle exactly zero
+/// (identity gate).
+fn is_zero_rotation(op: &Op) -> bool {
+    match op {
+        Op::Rotation {
+            param: Param::Bound(a),
+            ..
+        }
+        | Op::ControlledRotation {
+            param: Param::Bound(a),
+            ..
+        }
+        | Op::TwoQubitRotation {
+            param: Param::Bound(a),
+            ..
+        } => *a == 0.0,
+        _ => false,
+    }
+}
+
+/// Attempts to merge two adjacent ops into one (or into nothing).
+/// Returns `Some(replacement)` when the pair can be replaced by
+/// `replacement` ops.
+fn merge_pair(a: &Op, b: &Op) -> Option<Vec<Op>> {
+    match (a, b) {
+        // Adjacent identical self-inverse fixed gates cancel.
+        (
+            Op::Fixed { gate: g1, qubits: q1 },
+            Op::Fixed { gate: g2, qubits: q2 },
+        ) if g1 == g2 && q1 == q2 && g1.is_self_inverse() => Some(vec![]),
+        // Same-axis bound rotations on the same qubit add their angles.
+        (
+            Op::Rotation {
+                gate: g1,
+                qubit: t1,
+                param: Param::Bound(a1),
+            },
+            Op::Rotation {
+                gate: g2,
+                qubit: t2,
+                param: Param::Bound(a2),
+            },
+        ) if g1 == g2 && t1 == t2 => Some(vec![Op::Rotation {
+            gate: *g1,
+            qubit: *t1,
+            param: Param::Bound(a1 + a2),
+        }]),
+        // Same-axis bound two-qubit rotations on the same pair add.
+        (
+            Op::TwoQubitRotation {
+                gate: g1,
+                first: f1,
+                second: s1,
+                param: Param::Bound(a1),
+            },
+            Op::TwoQubitRotation {
+                gate: g2,
+                first: f2,
+                second: s2,
+                param: Param::Bound(a2),
+            },
+        ) if g1 == g2 && f1 == f2 && s1 == s2 => Some(vec![Op::TwoQubitRotation {
+            gate: *g1,
+            first: *f1,
+            second: *s1,
+            param: Param::Bound(a1 + a2),
+        }]),
+        _ => None,
+    }
+}
+
+/// Simplifies a circuit by iterating three rewrites to a fixed point:
+///
+/// 1. drop bound rotations with angle exactly zero;
+/// 2. cancel adjacent identical self-inverse fixed gates (CZ·CZ, X·X, …);
+/// 3. merge adjacent same-axis bound rotations on identical operands.
+///
+/// Trainable parameters and their indices are preserved exactly.
+pub fn simplify(circuit: &Circuit) -> Circuit {
+    let mut ops: Vec<Op> = circuit
+        .ops()
+        .iter()
+        .filter(|op| !is_zero_rotation(op))
+        .cloned()
+        .collect();
+
+    loop {
+        let mut changed = false;
+        let mut out: Vec<Op> = Vec::with_capacity(ops.len());
+        let mut i = 0;
+        while i < ops.len() {
+            if i + 1 < ops.len() {
+                if let Some(replacement) = merge_pair(&ops[i], &ops[i + 1]) {
+                    out.extend(replacement);
+                    i += 2;
+                    changed = true;
+                    continue;
+                }
+            }
+            out.push(ops[i].clone());
+            i += 1;
+        }
+        // Dropping zero rotations can cascade after merges produce them.
+        let before = out.len();
+        out.retain(|op| !is_zero_rotation(op));
+        changed |= out.len() != before;
+
+        ops = out;
+        if !changed {
+            break;
+        }
+    }
+
+    Circuit::from_parts(circuit.n_qubits(), ops, circuit.n_params())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::{FixedGate, RotationGate};
+    use crate::unitary::circuit_unitary;
+    use proptest::prelude::*;
+
+    fn assert_equivalent(original: &Circuit, simplified: &Circuit, params: &[f64]) {
+        let u1 = circuit_unitary(original, params).unwrap();
+        let u2 = circuit_unitary(simplified, params).unwrap();
+        assert!(
+            u1.approx_eq(&u2, 1e-10),
+            "simplification changed semantics"
+        );
+    }
+
+    #[test]
+    fn cancels_adjacent_cz_pairs() {
+        let mut c = Circuit::new(3).unwrap();
+        c.cz(0, 1).unwrap().cz(0, 1).unwrap().cz(1, 2).unwrap();
+        let s = simplify(&c);
+        assert_eq!(s.gate_count(), 1);
+        assert_equivalent(&c, &s, &[]);
+    }
+
+    #[test]
+    fn merges_bound_rotations() {
+        let mut c = Circuit::new(1).unwrap();
+        c.push_rotation_const(RotationGate::Rz, 0, 0.3).unwrap();
+        c.push_rotation_const(RotationGate::Rz, 0, 0.5).unwrap();
+        c.push_rotation_const(RotationGate::Rz, 0, -0.8).unwrap();
+        let s = simplify(&c);
+        // 0.3 + 0.5 merge to 0.8, then with −0.8 merge to 0 and drop.
+        assert_eq!(s.gate_count(), 0);
+        assert_equivalent(&c, &s, &[]);
+    }
+
+    #[test]
+    fn preserves_free_parameters() {
+        let mut c = Circuit::new(2).unwrap();
+        c.rx(0).unwrap(); // free param 0
+        c.cz(0, 1).unwrap().cz(0, 1).unwrap();
+        c.ry(1).unwrap(); // free param 1
+        let s = simplify(&c);
+        assert_eq!(s.n_params(), 2);
+        assert_eq!(s.gate_count(), 2);
+        assert_equivalent(&c, &s, &[0.7, -0.3]);
+    }
+
+    #[test]
+    fn does_not_merge_free_rotations() {
+        let mut c = Circuit::new(1).unwrap();
+        c.rx(0).unwrap().rx(0).unwrap();
+        let s = simplify(&c);
+        assert_eq!(s.gate_count(), 2);
+        assert_eq!(s.n_params(), 2);
+    }
+
+    #[test]
+    fn drops_zero_rotations_of_every_kind() {
+        let mut c = Circuit::new(2).unwrap();
+        c.push_rotation_const(RotationGate::Rx, 0, 0.0).unwrap();
+        c.push_controlled_rotation(RotationGate::Ry, 0, 1).unwrap();
+        c.bind_last_param(0.0).unwrap();
+        c.rzz(0, 1).unwrap();
+        c.bind_last_param(0.0).unwrap();
+        let s = simplify(&c);
+        assert_eq!(s.gate_count(), 0);
+    }
+
+    #[test]
+    fn cascading_cancellation() {
+        // X · (CZ · CZ) · X — inner pair cancels, outer pair becomes
+        // adjacent and cancels on the next sweep.
+        let mut c = Circuit::new(2).unwrap();
+        c.x(0).unwrap().cz(0, 1).unwrap().cz(0, 1).unwrap().x(0).unwrap();
+        let s = simplify(&c);
+        assert_eq!(s.gate_count(), 0);
+        assert_equivalent(&c, &s, &[]);
+    }
+
+    #[test]
+    fn leaves_non_adjacent_structure_alone() {
+        let mut c = Circuit::new(2).unwrap();
+        c.cz(0, 1).unwrap().x(0).unwrap().cz(0, 1).unwrap();
+        let s = simplify(&c);
+        assert_eq!(s.gate_count(), 3);
+        assert_equivalent(&c, &s, &[]);
+    }
+
+    #[test]
+    fn does_not_cancel_non_self_inverse_gates() {
+        let mut c = Circuit::new(1).unwrap();
+        c.push_fixed(FixedGate::S, &[0]).unwrap();
+        c.push_fixed(FixedGate::S, &[0]).unwrap();
+        let s = simplify(&c);
+        assert_eq!(s.gate_count(), 2); // S·S = Z, not I
+        assert_equivalent(&c, &s, &[]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Random 3-qubit circuits with a mix of bound rotations, free
+        /// rotations, and fixed gates keep their unitary under
+        /// simplification.
+        #[test]
+        fn simplify_preserves_unitary(
+            choices in proptest::collection::vec((0usize..6, 0usize..3, -3.0f64..3.0), 1..25)
+        ) {
+            let mut c = Circuit::new(3).unwrap();
+            for (kind, qubit, angle) in &choices {
+                let q = *qubit;
+                match kind {
+                    0 => { c.push_rotation_const(RotationGate::Rx, q, *angle).unwrap(); }
+                    1 => { c.push_rotation_const(RotationGate::Rz, q, *angle).unwrap(); }
+                    2 => { c.rx(q).unwrap(); }
+                    3 => { c.cz(q, (q + 1) % 3).unwrap(); }
+                    4 => { c.x(q).unwrap(); }
+                    _ => { c.h(q).unwrap(); }
+                }
+            }
+            let params: Vec<f64> = (0..c.n_params()).map(|i| 0.1 * i as f64 - 0.5).collect();
+            let s = simplify(&c);
+            prop_assert!(s.gate_count() <= c.gate_count());
+            prop_assert_eq!(s.n_params(), c.n_params());
+            let u1 = circuit_unitary(&c, &params).unwrap();
+            let u2 = circuit_unitary(&s, &params).unwrap();
+            prop_assert!(u1.approx_eq(&u2, 1e-9));
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Finite-shot measurement sampling.
+//!
+//! The paper's experiments run in PennyLane's *analytic* mode (exact
+//! expectation values); real hardware only offers finite shot budgets. This
+//! module provides computational-basis sampling and shot-based estimators
+//! so the A4 ablation can ask: *at what shot count does shot noise swamp
+//! the barren-plateau gradient signal?*
+//!
+//! # Examples
+//!
+//! ```
+//! use plateau_sim::{sample_counts, FixedGate, State};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut psi = State::zero(2);
+//! psi.apply_fixed(FixedGate::H, &[0])?;
+//! psi.apply_fixed(FixedGate::Cx, &[0, 1])?;
+//!
+//! let mut rng = StdRng::seed_from_u64(3);
+//! let counts = sample_counts(&psi, 4000, &mut rng);
+//! // A Bell state only ever yields |00⟩ and |11⟩.
+//! assert_eq!(counts.get(&1), None);
+//! assert_eq!(counts.get(&2), None);
+//! let p00 = *counts.get(&0).unwrap_or(&0) as f64 / 4000.0;
+//! assert!((p00 - 0.5).abs() < 0.05);
+//! # Ok::<(), plateau_sim::SimError>(())
+//! ```
+
+use crate::observable::Observable;
+use crate::state::State;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Draws one computational-basis outcome index from the state's Born
+/// distribution by CDF inversion.
+pub fn sample_index<R: Rng + ?Sized>(state: &State, rng: &mut R) -> usize {
+    let u: f64 = rng.gen();
+    let mut acc = 0.0;
+    let amps = state.amplitudes();
+    for (i, a) in amps.iter().enumerate() {
+        acc += a.norm_sqr();
+        if u < acc {
+            return i;
+        }
+    }
+    // Floating-point slack: the CDF may top out slightly below 1.
+    amps.len() - 1
+}
+
+/// Draws `shots` outcomes and tallies them.
+pub fn sample_counts<R: Rng + ?Sized>(
+    state: &State,
+    shots: usize,
+    rng: &mut R,
+) -> BTreeMap<usize, usize> {
+    // Precompute the CDF once; for repeated draws this beats per-shot scans.
+    let probs = state.probabilities();
+    let mut cdf = Vec::with_capacity(probs.len());
+    let mut acc = 0.0;
+    for p in &probs {
+        acc += p;
+        cdf.push(acc);
+    }
+    let mut counts = BTreeMap::new();
+    for _ in 0..shots {
+        let u: f64 = rng.gen::<f64>() * acc.min(1.0);
+        let idx = match cdf.binary_search_by(|c| c.partial_cmp(&u).expect("finite cdf")) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+        .min(probs.len() - 1);
+        *counts.entry(idx).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Shot-based estimate of the probability of outcome `index`.
+pub fn estimate_probability<R: Rng + ?Sized>(
+    state: &State,
+    index: usize,
+    shots: usize,
+    rng: &mut R,
+) -> f64 {
+    if shots == 0 {
+        return f64::NAN;
+    }
+    let counts = sample_counts(state, shots, rng);
+    *counts.get(&index).unwrap_or(&0) as f64 / shots as f64
+}
+
+/// Shot-based estimate of a **diagonal** observable's expectation value
+/// (all four cost operators in [`Observable`] are diagonal except general
+/// Pauli sums with X/Y factors; those return `None`).
+pub fn estimate_expectation<R: Rng + ?Sized>(
+    state: &State,
+    obs: &Observable,
+    shots: usize,
+    rng: &mut R,
+) -> Option<f64> {
+    if shots == 0 {
+        return None;
+    }
+    let diag = diagonal_values(obs, state.n_qubits())?;
+    let counts = sample_counts(state, shots, rng);
+    let mut acc = 0.0;
+    for (idx, n) in counts {
+        acc += diag[idx] * n as f64;
+    }
+    Some(acc / shots as f64)
+}
+
+/// Diagonal entries of the observable in the computational basis, or `None`
+/// when it is not diagonal.
+fn diagonal_values(obs: &Observable, n_qubits: usize) -> Option<Vec<f64>> {
+    let dim = 1usize << n_qubits;
+    match obs {
+        Observable::ZeroProjector { .. } => {
+            let mut d = vec![0.0; dim];
+            d[0] = 1.0;
+            Some(d)
+        }
+        Observable::GlobalCost { .. } => {
+            let mut d = vec![1.0; dim];
+            d[0] = 0.0;
+            Some(d)
+        }
+        Observable::LocalCost { n_qubits } => {
+            let n = *n_qubits as f64;
+            Some(
+                (0..dim)
+                    .map(|b| {
+                        let zeros = *n_qubits - b.count_ones() as usize;
+                        1.0 - zeros as f64 / n
+                    })
+                    .collect(),
+            )
+        }
+        Observable::PauliSum { terms, .. } => {
+            // Diagonal iff every factor is I or Z.
+            let mut d = vec![0.0; dim];
+            for (c, p) in terms {
+                let mut z_mask = 0usize;
+                for q in 0..p.n_qubits() {
+                    match p.pauli(q) {
+                        crate::observable::Pauli::I => {}
+                        crate::observable::Pauli::Z => z_mask |= 1 << q,
+                        _ => return None,
+                    }
+                }
+                for (b, slot) in d.iter_mut().enumerate() {
+                    let sign = if (b & z_mask).count_ones().is_multiple_of(2) {
+                        1.0
+                    } else {
+                        -1.0
+                    };
+                    *slot += c * sign;
+                }
+            }
+            Some(d)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::{FixedGate, RotationGate};
+    use crate::observable::PauliString;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bell() -> State {
+        let mut s = State::zero(2);
+        s.apply_fixed(FixedGate::H, &[0]).unwrap();
+        s.apply_fixed(FixedGate::Cx, &[0, 1]).unwrap();
+        s
+    }
+
+    #[test]
+    fn sampling_basis_state_is_deterministic() {
+        let s = State::basis(3, 5);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(sample_index(&s, &mut rng), 5);
+        }
+    }
+
+    #[test]
+    fn bell_state_counts_are_balanced() {
+        let s = bell();
+        let mut rng = StdRng::seed_from_u64(1);
+        let counts = sample_counts(&s, 20_000, &mut rng);
+        assert!(counts.keys().all(|k| *k == 0 || *k == 3));
+        let p0 = counts[&0] as f64 / 20_000.0;
+        assert!((p0 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn estimate_probability_converges() {
+        let mut s = State::zero(1);
+        s.apply_rotation(RotationGate::Ry, 0, 1.0).unwrap();
+        let exact = s.probabilities()[0];
+        let mut rng = StdRng::seed_from_u64(2);
+        let est = estimate_probability(&s, 0, 50_000, &mut rng);
+        assert!((est - exact).abs() < 0.01);
+        assert!(estimate_probability(&s, 0, 0, &mut rng).is_nan());
+    }
+
+    #[test]
+    fn estimate_expectation_global_cost() {
+        let s = bell();
+        let exact = Observable::global_cost(2).expectation(&s).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let est =
+            estimate_expectation(&s, &Observable::global_cost(2), 50_000, &mut rng).unwrap();
+        assert!((est - exact).abs() < 0.01);
+    }
+
+    #[test]
+    fn estimate_expectation_local_cost_and_projector() {
+        let s = bell();
+        let mut rng = StdRng::seed_from_u64(4);
+        for obs in [Observable::local_cost(2), Observable::zero_projector(2)] {
+            let exact = obs.expectation(&s).unwrap();
+            let est = estimate_expectation(&s, &obs, 50_000, &mut rng).unwrap();
+            assert!((est - exact).abs() < 0.02, "{obs}");
+        }
+    }
+
+    #[test]
+    fn estimate_expectation_diagonal_pauli_sum() {
+        let obs = Observable::pauli_sum(vec![
+            (0.7, PauliString::parse("ZI").unwrap()),
+            (-0.2, PauliString::parse("ZZ").unwrap()),
+        ])
+        .unwrap();
+        let s = bell();
+        let exact = obs.expectation(&s).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let est = estimate_expectation(&s, &obs, 60_000, &mut rng).unwrap();
+        assert!((est - exact).abs() < 0.02);
+    }
+
+    #[test]
+    fn non_diagonal_observable_is_rejected() {
+        let obs = Observable::pauli(PauliString::parse("XI").unwrap()).unwrap();
+        let s = bell();
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(estimate_expectation(&s, &obs, 100, &mut rng).is_none());
+        assert!(estimate_expectation(&s, &Observable::global_cost(2), 0, &mut rng).is_none());
+    }
+
+    #[test]
+    fn shot_noise_shrinks_with_budget() {
+        let mut s = State::zero(1);
+        s.apply_fixed(FixedGate::H, &[0]).unwrap();
+        let err_of = |shots: usize, seed: u64| {
+            // Average absolute error over several independent estimates.
+            let mut total = 0.0;
+            for k in 0..20 {
+                let mut rng = StdRng::seed_from_u64(seed + k);
+                let est = estimate_probability(&s, 0, shots, &mut rng);
+                total += (est - 0.5).abs();
+            }
+            total / 20.0
+        };
+        assert!(err_of(10_000, 100) < err_of(100, 200));
+    }
+}

@@ -1,0 +1,193 @@
+//! Bootstrap resampling for confidence intervals.
+//!
+//! With only 200 circuits per ensemble (the paper's sample size), point
+//! estimates of gradient variance carry real sampling error; the
+//! EXPERIMENTS.md report uses percentile-bootstrap intervals to show which
+//! initializer differences are resolvable at that budget.
+//!
+//! # Examples
+//!
+//! ```
+//! use plateau_stats::{bootstrap_ci, variance};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let data: Vec<f64> = (0..200).map(|i| ((i * 37 % 101) as f64) / 101.0).collect();
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let ci = bootstrap_ci(&data, variance, 500, 0.95, &mut rng).expect("valid inputs");
+//! assert!(ci.low <= ci.estimate && ci.estimate <= ci.high);
+//! ```
+
+use crate::descriptive::quantile;
+use rand::Rng;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when bootstrap inputs are ill-posed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BootstrapError {
+    /// The data slice was empty.
+    EmptyData,
+    /// Zero resamples were requested.
+    NoResamples,
+    /// Confidence level outside `(0, 1)`.
+    BadConfidence,
+}
+
+impl fmt::Display for BootstrapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            BootstrapError::EmptyData => "bootstrap requires non-empty data",
+            BootstrapError::NoResamples => "bootstrap requires at least one resample",
+            BootstrapError::BadConfidence => "confidence level must lie in (0, 1)",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl Error for BootstrapError {}
+
+/// A percentile-bootstrap confidence interval around a point estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ConfidenceInterval {
+    /// Statistic evaluated on the original sample.
+    pub estimate: f64,
+    /// Lower percentile bound.
+    pub low: f64,
+    /// Upper percentile bound.
+    pub high: f64,
+    /// Confidence level (e.g. 0.95).
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Half-width of the interval.
+    pub fn half_width(&self) -> f64 {
+        0.5 * (self.high - self.low)
+    }
+
+    /// `true` when `value` lies inside the interval (inclusive).
+    pub fn contains(&self, value: f64) -> bool {
+        (self.low..=self.high).contains(&value)
+    }
+}
+
+/// Computes a percentile-bootstrap confidence interval for `statistic` on
+/// `data` using `resamples` with-replacement resamples.
+///
+/// # Errors
+///
+/// Returns [`BootstrapError`] when `data` is empty, `resamples == 0`, or
+/// `level ∉ (0, 1)`.
+pub fn bootstrap_ci<R: Rng + ?Sized>(
+    data: &[f64],
+    statistic: impl Fn(&[f64]) -> f64,
+    resamples: usize,
+    level: f64,
+    rng: &mut R,
+) -> Result<ConfidenceInterval, BootstrapError> {
+    if data.is_empty() {
+        return Err(BootstrapError::EmptyData);
+    }
+    if resamples == 0 {
+        return Err(BootstrapError::NoResamples);
+    }
+    if !(level > 0.0 && level < 1.0) {
+        return Err(BootstrapError::BadConfidence);
+    }
+
+    let estimate = statistic(data);
+    let mut stats = Vec::with_capacity(resamples);
+    let mut resample = vec![0.0; data.len()];
+    for _ in 0..resamples {
+        for slot in resample.iter_mut() {
+            *slot = data[rng.gen_range(0..data.len())];
+        }
+        stats.push(statistic(&resample));
+    }
+    let alpha = 1.0 - level;
+    Ok(ConfidenceInterval {
+        estimate,
+        low: quantile(&stats, alpha / 2.0),
+        high: quantile(&stats, 1.0 - alpha / 2.0),
+        level,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive::{mean, variance};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_data(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i * 7919 % 1000) as f64) / 1000.0).collect()
+    }
+
+    #[test]
+    fn ci_brackets_the_mean() {
+        let data = sample_data(300);
+        let mut rng = StdRng::seed_from_u64(11);
+        let ci = bootstrap_ci(&data, mean, 1000, 0.95, &mut rng).unwrap();
+        assert!(ci.contains(mean(&data)));
+        assert!(ci.half_width() > 0.0);
+        assert!(ci.half_width() < 0.1);
+    }
+
+    #[test]
+    fn ci_brackets_the_variance() {
+        let data = sample_data(200);
+        let mut rng = StdRng::seed_from_u64(12);
+        let ci = bootstrap_ci(&data, variance, 1000, 0.90, &mut rng).unwrap();
+        assert!(ci.low <= ci.estimate && ci.estimate <= ci.high);
+        assert_eq!(ci.level, 0.90);
+    }
+
+    #[test]
+    fn wider_confidence_gives_wider_interval() {
+        let data = sample_data(150);
+        let mut rng_a = StdRng::seed_from_u64(13);
+        let mut rng_b = StdRng::seed_from_u64(13);
+        let ci_99 = bootstrap_ci(&data, mean, 2000, 0.99, &mut rng_a).unwrap();
+        let ci_80 = bootstrap_ci(&data, mean, 2000, 0.80, &mut rng_b).unwrap();
+        assert!(ci_99.half_width() > ci_80.half_width());
+    }
+
+    #[test]
+    fn degenerate_data_gives_zero_width() {
+        let data = vec![5.0; 50];
+        let mut rng = StdRng::seed_from_u64(14);
+        let ci = bootstrap_ci(&data, mean, 200, 0.95, &mut rng).unwrap();
+        assert_eq!(ci.low, 5.0);
+        assert_eq!(ci.high, 5.0);
+    }
+
+    #[test]
+    fn error_conditions() {
+        let mut rng = StdRng::seed_from_u64(15);
+        assert_eq!(
+            bootstrap_ci(&[], mean, 10, 0.95, &mut rng).unwrap_err(),
+            BootstrapError::EmptyData
+        );
+        assert_eq!(
+            bootstrap_ci(&[1.0], mean, 0, 0.95, &mut rng).unwrap_err(),
+            BootstrapError::NoResamples
+        );
+        assert_eq!(
+            bootstrap_ci(&[1.0], mean, 10, 1.0, &mut rng).unwrap_err(),
+            BootstrapError::BadConfidence
+        );
+        assert!(!BootstrapError::EmptyData.to_string().is_empty());
+    }
+
+    #[test]
+    fn reproducible_with_same_seed() {
+        let data = sample_data(100);
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let ci_a = bootstrap_ci(&data, mean, 500, 0.95, &mut a).unwrap();
+        let ci_b = bootstrap_ci(&data, mean, 500, 0.95, &mut b).unwrap();
+        assert_eq!(ci_a, ci_b);
+    }
+}

@@ -1,0 +1,222 @@
+//! Descriptive statistics over `f64` slices.
+//!
+//! Variance is the workhorse of the whole reproduction: the paper's central
+//! measurement is `Var[∂C/∂θ_last]` over ensembles of 200 random circuits.
+//!
+//! # Examples
+//!
+//! ```
+//! use plateau_stats::{mean, variance};
+//!
+//! let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+//! assert_eq!(mean(&xs), 5.0);
+//! assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+//! ```
+
+/// Arithmetic mean. Returns `NaN` on an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance (Bessel-corrected, divisor `n − 1`), computed
+/// with the numerically stable two-pass algorithm.
+///
+/// Returns `NaN` when fewer than two samples are given.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    ss / (xs.len() - 1) as f64
+}
+
+/// Population variance (divisor `n`). Returns `NaN` on an empty slice.
+pub fn population_variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (square root of [`variance`]).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Standard error of the mean, `s / √n`.
+pub fn standard_error(xs: &[f64]) -> f64 {
+    std_dev(xs) / (xs.len() as f64).sqrt()
+}
+
+/// Minimum value. Returns `NaN` on an empty slice; ignores NaN inputs only
+/// in the sense of `f64::min` propagation.
+pub fn min(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NAN, |a, b| if a.is_nan() { b } else { a.min(b) })
+}
+
+/// Maximum value. Returns `NaN` on an empty slice.
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NAN, |a, b| if a.is_nan() { b } else { a.max(b) })
+}
+
+/// Median via sorting a copy. Returns `NaN` on an empty slice.
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Linear-interpolated quantile `q ∈ [0, 1]` (type-7, the numpy default).
+///
+/// Returns `NaN` on an empty slice.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile must be within [0, 1]");
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// A five-number-plus summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased sample variance.
+    pub variance: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median.
+    pub median: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes all summary statistics in one pass over a copy of the data.
+    pub fn of(xs: &[f64]) -> Summary {
+        Summary {
+            n: xs.len(),
+            mean: mean(xs),
+            variance: variance(xs),
+            std_dev: std_dev(xs),
+            min: min(xs),
+            median: median(xs),
+            max: max(xs),
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.6e} var={:.6e} std={:.6e} min={:.6e} med={:.6e} max={:.6e}",
+            self.n, self.mean, self.variance, self.std_dev, self.min, self.median, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_known_values() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+        assert!(mean(&[]).is_nan());
+    }
+
+    #[test]
+    fn variance_matches_hand_computation() {
+        // Var of {1,2,3,4} = 5/3 (sample).
+        assert!((variance(&[1.0, 2.0, 3.0, 4.0]) - 5.0 / 3.0).abs() < 1e-12);
+        assert!(variance(&[1.0]).is_nan());
+        assert!(variance(&[]).is_nan());
+    }
+
+    #[test]
+    fn population_vs_sample_variance() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((population_variance(&xs) - 1.25).abs() < 1e-12);
+        assert!(population_variance(&xs) < variance(&xs));
+    }
+
+    #[test]
+    fn variance_is_translation_invariant() {
+        let xs = [1.0, 5.0, -3.0, 2.0, 0.5];
+        let shifted: Vec<f64> = xs.iter().map(|x| x + 1e6).collect();
+        assert!((variance(&xs) - variance(&shifted)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn variance_of_constants_is_zero() {
+        assert_eq!(variance(&[3.0; 10]), 0.0);
+    }
+
+    #[test]
+    fn std_dev_and_sem() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((std_dev(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert!((standard_error(&xs) - std_dev(&xs) / 8f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_median() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0];
+        assert_eq!(min(&xs), 1.0);
+        assert_eq!(max(&xs), 5.0);
+        assert_eq!(median(&xs), 3.0);
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 0.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert_eq!(quantile(&xs, 0.25), 1.0);
+        assert!((quantile(&xs, 0.1) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "within [0, 1]")]
+    fn quantile_rejects_out_of_range() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn summary_is_consistent() {
+        let xs = [1.0, 2.0, 3.0];
+        let s = Summary::of(&xs);
+        assert_eq!(s.n, 3);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.median, 2.0);
+        assert!((s.variance - 1.0).abs() < 1e-12);
+        assert!(!s.to_string().is_empty());
+    }
+}

@@ -1,0 +1,496 @@
+//! Sampling distributions implemented from first principles.
+//!
+//! The initialization strategies of the paper need uniform, Gaussian
+//! (Box–Muller), and — for the BeInit extension — beta-distributed samples
+//! (via Marsaglia–Tsang gamma generation). Implementing these here keeps the
+//! dependency surface to `rand`'s core uniform bit stream only and makes the
+//! numerical provenance of every experiment auditable.
+//!
+//! # Examples
+//!
+//! ```
+//! use plateau_stats::{Normal, Sampler};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let normal = Normal::new(0.0, 2.0).expect("valid std");
+//! let xs: Vec<f64> = (0..10_000).map(|_| normal.sample(&mut rng)).collect();
+//! let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+//! assert!(mean.abs() < 0.1);
+//! ```
+
+use rand::Rng;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing a distribution with invalid parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidDistributionError {
+    what: &'static str,
+}
+
+impl InvalidDistributionError {
+    fn new(what: &'static str) -> Self {
+        InvalidDistributionError { what }
+    }
+}
+
+impl fmt::Display for InvalidDistributionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.what)
+    }
+}
+
+impl Error for InvalidDistributionError {}
+
+/// A source of `f64` samples driven by any [`rand::Rng`].
+///
+/// Object-safe so that heterogeneous initializer configurations can hold a
+/// `Box<dyn Sampler>`.
+pub trait Sampler {
+    /// Draws one sample.
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64;
+
+    /// Draws `n` samples into a fresh vector.
+    fn sample_n(&self, rng: &mut dyn rand::RngCore, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Continuous uniform distribution on `[low, high)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Uniform {
+    low: f64,
+    high: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[low, high)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `low >= high` or either bound is non-finite.
+    pub fn new(low: f64, high: f64) -> Result<Self, InvalidDistributionError> {
+        if !low.is_finite() || !high.is_finite() {
+            return Err(InvalidDistributionError::new("uniform bounds must be finite"));
+        }
+        if low >= high {
+            return Err(InvalidDistributionError::new("uniform requires low < high"));
+        }
+        Ok(Uniform { low, high })
+    }
+
+    /// Symmetric uniform on `[-limit, limit)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `limit` is not a positive finite number.
+    pub fn symmetric(limit: f64) -> Result<Self, InvalidDistributionError> {
+        if !(limit.is_finite() && limit > 0.0) {
+            return Err(InvalidDistributionError::new(
+                "symmetric uniform requires a positive finite limit",
+            ));
+        }
+        Uniform::new(-limit, limit)
+    }
+
+    /// Lower bound.
+    pub fn low(&self) -> f64 {
+        self.low
+    }
+
+    /// Upper bound.
+    pub fn high(&self) -> f64 {
+        self.high
+    }
+
+    /// Theoretical mean `(low + high) / 2`.
+    pub fn mean(&self) -> f64 {
+        0.5 * (self.low + self.high)
+    }
+
+    /// Theoretical variance `(high - low)² / 12`.
+    pub fn variance(&self) -> f64 {
+        let w = self.high - self.low;
+        w * w / 12.0
+    }
+}
+
+impl Sampler for Uniform {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        let u: f64 = rng.gen();
+        self.low + u * (self.high - self.low)
+    }
+}
+
+/// Gaussian distribution `N(mean, std²)` sampled with the Box–Muller
+/// transform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Normal {
+    mean: f64,
+    std: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with the given mean and standard
+    /// deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `std` is negative or either parameter is
+    /// non-finite.
+    pub fn new(mean: f64, std: f64) -> Result<Self, InvalidDistributionError> {
+        if !mean.is_finite() || !std.is_finite() {
+            return Err(InvalidDistributionError::new("normal parameters must be finite"));
+        }
+        if std < 0.0 {
+            return Err(InvalidDistributionError::new("normal std must be non-negative"));
+        }
+        Ok(Normal { mean, std })
+    }
+
+    /// The standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Normal { mean: 0.0, std: 1.0 }
+    }
+
+    /// Creates `N(mean, variance)` from a variance instead of a standard
+    /// deviation — matches how the paper states the initializer formulas.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `variance` is negative or non-finite.
+    pub fn from_variance(mean: f64, variance: f64) -> Result<Self, InvalidDistributionError> {
+        if !(variance.is_finite() && variance >= 0.0) {
+            return Err(InvalidDistributionError::new(
+                "normal variance must be non-negative and finite",
+            ));
+        }
+        Normal::new(mean, variance.sqrt())
+    }
+
+    /// Mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Standard deviation.
+    pub fn std(&self) -> f64 {
+        self.std
+    }
+
+    /// Variance.
+    pub fn variance(&self) -> f64 {
+        self.std * self.std
+    }
+
+    /// Draws one standard-normal variate via Box–Muller.
+    fn standard_sample(rng: &mut dyn rand::RngCore) -> f64 {
+        // Draw u1 in (0, 1] to avoid ln(0).
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+impl Sampler for Normal {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        self.mean + self.std * Normal::standard_sample(rng)
+    }
+}
+
+/// Gamma distribution with shape `k` and scale `θ`, sampled with the
+/// Marsaglia–Tsang squeeze method (with the standard boost for `k < 1`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Creates a gamma distribution with the given shape and scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless both parameters are positive and finite.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, InvalidDistributionError> {
+        if !(shape.is_finite() && shape > 0.0) {
+            return Err(InvalidDistributionError::new("gamma shape must be positive"));
+        }
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(InvalidDistributionError::new("gamma scale must be positive"));
+        }
+        Ok(Gamma { shape, scale })
+    }
+
+    /// Shape parameter `k`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Scale parameter `θ`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Theoretical mean `kθ`.
+    pub fn mean(&self) -> f64 {
+        self.shape * self.scale
+    }
+
+    /// Theoretical variance `kθ²`.
+    pub fn variance(&self) -> f64 {
+        self.shape * self.scale * self.scale
+    }
+
+    fn sample_standard(shape: f64, rng: &mut dyn rand::RngCore) -> f64 {
+        if shape < 1.0 {
+            // Boost: Gamma(k) = Gamma(k+1) * U^{1/k}.
+            let u: f64 = 1.0 - rng.gen::<f64>();
+            return Gamma::sample_standard(shape + 1.0, rng) * u.powf(1.0 / shape);
+        }
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = Normal::standard_sample(rng);
+            let v = 1.0 + c * x;
+            if v <= 0.0 {
+                continue;
+            }
+            let v3 = v * v * v;
+            let u: f64 = 1.0 - rng.gen::<f64>();
+            if u < 1.0 - 0.0331 * x.powi(4) {
+                return d * v3;
+            }
+            if u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln()) {
+                return d * v3;
+            }
+        }
+    }
+}
+
+impl Sampler for Gamma {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        self.scale * Gamma::sample_standard(self.shape, rng)
+    }
+}
+
+/// Beta distribution `Beta(α, β)` on `[0, 1]`, sampled as
+/// `X/(X+Y)` with `X ~ Gamma(α, 1)`, `Y ~ Gamma(β, 1)`.
+///
+/// Used by the BeInit extension baseline (Kulshrestha & Safro, IEEE QCE
+/// 2022 — cited as related work §II-e of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Beta {
+    alpha: f64,
+    beta: f64,
+}
+
+impl Beta {
+    /// Creates a beta distribution with the given shape parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless both parameters are positive and finite.
+    pub fn new(alpha: f64, beta: f64) -> Result<Self, InvalidDistributionError> {
+        if !(alpha.is_finite() && alpha > 0.0 && beta.is_finite() && beta > 0.0) {
+            return Err(InvalidDistributionError::new("beta parameters must be positive"));
+        }
+        Ok(Beta { alpha, beta })
+    }
+
+    /// Shape parameter α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Shape parameter β.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Theoretical mean `α / (α + β)`.
+    pub fn mean(&self) -> f64 {
+        self.alpha / (self.alpha + self.beta)
+    }
+
+    /// Theoretical variance `αβ / ((α+β)²(α+β+1))`.
+    pub fn variance(&self) -> f64 {
+        let s = self.alpha + self.beta;
+        self.alpha * self.beta / (s * s * (s + 1.0))
+    }
+}
+
+impl Sampler for Beta {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        let x = Gamma::sample_standard(self.alpha, rng);
+        let y = Gamma::sample_standard(self.beta, rng);
+        x / (x + y)
+    }
+}
+
+/// A point mass: always returns `value`. Useful for zero-initialization
+/// baselines and deterministic tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Constant {
+    value: f64,
+}
+
+impl Constant {
+    /// Creates a point-mass distribution at `value`.
+    pub fn new(value: f64) -> Self {
+        Constant { value }
+    }
+}
+
+impl Sampler for Constant {
+    fn sample(&self, _rng: &mut dyn rand::RngCore) -> f64 {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive::{mean, variance};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const N: usize = 60_000;
+
+    fn draw<S: Sampler>(s: &S, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        s.sample_n(&mut rng, N)
+    }
+
+    #[test]
+    fn uniform_moments() {
+        let d = Uniform::new(-2.0, 3.0).unwrap();
+        let xs = draw(&d, 1);
+        assert!((mean(&xs) - d.mean()).abs() < 0.03);
+        assert!((variance(&xs) - d.variance()).abs() < 0.05);
+        assert!(xs.iter().all(|&x| (-2.0..3.0).contains(&x)));
+    }
+
+    #[test]
+    fn uniform_symmetric() {
+        let d = Uniform::symmetric(1.5).unwrap();
+        assert_eq!(d.low(), -1.5);
+        assert_eq!(d.high(), 1.5);
+        assert_eq!(d.mean(), 0.0);
+    }
+
+    #[test]
+    fn uniform_rejects_bad_bounds() {
+        assert!(Uniform::new(1.0, 1.0).is_err());
+        assert!(Uniform::new(2.0, 1.0).is_err());
+        assert!(Uniform::new(f64::NAN, 1.0).is_err());
+        assert!(Uniform::symmetric(0.0).is_err());
+        assert!(Uniform::symmetric(-1.0).is_err());
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(1.5, 0.7).unwrap();
+        let xs = draw(&d, 2);
+        assert!((mean(&xs) - 1.5).abs() < 0.02);
+        assert!((variance(&xs) - 0.49).abs() < 0.02);
+    }
+
+    #[test]
+    fn normal_from_variance() {
+        let d = Normal::from_variance(0.0, 4.0).unwrap();
+        assert_eq!(d.std(), 2.0);
+        assert_eq!(d.variance(), 4.0);
+        assert!(Normal::from_variance(0.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn normal_tail_fractions() {
+        // ~68.3% within one sigma, ~95.4% within two.
+        let d = Normal::standard();
+        let xs = draw(&d, 3);
+        let within1 = xs.iter().filter(|x| x.abs() < 1.0).count() as f64 / N as f64;
+        let within2 = xs.iter().filter(|x| x.abs() < 2.0).count() as f64 / N as f64;
+        assert!((within1 - 0.6827).abs() < 0.01, "one-sigma fraction {within1}");
+        assert!((within2 - 0.9545).abs() < 0.01, "two-sigma fraction {within2}");
+    }
+
+    #[test]
+    fn normal_rejects_negative_std() {
+        assert!(Normal::new(0.0, -0.1).is_err());
+        assert!(Normal::new(f64::INFINITY, 1.0).is_err());
+    }
+
+    #[test]
+    fn gamma_moments_shape_above_one() {
+        let d = Gamma::new(3.0, 2.0).unwrap();
+        let xs = draw(&d, 4);
+        assert!((mean(&xs) - d.mean()).abs() < 0.1);
+        assert!((variance(&xs) - d.variance()).abs() < 0.5);
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn gamma_moments_shape_below_one() {
+        let d = Gamma::new(0.5, 1.0).unwrap();
+        let xs = draw(&d, 5);
+        assert!((mean(&xs) - 0.5).abs() < 0.02);
+        assert!((variance(&xs) - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn gamma_rejects_bad_params() {
+        assert!(Gamma::new(0.0, 1.0).is_err());
+        assert!(Gamma::new(1.0, 0.0).is_err());
+        assert!(Gamma::new(-1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn beta_moments() {
+        let d = Beta::new(2.0, 5.0).unwrap();
+        let xs = draw(&d, 6);
+        assert!((mean(&xs) - d.mean()).abs() < 0.01);
+        assert!((variance(&xs) - d.variance()).abs() < 0.01);
+        assert!(xs.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn beta_symmetric_case() {
+        let d = Beta::new(2.0, 2.0).unwrap();
+        let xs = draw(&d, 7);
+        assert!((mean(&xs) - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn beta_rejects_bad_params() {
+        assert!(Beta::new(0.0, 1.0).is_err());
+        assert!(Beta::new(1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn constant_is_deterministic() {
+        let d = Constant::new(0.25);
+        let xs = draw(&d, 8);
+        assert!(xs.iter().all(|&x| x == 0.25));
+    }
+
+    #[test]
+    fn sampling_is_reproducible_with_same_seed() {
+        let d = Normal::standard();
+        let a = draw(&d, 99);
+        let b = draw(&d, 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = Uniform::new(2.0, 1.0).unwrap_err();
+        assert!(e.to_string().contains("low < high"));
+    }
+}

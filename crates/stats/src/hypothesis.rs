@@ -1,0 +1,351 @@
+//! Hypothesis tests used to qualify strategy comparisons.
+//!
+//! - [`welch_t_test`]: two-sample t-test with unequal variances — is the
+//!   difference between two strategies' gradient ensembles resolvable at
+//!   the paper's 200-circuit budget?
+//! - [`ks_test_uniform`] / [`ks_statistic`]: Kolmogorov–Smirnov goodness
+//!   of fit, used by the test suite to validate the from-scratch samplers
+//!   beyond moment checks.
+//!
+//! # Examples
+//!
+//! ```
+//! use plateau_stats::welch_t_test;
+//!
+//! let a = [5.1, 4.9, 5.0, 5.2, 4.8, 5.0, 5.1, 4.9];
+//! let b = [6.0, 6.2, 5.9, 6.1, 6.0, 5.8, 6.1, 6.2];
+//! let t = welch_t_test(&a, &b).expect("enough samples");
+//! assert!(t.p_value < 0.001); // clearly different means
+//! ```
+
+use crate::descriptive::{mean, variance};
+use crate::regression::FitError;
+
+/// Result of a Welch two-sample t-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct WelchTTest {
+    /// The t statistic (positive when the first sample's mean is larger).
+    pub t_statistic: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub degrees_of_freedom: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+}
+
+/// Welch's t-test for the difference of means of two independent samples
+/// with (possibly) unequal variances.
+///
+/// # Errors
+///
+/// Returns [`FitError::TooFewPoints`] when either sample has fewer than
+/// two values, and [`FitError::DegenerateX`] when both samples have zero
+/// variance (the statistic is undefined).
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> Result<WelchTTest, FitError> {
+    if a.len() < 2 || b.len() < 2 {
+        return Err(FitError::TooFewPoints);
+    }
+    let (ma, mb) = (mean(a), mean(b));
+    let (va, vb) = (variance(a), variance(b));
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let sa = va / na;
+    let sb = vb / nb;
+    let denom = (sa + sb).sqrt();
+    if denom == 0.0 {
+        return Err(FitError::DegenerateX);
+    }
+    let t = (ma - mb) / denom;
+    let df = (sa + sb) * (sa + sb)
+        / (sa * sa / (na - 1.0) + sb * sb / (nb - 1.0));
+    let p = 2.0 * student_t_sf(t.abs(), df);
+    Ok(WelchTTest {
+        t_statistic: t,
+        degrees_of_freedom: df,
+        p_value: p.clamp(0.0, 1.0),
+    })
+}
+
+/// Survival function of Student's t distribution, `P(T > t)` for `t ≥ 0`,
+/// via the regularized incomplete beta function.
+fn student_t_sf(t: f64, df: f64) -> f64 {
+    if !t.is_finite() {
+        return 0.0;
+    }
+    let x = df / (df + t * t);
+    0.5 * incomplete_beta_regularized(0.5 * df, 0.5, x)
+}
+
+/// Regularized incomplete beta `I_x(a, b)` by the Lentz continued
+/// fraction (Numerical Recipes 6.4). Accurate to ~1e-10 for the moderate
+/// parameters hypothesis tests need.
+fn incomplete_beta_regularized(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b)
+        + a * x.ln()
+        + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // Use the symmetry relation to keep the continued fraction convergent.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Lanczos approximation of `ln Γ(x)` for `x > 0` (g = 7, n = 9
+/// coefficients; ~15 significant digits).
+fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 8] = [
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = 0.999_999_999_999_809_9;
+    for (i, c) in COEFFS.iter().enumerate() {
+        acc += c / (x + (i as f64) + 1.0);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// The Kolmogorov–Smirnov statistic `D = sup |F_empirical − F|` of a
+/// sample against a CDF.
+///
+/// Returns `NaN` on an empty sample.
+pub fn ks_statistic(sample: &[f64], cdf: impl Fn(f64) -> f64) -> f64 {
+    if sample.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = sample.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in ks input"));
+    let n = sorted.len() as f64;
+    let mut d: f64 = 0.0;
+    for (i, x) in sorted.iter().enumerate() {
+        let f = cdf(*x).clamp(0.0, 1.0);
+        let lo = i as f64 / n;
+        let hi = (i + 1) as f64 / n;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    d
+}
+
+/// Kolmogorov–Smirnov test of a sample against `U(low, high)`:
+/// returns `(statistic, p_value)` using the asymptotic Kolmogorov
+/// distribution (valid for `n ≳ 35`).
+///
+/// # Panics
+///
+/// Panics unless `low < high`.
+pub fn ks_test_uniform(sample: &[f64], low: f64, high: f64) -> (f64, f64) {
+    assert!(low < high, "uniform bounds must satisfy low < high");
+    let d = ks_statistic(sample, |x| ((x - low) / (high - low)).clamp(0.0, 1.0));
+    let n = sample.len() as f64;
+    let lambda = (n.sqrt() + 0.12 + 0.11 / n.sqrt()) * d;
+    // Asymptotic Kolmogorov survival: 2 Σ (−1)^{k−1} e^{−2k²λ²}.
+    let mut p = 0.0;
+    for k in 1..=100 {
+        let term = 2.0 * (-1.0f64).powi(k - 1) * (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        p += term;
+        if term.abs() < 1e-12 {
+            break;
+        }
+    }
+    (d, p.clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Normal, Sampler, Uniform};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = Γ(2) = 1; Γ(5) = 24; Γ(1/2) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incomplete_beta_symmetry_and_bounds() {
+        assert_eq!(incomplete_beta_regularized(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(incomplete_beta_regularized(2.0, 3.0, 1.0), 1.0);
+        // I_x(a, b) = 1 − I_{1−x}(b, a).
+        for x in [0.2, 0.5, 0.8] {
+            let lhs = incomplete_beta_regularized(2.5, 1.5, x);
+            let rhs = 1.0 - incomplete_beta_regularized(1.5, 2.5, 1.0 - x);
+            assert!((lhs - rhs).abs() < 1e-10);
+        }
+        // I_x(1, 1) = x (uniform CDF).
+        assert!((incomplete_beta_regularized(1.0, 1.0, 0.37) - 0.37).abs() < 1e-10);
+    }
+
+    #[test]
+    fn t_sf_matches_known_quantiles() {
+        // For df → large, t behaves like a standard normal:
+        // P(T > 1.96) ≈ 0.025.
+        let p = student_t_sf(1.96, 1000.0);
+        assert!((p - 0.025).abs() < 0.002, "p = {p}");
+        // df = 1 (Cauchy): P(T > 1) = 0.25 exactly.
+        let p = student_t_sf(1.0, 1.0);
+        assert!((p - 0.25).abs() < 1e-6, "p = {p}");
+    }
+
+    #[test]
+    fn identical_samples_are_not_significant() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = Normal::new(0.0, 1.0).unwrap();
+        let a = d.sample_n(&mut rng, 100);
+        let b = d.sample_n(&mut rng, 100);
+        let t = welch_t_test(&a, &b).unwrap();
+        assert!(t.p_value > 0.05, "false positive: p = {}", t.p_value);
+    }
+
+    #[test]
+    fn shifted_samples_are_significant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Normal::new(0.0, 1.0).unwrap().sample_n(&mut rng, 200);
+        let b = Normal::new(0.5, 1.0).unwrap().sample_n(&mut rng, 200);
+        let t = welch_t_test(&a, &b).unwrap();
+        assert!(t.p_value < 0.01, "missed shift: p = {}", t.p_value);
+        assert!(t.t_statistic < 0.0, "sign should reflect mean ordering");
+    }
+
+    #[test]
+    fn welch_handles_unequal_variances() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Normal::new(0.0, 0.1).unwrap().sample_n(&mut rng, 50);
+        let b = Normal::new(0.0, 3.0).unwrap().sample_n(&mut rng, 500);
+        let t = welch_t_test(&a, &b).unwrap();
+        assert!(t.p_value > 0.01);
+        assert!(t.degrees_of_freedom > 2.0);
+    }
+
+    #[test]
+    fn welch_error_paths() {
+        assert!(welch_t_test(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(welch_t_test(&[1.0, 1.0], &[2.0, 2.0]).is_err()); // zero variance
+    }
+
+    #[test]
+    fn ks_accepts_true_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sample = Uniform::new(0.0, 1.0).unwrap().sample_n(&mut rng, 500);
+        let (d, p) = ks_test_uniform(&sample, 0.0, 1.0);
+        assert!(d < 0.08, "D = {d}");
+        assert!(p > 0.05, "p = {p}");
+    }
+
+    #[test]
+    fn ks_rejects_normal_as_uniform() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let sample = Normal::new(0.5, 0.1).unwrap().sample_n(&mut rng, 500);
+        let (_, p) = ks_test_uniform(&sample, 0.0, 1.0);
+        assert!(p < 1e-6, "p = {p}");
+    }
+
+    #[test]
+    fn ks_statistic_exact_small_case() {
+        // Single point at 0.5 vs U(0,1): D = 0.5.
+        let d = ks_statistic(&[0.5], |x| x);
+        assert!((d - 0.5).abs() < 1e-12);
+        assert!(ks_statistic(&[], |x| x).is_nan());
+    }
+
+    #[test]
+    fn box_muller_normal_passes_ks_against_normal_cdf() {
+        // Validate the sampler shape (not just moments) with Φ via erf
+        // approximated through the t-distribution at huge df… simpler:
+        // use the probit-free check against the empirical uniformization
+        // Φ(x) computed numerically from the error function series.
+        fn phi(x: f64) -> f64 {
+            // Abramowitz–Stegun 7.1.26-based erf approximation.
+            let t = 1.0 / (1.0 + 0.3275911 * x.abs() / std::f64::consts::SQRT_2);
+            let y = 1.0
+                - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736)
+                    * t
+                    + 0.254829592)
+                    * t
+                    * (-x * x / 2.0).exp();
+            if x >= 0.0 {
+                0.5 + 0.5 * y
+            } else {
+                0.5 - 0.5 * y
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        let sample = Normal::new(0.0, 1.0).unwrap().sample_n(&mut rng, 1000);
+        let d = ks_statistic(&sample, phi);
+        // Critical value at α = 0.01 for n = 1000 is ≈ 0.0515.
+        assert!(d < 0.0515, "Box–Muller sample failed KS: D = {d}");
+    }
+}

@@ -1,0 +1,286 @@
+//! Ordinary least squares and exponential-decay fitting.
+//!
+//! The paper quantifies barren plateaus through the *decay rate* of gradient
+//! variance: `Var[∂C] ≈ A·e^{b·q}` over qubit count `q`, so `ln Var` is fit
+//! with a straight line and the slope `b` is the decay rate. Improvements
+//! between initializers are ratios of these slopes.
+//!
+//! # Examples
+//!
+//! ```
+//! use plateau_stats::fit_line;
+//!
+//! let xs = [0.0, 1.0, 2.0, 3.0];
+//! let ys = [1.0, 3.0, 5.0, 7.0];
+//! let fit = fit_line(&xs, &ys).expect("well-posed fit");
+//! assert!((fit.slope - 2.0).abs() < 1e-12);
+//! assert!((fit.intercept - 1.0).abs() < 1e-12);
+//! assert!((fit.r_squared - 1.0).abs() < 1e-12);
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a regression problem is ill-posed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// Fewer than two data points were supplied.
+    TooFewPoints,
+    /// `xs` and `ys` have different lengths.
+    LengthMismatch,
+    /// All `x` values are identical, so the slope is undefined.
+    DegenerateX,
+    /// An input value was NaN or infinite (e.g. `ln` of a non-positive
+    /// variance in [`fit_exponential_decay`]).
+    NonFiniteInput,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            FitError::TooFewPoints => "at least two points are required",
+            FitError::LengthMismatch => "x and y slices must have equal length",
+            FitError::DegenerateX => "all x values are identical",
+            FitError::NonFiniteInput => "input contains non-finite values",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl Error for FitError {}
+
+/// Result of a straight-line least-squares fit `y = intercept + slope·x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LineFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination R².
+    pub r_squared: f64,
+    /// Standard error of the slope estimate.
+    pub slope_std_err: f64,
+    /// Number of points used.
+    pub n: usize,
+}
+
+impl LineFit {
+    /// Evaluates the fitted line at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Fits `y = a + b·x` by ordinary least squares.
+///
+/// # Errors
+///
+/// Returns [`FitError`] if fewer than two points are given, lengths differ,
+/// inputs are non-finite, or all `x` coincide.
+pub fn fit_line(xs: &[f64], ys: &[f64]) -> Result<LineFit, FitError> {
+    if xs.len() != ys.len() {
+        return Err(FitError::LengthMismatch);
+    }
+    let n = xs.len();
+    if n < 2 {
+        return Err(FitError::TooFewPoints);
+    }
+    if xs.iter().chain(ys.iter()).any(|v| !v.is_finite()) {
+        return Err(FitError::NonFiniteInput);
+    }
+
+    let nf = n as f64;
+    let x_mean = xs.iter().sum::<f64>() / nf;
+    let y_mean = ys.iter().sum::<f64>() / nf;
+
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys.iter()) {
+        let dx = x - x_mean;
+        let dy = y - y_mean;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 {
+        return Err(FitError::DegenerateX);
+    }
+
+    let slope = sxy / sxx;
+    let intercept = y_mean - slope * x_mean;
+
+    // Residual sum of squares and derived statistics.
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys.iter())
+        .map(|(x, y)| {
+            let r = y - (intercept + slope * x);
+            r * r
+        })
+        .sum();
+    let r_squared = if syy == 0.0 { 1.0 } else { 1.0 - ss_res / syy };
+    let slope_std_err = if n > 2 {
+        (ss_res / (nf - 2.0) / sxx).sqrt()
+    } else {
+        0.0
+    };
+
+    Ok(LineFit {
+        slope,
+        intercept,
+        r_squared,
+        slope_std_err,
+        n,
+    })
+}
+
+/// Result of fitting `y = amplitude · e^{rate·x}` through the log transform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ExpDecayFit {
+    /// Exponential rate `b` (negative for decay).
+    pub rate: f64,
+    /// Prefactor `A = e^{intercept}`.
+    pub amplitude: f64,
+    /// R² of the underlying log-linear fit.
+    pub r_squared: f64,
+    /// Standard error of the rate estimate.
+    pub rate_std_err: f64,
+}
+
+impl ExpDecayFit {
+    /// Evaluates the fitted exponential at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.amplitude * (self.rate * x).exp()
+    }
+
+    /// Base-2 rate: the number of bits `y` loses per unit of `x`.
+    ///
+    /// A variance that halves with every added qubit has `rate_log2 = -1`.
+    pub fn rate_log2(&self) -> f64 {
+        self.rate / std::f64::consts::LN_2
+    }
+}
+
+/// Fits `y = A·e^{b·x}` to strictly positive data by linear regression on
+/// `ln y`.
+///
+/// # Errors
+///
+/// Returns [`FitError::NonFiniteInput`] if any `y ≤ 0`, plus all
+/// [`fit_line`] error conditions.
+pub fn fit_exponential_decay(xs: &[f64], ys: &[f64]) -> Result<ExpDecayFit, FitError> {
+    if ys.iter().any(|&y| y <= 0.0) {
+        return Err(FitError::NonFiniteInput);
+    }
+    let log_ys: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+    let line = fit_line(xs, &log_ys)?;
+    Ok(ExpDecayFit {
+        rate: line.slope,
+        amplitude: line.intercept.exp(),
+        r_squared: line.r_squared,
+        rate_std_err: line.slope_std_err,
+    })
+}
+
+/// Relative improvement of decay rate `b_t` over a baseline `b_ref`,
+/// expressed in percent: `(|b_ref| − |b_t|) / |b_ref| × 100`.
+///
+/// This is the statistic behind the paper's headline numbers (Xavier ≈62%,
+/// He ≈32%, LeCun ≈28%, Orthogonal ≈26% improvement over random
+/// initialization). Positive means `b_t` decays more slowly (shallower
+/// plateau); negative means it decays faster than the baseline.
+pub fn decay_improvement_percent(b_ref: f64, b_t: f64) -> f64 {
+    (b_ref.abs() - b_t.abs()) / b_ref.abs() * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_line() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|x| -0.5 * x + 2.0).collect();
+        let fit = fit_line(&xs, &ys).unwrap();
+        assert!((fit.slope + 0.5).abs() < 1e-12);
+        assert!((fit.intercept - 2.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!(fit.slope_std_err < 1e-10);
+        assert!((fit.predict(10.0) + 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_recovers_slope() {
+        // Deterministic pseudo-noise.
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 3.0 * x + 1.0 + 0.1 * (x * 12.9898).sin())
+            .collect();
+        let fit = fit_line(&xs, &ys).unwrap();
+        assert!((fit.slope - 3.0).abs() < 0.01);
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    fn error_conditions() {
+        assert_eq!(fit_line(&[1.0], &[1.0]).unwrap_err(), FitError::TooFewPoints);
+        assert_eq!(
+            fit_line(&[1.0, 2.0], &[1.0]).unwrap_err(),
+            FitError::LengthMismatch
+        );
+        assert_eq!(
+            fit_line(&[1.0, 1.0], &[1.0, 2.0]).unwrap_err(),
+            FitError::DegenerateX
+        );
+        assert_eq!(
+            fit_line(&[1.0, f64::NAN], &[1.0, 2.0]).unwrap_err(),
+            FitError::NonFiniteInput
+        );
+        assert!(!FitError::DegenerateX.to_string().is_empty());
+    }
+
+    #[test]
+    fn horizontal_line_has_unit_r_squared() {
+        let fit = fit_line(&[1.0, 2.0, 3.0], &[4.0, 4.0, 4.0]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn exponential_decay_recovery() {
+        // Var(q) = 0.5 · e^{-1.2 q}: canonical barren-plateau shape.
+        let qs: [f64; 5] = [2.0, 4.0, 6.0, 8.0, 10.0];
+        let vars: Vec<f64> = qs.iter().map(|q| 0.5 * (-1.2 * q).exp()).collect();
+        let fit = fit_exponential_decay(&qs, &vars).unwrap();
+        assert!((fit.rate + 1.2).abs() < 1e-10);
+        assert!((fit.amplitude - 0.5).abs() < 1e-10);
+        assert!((fit.predict(5.0) - 0.5 * (-6.0f64).exp()).abs() < 1e-12);
+        assert!((fit.rate_log2() + 1.2 / std::f64::consts::LN_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn exponential_rejects_nonpositive() {
+        assert_eq!(
+            fit_exponential_decay(&[1.0, 2.0], &[1.0, 0.0]).unwrap_err(),
+            FitError::NonFiniteInput
+        );
+        assert_eq!(
+            fit_exponential_decay(&[1.0, 2.0], &[1.0, -3.0]).unwrap_err(),
+            FitError::NonFiniteInput
+        );
+    }
+
+    #[test]
+    fn improvement_percent_matches_paper_convention() {
+        // Baseline decays at -1.0; method decays at -0.377 → 62.3% improvement.
+        assert!((decay_improvement_percent(-1.0, -0.377) - 62.3).abs() < 1e-9);
+        // Faster decay than baseline → negative improvement.
+        assert!(decay_improvement_percent(-1.0, -1.5) < 0.0);
+        // Equal rates → zero.
+        assert_eq!(decay_improvement_percent(-2.0, 2.0), 0.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Spin-chain Hamiltonians as Pauli-sum observables.
+//!
+//! Two standard models, both with open boundary conditions:
+//!
+//! - **Transverse-field Ising** (TFIM):
+//!   `H = −J Σ Z_i Z_{i+1} − h Σ X_i`
+//! - **Heisenberg XXZ**:
+//!   `H = Σ (X_i X_{i+1} + Y_i Y_{i+1} + Δ Z_i Z_{i+1})`
+//!
+//! Ground-state energies are computed exactly by dense diagonalization
+//! (`plateau-linalg`'s Jacobi solver) as the VQE oracle.
+//!
+//! # Examples
+//!
+//! ```
+//! use plateau_vqe::hamiltonian::{transverse_field_ising, ground_state_energy};
+//!
+//! // 2-qubit TFIM at J = h = 1: H = −Z₀Z₁ − X₀ − X₁ has exact
+//! // ground energy −√5.
+//! let h = transverse_field_ising(2, 1.0, 1.0)?;
+//! let e0 = ground_state_energy(&h)?;
+//! assert!((e0 + 5f64.sqrt()).abs() < 1e-8);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use plateau_linalg::eigh;
+use plateau_sim::{Observable, Pauli, PauliString, SimError};
+
+/// Builds the open-boundary transverse-field Ising Hamiltonian
+/// `H = −J Σ_{i<n−1} Z_i Z_{i+1} − h Σ_i X_i`.
+///
+/// # Errors
+///
+/// Returns [`SimError`] for a zero-qubit register.
+pub fn transverse_field_ising(
+    n_qubits: usize,
+    coupling_j: f64,
+    field_h: f64,
+) -> Result<Observable, SimError> {
+    let mut terms = Vec::new();
+    for i in 0..n_qubits.saturating_sub(1) {
+        let mut paulis = vec![Pauli::I; n_qubits];
+        paulis[i] = Pauli::Z;
+        paulis[i + 1] = Pauli::Z;
+        terms.push((-coupling_j, PauliString::new(paulis)?));
+    }
+    for i in 0..n_qubits {
+        terms.push((-field_h, PauliString::single(n_qubits, i, Pauli::X)?));
+    }
+    Observable::pauli_sum(terms)
+}
+
+/// Builds the open-boundary Heisenberg XXZ Hamiltonian
+/// `H = Σ_{i<n−1} (X_i X_{i+1} + Y_i Y_{i+1} + Δ Z_i Z_{i+1})`.
+///
+/// # Errors
+///
+/// Returns [`SimError`] for registers smaller than two qubits.
+pub fn heisenberg_xxz(n_qubits: usize, delta: f64) -> Result<Observable, SimError> {
+    if n_qubits < 2 {
+        return Err(SimError::QubitOutOfRange {
+            qubit: 1,
+            n_qubits,
+        });
+    }
+    let mut terms = Vec::new();
+    for i in 0..n_qubits - 1 {
+        for (pauli, coeff) in [(Pauli::X, 1.0), (Pauli::Y, 1.0), (Pauli::Z, delta)] {
+            let mut paulis = vec![Pauli::I; n_qubits];
+            paulis[i] = pauli;
+            paulis[i + 1] = pauli;
+            terms.push((coeff, PauliString::new(paulis)?));
+        }
+    }
+    Observable::pauli_sum(terms)
+}
+
+/// Exact ground-state energy by dense diagonalization — the oracle every
+/// VQE run is scored against. Exponential in qubit count; keep to ≤ ~8
+/// qubits.
+///
+/// # Errors
+///
+/// Returns [`SimError::DimensionMismatch`] when diagonalization fails.
+pub fn ground_state_energy(h: &Observable) -> Result<f64, SimError> {
+    let m = h.matrix();
+    let eig = eigh(&m, 1e-10, 400).map_err(|_| SimError::DimensionMismatch {
+        expected: m.rows(),
+        found: m.cols(),
+    })?;
+    Ok(eig.values[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plateau_sim::State;
+
+    #[test]
+    fn tfim_term_count() {
+        let h = transverse_field_ising(4, 1.0, 0.5).unwrap();
+        if let Observable::PauliSum { terms, .. } = &h {
+            // 3 ZZ bonds + 4 X fields.
+            assert_eq!(terms.len(), 7);
+        } else {
+            panic!("expected a Pauli sum");
+        }
+    }
+
+    #[test]
+    fn tfim_classical_limit() {
+        // h = 0: H = −J Σ ZZ, ground states are the two ferromagnets with
+        // energy −J(n−1).
+        let h = transverse_field_ising(4, 1.0, 0.0).unwrap();
+        let e0 = ground_state_energy(&h).unwrap();
+        assert!((e0 + 3.0).abs() < 1e-8);
+        // |0000⟩ achieves it.
+        let e = h.expectation(&State::zero(4)).unwrap();
+        assert!((e + 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn tfim_field_limit() {
+        // J = 0: H = −h Σ X, ground energy −h·n with |+⟩^⊗n.
+        let h = transverse_field_ising(3, 0.0, 2.0).unwrap();
+        let e0 = ground_state_energy(&h).unwrap();
+        assert!((e0 + 6.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn tfim_two_site_exact() {
+        // H = −ZZ − (X₀+X₁): exact ground energy of the 2-site chain is −√5.
+        let h = transverse_field_ising(2, 1.0, 1.0).unwrap();
+        let e0 = ground_state_energy(&h).unwrap();
+        assert!((e0 + 5f64.sqrt()).abs() < 1e-8, "e0 = {e0}");
+    }
+
+    #[test]
+    fn heisenberg_two_site_exact() {
+        // Two-site XXX (Δ=1): spectrum {−3, 1, 1, 1}; ground = singlet.
+        let h = heisenberg_xxz(2, 1.0).unwrap();
+        let e0 = ground_state_energy(&h).unwrap();
+        assert!((e0 + 3.0).abs() < 1e-8);
+        assert!(heisenberg_xxz(1, 1.0).is_err());
+    }
+
+    #[test]
+    fn heisenberg_term_count() {
+        let h = heisenberg_xxz(5, 0.7).unwrap();
+        if let Observable::PauliSum { terms, .. } = &h {
+            assert_eq!(terms.len(), 12); // 4 bonds × 3 couplings
+        } else {
+            panic!("expected a Pauli sum");
+        }
+    }
+
+    #[test]
+    fn ground_energy_is_a_lower_bound_for_any_state() {
+        let h = transverse_field_ising(3, 1.0, 0.8).unwrap();
+        let e0 = ground_state_energy(&h).unwrap();
+        for idx in 0..8 {
+            let e = h.expectation(&State::basis(3, idx)).unwrap();
+            assert!(e >= e0 - 1e-9, "basis {idx}: {e} < {e0}");
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # plateau-vqe
+//!
+//! A variational quantum eigensolver built on the `plateau` stack — the
+//! second application domain (after identity learning) demonstrating the
+//! paper's initialization effect on a task PQCs are actually used for.
+//!
+//! - [`hamiltonian`]: transverse-field Ising and Heisenberg XXZ chains as
+//!   Pauli-sum observables, with exact diagonalization as the oracle.
+//! - [`solver`]: the VQE driver (paper training ansatz + Adam + any
+//!   [`plateau_core::init::InitStrategy`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use plateau_core::init::InitStrategy;
+//! use plateau_vqe::{hamiltonian::transverse_field_ising, solver::{solve, VqeConfig}};
+//!
+//! let h = transverse_field_ising(3, 1.0, 0.5)?;
+//! let result = solve(&h, InitStrategy::XavierNormal, &VqeConfig::default())?;
+//! // The variational principle bounds the answer from below.
+//! assert!(result.energy() >= result.exact_energy - 1e-8);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hamiltonian;
+pub mod solver;
+
+pub use hamiltonian::{ground_state_energy, heisenberg_xxz, transverse_field_ising};
+pub use solver::{solve, VqeConfig, VqeResult};

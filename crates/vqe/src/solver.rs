@@ -1,0 +1,206 @@
+//! The VQE driver: minimize `⟨ψ(θ)|H|ψ(θ)⟩` with the plateau stack's
+//! ansätze, initializers, and optimizers, scored against the exact ground
+//! energy.
+//!
+//! # Examples
+//!
+//! ```
+//! use plateau_core::init::InitStrategy;
+//! use plateau_vqe::hamiltonian::transverse_field_ising;
+//! use plateau_vqe::solver::{solve, VqeConfig};
+//!
+//! let h = transverse_field_ising(3, 1.0, 1.0)?;
+//! let cfg = VqeConfig {
+//!     layers: 3,
+//!     iterations: 120,
+//!     seed: 3,
+//!     ..VqeConfig::default()
+//! };
+//! let result = solve(&h, InitStrategy::XavierNormal, &cfg)?;
+//! assert!(result.relative_error()? < 0.1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::hamiltonian::ground_state_energy;
+use plateau_core::ansatz::training_ansatz;
+use plateau_core::error::CoreError;
+use plateau_core::init::{FanMode, InitStrategy};
+use plateau_core::optim::Adam;
+use plateau_core::train::{train, TrainingHistory};
+use plateau_sim::Observable;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// VQE run configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VqeConfig {
+    /// HEA layers of the ansatz.
+    pub layers: usize,
+    /// Adam iterations.
+    pub iterations: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Fan convention for the initializer.
+    pub fan_mode: FanMode,
+    /// RNG seed for the initializer.
+    pub seed: u64,
+}
+
+impl Default for VqeConfig {
+    fn default() -> Self {
+        VqeConfig {
+            layers: 4,
+            iterations: 150,
+            learning_rate: 0.1,
+            fan_mode: FanMode::TensorShape,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of a VQE run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VqeResult {
+    /// The full optimization trajectory (energies, not costs).
+    pub history: TrainingHistory,
+    /// Exact ground-state energy from dense diagonalization.
+    pub exact_energy: f64,
+}
+
+impl VqeResult {
+    /// Final variational energy.
+    pub fn energy(&self) -> f64 {
+        self.history.final_loss()
+    }
+
+    /// Absolute error above the exact ground energy (non-negative up to
+    /// optimizer noise, by the variational principle).
+    pub fn absolute_error(&self) -> f64 {
+        self.energy() - self.exact_energy
+    }
+
+    /// Error relative to the spectral scale `|E₀|`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when the exact energy is zero
+    /// (relative error undefined).
+    pub fn relative_error(&self) -> Result<f64, CoreError> {
+        if self.exact_energy == 0.0 {
+            return Err(CoreError::InvalidConfig(
+                "relative error undefined at zero ground energy".into(),
+            ));
+        }
+        Ok(self.absolute_error() / self.exact_energy.abs())
+    }
+}
+
+/// Runs VQE on `hamiltonian` with the paper's training ansatz and Adam,
+/// starting from `strategy`-drawn parameters.
+///
+/// # Errors
+///
+/// Propagates ansatz/optimizer/simulation errors as [`CoreError`].
+pub fn solve(
+    hamiltonian: &Observable,
+    strategy: InitStrategy,
+    config: &VqeConfig,
+) -> Result<VqeResult, CoreError> {
+    let n_qubits = hamiltonian.n_qubits();
+    let ansatz = training_ansatz(n_qubits, config.layers)?;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let theta0 = strategy.sample_params(&ansatz.shape, config.fan_mode, &mut rng)?;
+    let mut adam = Adam::new(config.learning_rate)?;
+    let history = train(
+        &ansatz.circuit,
+        hamiltonian,
+        theta0,
+        &mut adam,
+        config.iterations,
+    )?;
+    let exact_energy = ground_state_energy(hamiltonian)?;
+    Ok(VqeResult {
+        history,
+        exact_energy,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hamiltonian::{heisenberg_xxz, transverse_field_ising};
+
+    #[test]
+    fn vqe_solves_small_tfim_from_xavier() {
+        let h = transverse_field_ising(3, 1.0, 1.0).unwrap();
+        let cfg = VqeConfig {
+            layers: 3,
+            iterations: 150,
+            seed: 1,
+            ..VqeConfig::default()
+        };
+        let r = solve(&h, InitStrategy::XavierNormal, &cfg).unwrap();
+        assert!(
+            r.relative_error().unwrap() < 0.05,
+            "energy {} vs exact {}",
+            r.energy(),
+            r.exact_energy
+        );
+        // Variational principle: E ≥ E₀ (up to numerical slack).
+        assert!(r.absolute_error() > -1e-8);
+    }
+
+    #[test]
+    fn vqe_on_heisenberg_improves_substantially() {
+        let h = heisenberg_xxz(3, 1.0).unwrap();
+        let cfg = VqeConfig {
+            layers: 4,
+            iterations: 200,
+            seed: 2,
+            ..VqeConfig::default()
+        };
+        let r = solve(&h, InitStrategy::XavierUniform, &cfg).unwrap();
+        assert!(
+            r.history.final_loss() < r.history.initial_loss() - 0.5,
+            "{} → {}",
+            r.history.initial_loss(),
+            r.history.final_loss()
+        );
+        assert!(r.absolute_error() > -1e-8);
+    }
+
+    #[test]
+    fn relative_error_guard() {
+        // A Hamiltonian with zero ground energy: H = I − |0⟩⟨0| scaled…
+        // easiest: projector observable has E₀ = 0.
+        let h = plateau_sim::Observable::zero_projector(2);
+        let cfg = VqeConfig {
+            layers: 1,
+            iterations: 1,
+            ..VqeConfig::default()
+        };
+        let r = solve(&h, InitStrategy::Zero, &cfg).unwrap();
+        assert!(r.relative_error().is_err());
+    }
+
+    #[test]
+    fn xavier_start_beats_random_start_at_fixed_budget() {
+        // The paper's message transplanted to VQE: at a tight iteration
+        // budget on a wider chain, the bounded start reaches lower energy.
+        let h = transverse_field_ising(6, 1.0, 1.0).unwrap();
+        let cfg = VqeConfig {
+            layers: 4,
+            iterations: 60,
+            seed: 3,
+            ..VqeConfig::default()
+        };
+        let xavier = solve(&h, InitStrategy::XavierNormal, &cfg).unwrap();
+        let random = solve(&h, InitStrategy::Random, &cfg).unwrap();
+        assert!(
+            xavier.energy() < random.energy(),
+            "xavier {} should beat random {}",
+            xavier.energy(),
+            random.energy()
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! The "QML" of the paper's title end-to-end: train a data re-uploading
+//! variational classifier on the two-moons benchmark under each
+//! initialization strategy and compare test accuracy at a fixed budget.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p plateau-qml --example classify_moons
+//! ```
+
+use plateau_core::init::{FanMode, InitStrategy};
+use plateau_core::optim::Adam;
+use plateau_qml::classifier::Classifier;
+use plateau_qml::dataset::{train_test_split, two_moons};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut data_rng = StdRng::seed_from_u64(42);
+    let data = two_moons(120, 0.05, &mut data_rng);
+    let (train, test) = train_test_split(data, 0.75);
+    let model = Classifier::new(3, 3, 2)?;
+    println!(
+        "two-moons: {} train / {} test samples; model: 3 qubits × 3 re-uploading layers ({} weights)",
+        train.len(),
+        test.len(),
+        model.n_weights()
+    );
+    println!("{:<16}{:>12}{:>12}{:>12}", "strategy", "loss_0", "loss_end", "test acc");
+    for strategy in InitStrategy::PAPER_SET {
+        let mut rng = StdRng::seed_from_u64(7);
+        let w0 = model.init_weights(strategy, FanMode::TensorShape, &mut rng)?;
+        let mut adam = Adam::new(0.1)?;
+        let fit = model.fit(w0, &train, &mut adam, 60)?;
+        let acc = model.accuracy(&fit.weights, &test)?;
+        println!(
+            "{:<16}{:>12.4}{:>12.4}{:>11.1}%",
+            strategy.name(),
+            fit.losses[0],
+            fit.losses.last().expect("non-empty"),
+            100.0 * acc
+        );
+    }
+    println!("\n(at this shallow width every strategy can learn the moons; the");
+    println!(" initialization gap grows with circuit width exactly as in Fig 5)");
+    Ok(())
+}

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Regenerates every figure and ablation of the paper at full scale,
+# capturing each report under results/. Expect a few minutes on a
+# laptop-class CPU. Set PLATEAU_SCALE=quick for a seconds-scale smoke run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+
+mkdir -p results
+BINARIES=(
+    fig1_landscape
+    fig5a_variance
+    table_improvements
+    fig5b_train_gd
+    fig5c_train_adam
+    ablation_cost_locality
+    ablation_depth
+    ablation_beta_init
+    ablation_shots
+    ablation_fan_mode
+    ablation_noise
+    ablation_mitigation
+    ablation_entanglement
+    ablation_theory
+    ablation_hessian
+    ablation_vqe
+    ablation_fisher
+)
+for bin in "${BINARIES[@]}"; do
+    echo "=== ${bin} ==="
+    "./target/release/${bin}" | tee "results/${bin}.csv"
+done
+
+echo "All reports written to results/."

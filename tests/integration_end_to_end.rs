@@ -1,0 +1,169 @@
+//! Whole-pipeline smoke tests: every public stage of the reproduction
+//! chained together exactly as the bench binaries use them, at miniature
+//! scale, plus cross-cutting invariants (determinism, landscape flattening,
+//! sampling consistency).
+
+use plateau_core::ansatz::training_ansatz;
+use plateau_core::cost::CostKind;
+use plateau_core::init::{FanMode, InitStrategy};
+use plateau_core::landscape::{landscape_grid, LandscapeConfig};
+use plateau_core::optim::Adam;
+use plateau_core::train::train;
+use plateau_core::variance::{variance_scan, VarianceConfig};
+use plateau_sim::{estimate_expectation, Observable};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn full_pipeline_variance_to_training() {
+    // 1. Variance scan at miniature scale.
+    let config = VarianceConfig {
+        qubit_counts: vec![2, 4],
+        layers: 10,
+        n_circuits: 24,
+        ..VarianceConfig::default()
+    };
+    let scan = variance_scan(
+        &config,
+        &[InitStrategy::Random, InitStrategy::XavierNormal],
+    )
+    .expect("scan");
+    let imps = scan.improvements_vs(InitStrategy::Random).expect("table");
+    assert_eq!(imps.len(), 1);
+
+    // 2. Train the winning strategy.
+    let ansatz = training_ansatz(4, 3).expect("ansatz");
+    let mut rng = StdRng::seed_from_u64(5);
+    let theta0 = InitStrategy::XavierNormal
+        .sample_params(&ansatz.shape, FanMode::Qubits, &mut rng)
+        .expect("init");
+    let mut adam = Adam::new(0.1).expect("adam");
+    let hist = train(
+        &ansatz.circuit,
+        &CostKind::Global.observable(4),
+        theta0,
+        &mut adam,
+        30,
+    )
+    .expect("train");
+    assert!(hist.final_loss() < hist.initial_loss());
+
+    // 3. Landscape scan around the trained solution is locally flat-bottomed.
+    let cfg = LandscapeConfig {
+        min: -0.5,
+        max: 0.5,
+        resolution: 7,
+    };
+    let n = ansatz.circuit.n_params();
+    let grid = landscape_grid(
+        &ansatz.circuit,
+        &CostKind::Global.observable(4),
+        &hist.final_params,
+        n - 2,
+        n - 1,
+        &cfg,
+    )
+    .expect("landscape");
+    // The trained point sits inside the scanned window's value range.
+    assert!(grid.min_value() <= hist.final_loss() + 1e-9);
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let run_once = || {
+        let config = VarianceConfig {
+            qubit_counts: vec![3],
+            layers: 8,
+            n_circuits: 12,
+            ..VarianceConfig::default()
+        };
+        let scan = variance_scan(&config, &[InitStrategy::He]).expect("scan");
+        scan.curves[0].points[0].variance
+    };
+    assert_eq!(run_once(), run_once());
+}
+
+#[test]
+fn analytic_and_sampled_costs_agree_after_training() {
+    // Train, then confirm the exact cost matches a high-shot estimate —
+    // ties the sampling stack to the analytic stack.
+    let ansatz = training_ansatz(3, 2).expect("ansatz");
+    let mut rng = StdRng::seed_from_u64(6);
+    let theta0 = InitStrategy::LeCun
+        .sample_params(&ansatz.shape, FanMode::Qubits, &mut rng)
+        .expect("init");
+    let obs = CostKind::Global.observable(3);
+    let mut adam = Adam::new(0.1).expect("adam");
+    let hist = train(&ansatz.circuit, &obs, theta0, &mut adam, 20).expect("train");
+
+    let state = ansatz.circuit.run(&hist.final_params).expect("run");
+    let exact = obs.expectation(&state).expect("exact");
+    let mut shot_rng = StdRng::seed_from_u64(7);
+    let sampled =
+        estimate_expectation(&state, &obs, 40_000, &mut shot_rng).expect("diagonal observable");
+    assert!(
+        (exact - sampled).abs() < 0.01,
+        "analytic {exact} vs sampled {sampled}"
+    );
+}
+
+#[test]
+fn landscape_flattens_with_width_under_random_init() {
+    // The Fig 1 effect as an assertion.
+    let cfg = LandscapeConfig::default().with_resolution(7).expect("cfg");
+    let amplitude_at = |q: usize| {
+        let ansatz = training_ansatz(q, 10).expect("ansatz");
+        let mut rng = StdRng::seed_from_u64(8);
+        let base = InitStrategy::Random
+            .sample_params(&ansatz.shape, FanMode::Qubits, &mut rng)
+            .expect("init");
+        let n = ansatz.circuit.n_params();
+        landscape_grid(
+            &ansatz.circuit,
+            &CostKind::Global.observable(q),
+            &base,
+            n - 2,
+            n - 1,
+            &cfg,
+        )
+        .expect("grid")
+        .amplitude()
+    };
+    let small = amplitude_at(2);
+    let large = amplitude_at(7);
+    assert!(
+        large < small,
+        "landscape amplitude should shrink: q=2 → {small:.3}, q=7 → {large:.3}"
+    );
+}
+
+#[test]
+fn local_cost_keeps_larger_gradients_than_global() {
+    // Cerezo et al.'s contrast, at fixed random initialization.
+    let make = |cost: CostKind| VarianceConfig {
+        qubit_counts: vec![2, 4, 6],
+        layers: 20,
+        n_circuits: 40,
+        cost,
+        ..VarianceConfig::default()
+    };
+    let global = variance_scan(&make(CostKind::Global), &[InitStrategy::Random]).expect("g");
+    let local = variance_scan(&make(CostKind::Local), &[InitStrategy::Random]).expect("l");
+    let g_fit = global.curves[0].decay_fit().expect("fit g");
+    let l_fit = local.curves[0].decay_fit().expect("fit l");
+    assert!(
+        l_fit.rate > g_fit.rate,
+        "local cost should decay slower: local {} vs global {}",
+        l_fit.rate,
+        g_fit.rate
+    );
+}
+
+#[test]
+fn observable_mismatch_is_caught_across_the_stack() {
+    let ansatz = training_ansatz(3, 1).expect("ansatz");
+    let wrong_obs = Observable::global_cost(4);
+    let params = vec![0.0; ansatz.circuit.n_params()];
+    let mut adam = Adam::new(0.1).expect("adam");
+    assert!(train(&ansatz.circuit, &wrong_obs, params, &mut adam, 1).is_err());
+}

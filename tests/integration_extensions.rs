@@ -1,0 +1,173 @@
+//! Integration tests for the extension systems: QNG, SPSA, mitigation
+//! baselines, noise channels, entanglement analysis, and two-qubit
+//! rotation ansätze — each exercised through the same public API the
+//! ablation benches use.
+
+use plateau_core::analysis::{average_entanglement, expressibility_kl};
+use plateau_core::ansatz::training_ansatz;
+use plateau_core::cost::CostKind;
+use plateau_core::init::{FanMode, InitStrategy};
+use plateau_core::mitigation::{identity_block_ansatz, identity_block_params, train_layerwise};
+use plateau_core::optim::{Adam, Optimizer};
+use plateau_core::qng::{train_qng, QngConfig};
+use plateau_core::spsa::{train_spsa, SpsaConfig};
+use plateau_core::train::train;
+use plateau_grad::{Adjoint, GradientEngine, ParameterShift};
+use plateau_sim::{Circuit, NoiseModel, Observable};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn qng_and_adam_both_solve_the_identity_task() {
+    let a = training_ansatz(4, 2).expect("ansatz");
+    let obs = CostKind::Global.observable(4);
+    let mut rng = StdRng::seed_from_u64(0);
+    let theta0 = InitStrategy::XavierNormal
+        .sample_params(&a.shape, FanMode::TensorShape, &mut rng)
+        .expect("init");
+
+    let qng = train_qng(&a.circuit, &obs, theta0.clone(), &QngConfig::default(), 30)
+        .expect("qng");
+    let mut adam = Adam::new(0.1).expect("adam");
+    let plain = train(&a.circuit, &obs, theta0, &mut adam, 30).expect("adam train");
+
+    assert!(qng.final_loss() < 0.05, "qng final {}", qng.final_loss());
+    assert!(plain.final_loss() < 0.05, "adam final {}", plain.final_loss());
+}
+
+#[test]
+fn spsa_tracks_exact_gradient_methods_on_smooth_task() {
+    let a = training_ansatz(3, 2).expect("ansatz");
+    let obs = CostKind::Global.observable(3);
+    let mut rng = StdRng::seed_from_u64(1);
+    let theta0 = InitStrategy::LeCun
+        .sample_params(&a.shape, FanMode::Qubits, &mut rng)
+        .expect("init");
+    let hist = train_spsa(&a.circuit, &obs, theta0, &SpsaConfig::default(), 400, &mut rng)
+        .expect("spsa");
+    // SPSA is stochastic and slower per iteration quality than exact
+    // gradients; require a solid reduction rather than near-exact solution.
+    assert!(
+        hist.final_loss() < 0.3 * hist.initial_loss(),
+        "spsa {} → {}",
+        hist.initial_loss(),
+        hist.final_loss()
+    );
+}
+
+#[test]
+fn identity_block_circuit_trains_on_identity_task() {
+    // Identity-block init prepares RY(π/4)^⊗n|0⟩ (prep layer), so the
+    // identity task starts at a nontrivial cost and must train down.
+    let ib = identity_block_ansatz(4, 2, 1).expect("ansatz");
+    let obs = CostKind::Global.observable(4);
+    let mut rng = StdRng::seed_from_u64(2);
+    let theta0 = identity_block_params(&ib, &mut rng).expect("init");
+    let initial = plateau_grad::expectation(&ib.circuit, &theta0, &obs).expect("cost");
+    assert!(initial > 0.1, "prep layer should displace the start: {initial}");
+    let mut adam = Adam::new(0.1).expect("adam");
+    let hist = train(&ib.circuit, &obs, theta0, &mut adam, 40).expect("train");
+    assert!(hist.final_loss() < 0.05, "final {}", hist.final_loss());
+}
+
+#[test]
+fn layerwise_matches_or_beats_plain_gd_from_random_start() {
+    let a = training_ansatz(5, 3).expect("ansatz");
+    let obs = CostKind::Global.observable(5);
+    let mut rng = StdRng::seed_from_u64(3);
+    let theta0 = InitStrategy::Random
+        .sample_params(&a.shape, FanMode::Qubits, &mut rng)
+        .expect("init");
+    let layered = train_layerwise(
+        &a,
+        &obs,
+        theta0.clone(),
+        &mut || Box::new(Adam::new(0.1).expect("adam")) as Box<dyn Optimizer>,
+        15,
+    )
+    .expect("layerwise");
+    assert!(layered.final_loss() < layered.initial_loss());
+}
+
+#[test]
+fn noise_floor_rises_with_channel_strength_on_trained_circuit() {
+    let a = training_ansatz(3, 2).expect("ansatz");
+    let obs = CostKind::Global.observable(3);
+    let mut rng = StdRng::seed_from_u64(4);
+    let theta0 = InitStrategy::XavierNormal
+        .sample_params(&a.shape, FanMode::Qubits, &mut rng)
+        .expect("init");
+    let mut adam = Adam::new(0.1).expect("adam");
+    let hist = train(&a.circuit, &obs, theta0, &mut adam, 40).expect("train");
+
+    let mut floors = Vec::new();
+    for p in [0.0, 0.02, 0.1] {
+        let noise = NoiseModel::depolarizing(p).expect("noise");
+        let mut traj_rng = StdRng::seed_from_u64(5);
+        floors.push(
+            noise
+                .expectation(&a.circuit, &hist.final_params, &obs, 800, &mut traj_rng)
+                .expect("noisy cost"),
+        );
+    }
+    assert!(floors[0] < 0.05, "noiseless trained cost {}", floors[0]);
+    assert!(floors[1] > floors[0]);
+    assert!(floors[2] > floors[1]);
+}
+
+#[test]
+fn entanglement_and_expressibility_rank_consistently_with_variance() {
+    // The mechanism chain: lower entanglement/expressibility ⇒ shallower
+    // variance decay. Random must rank highest on both diagnostics.
+    let a = training_ansatz(4, 4).expect("ansatz");
+    let mut worst_q = f64::NEG_INFINITY;
+    let mut random_q = 0.0;
+    for strategy in InitStrategy::PAPER_SET {
+        let q = average_entanglement(&a, strategy, FanMode::TensorShape, 12, 6).expect("Q");
+        if strategy == InitStrategy::Random {
+            random_q = q;
+        }
+        worst_q = worst_q.max(q);
+    }
+    assert!(
+        (random_q - worst_q).abs() < 1e-12,
+        "random should maximize entanglement: {random_q} vs max {worst_q}"
+    );
+
+    let kl_random =
+        expressibility_kl(&a, InitStrategy::Random, FanMode::TensorShape, 200, 16, 6)
+            .expect("kl");
+    let kl_xavier =
+        expressibility_kl(&a, InitStrategy::XavierNormal, FanMode::TensorShape, 200, 16, 6)
+            .expect("kl");
+    assert!(kl_random < kl_xavier);
+}
+
+#[test]
+fn two_qubit_rotation_ansatz_full_stack() {
+    // An RZZ-entangled ansatz exercised through gradients and training —
+    // the parameterized-entangler path end-to-end.
+    let n = 3;
+    let mut c = Circuit::new(n).expect("circuit");
+    for q in 0..n {
+        c.ry(q).expect("ry");
+    }
+    for q in 0..n - 1 {
+        c.rzz(q, q + 1).expect("rzz");
+    }
+    for q in 0..n {
+        c.rx(q).expect("rx");
+    }
+    let obs = Observable::global_cost(n);
+    let params: Vec<f64> = (0..c.n_params()).map(|i| 0.2 + 0.1 * i as f64).collect();
+
+    let adj = Adjoint.gradient(&c, &params, &obs).expect("adjoint");
+    let shift = ParameterShift.gradient(&c, &params, &obs).expect("shift");
+    for (a, s) in adj.iter().zip(shift.iter()) {
+        assert!((a - s).abs() < 1e-10);
+    }
+
+    let mut adam = Adam::new(0.1).expect("adam");
+    let hist = train(&c, &obs, params, &mut adam, 40).expect("train");
+    assert!(hist.final_loss() < 0.05, "final {}", hist.final_loss());
+}

@@ -1,0 +1,215 @@
+//! Property-based invariants spanning the whole stack, driven by
+//! proptest-generated random circuits.
+
+use plateau_core::ansatz::training_ansatz;
+use plateau_sim::{
+    diagram, passes, qasm, Circuit, DensityMatrix, Observable, PauliString, RotationGate, State,
+};
+use proptest::prelude::*;
+
+/// A compact op-choice encoding proptest can generate: (kind, qubit, angle).
+fn build_circuit(n_qubits: usize, choices: &[(u8, usize, f64)]) -> Circuit {
+    let mut c = Circuit::new(n_qubits).expect("register");
+    for (kind, raw_q, angle) in choices {
+        let q = raw_q % n_qubits;
+        let q2 = (q + 1) % n_qubits;
+        match kind % 8 {
+            0 => {
+                c.push_rotation_const(RotationGate::Rx, q, *angle).unwrap();
+            }
+            1 => {
+                c.push_rotation_const(RotationGate::Ry, q, *angle).unwrap();
+            }
+            2 => {
+                c.push_rotation_const(RotationGate::Rz, q, *angle).unwrap();
+            }
+            3 => {
+                c.h(q).unwrap();
+            }
+            4 => {
+                if n_qubits > 1 {
+                    c.cz(q, q2).unwrap();
+                }
+            }
+            5 => {
+                if n_qubits > 1 {
+                    c.cx(q, q2).unwrap();
+                }
+            }
+            6 => {
+                if n_qubits > 1 {
+                    c.rzz(q, q2).unwrap();
+                    c.bind_last_param(*angle).unwrap();
+                }
+            }
+            _ => {
+                c.x(q).unwrap();
+            }
+        }
+    }
+    c
+}
+
+fn choice_strategy(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<(u8, usize, f64)>> {
+    proptest::collection::vec((0u8..8, 0usize..4, -3.2f64..3.2), len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Unitarity: every generated circuit preserves the norm.
+    #[test]
+    fn circuits_preserve_norm(choices in choice_strategy(1..30)) {
+        let c = build_circuit(3, &choices);
+        let s = c.run(&[]).expect("run");
+        prop_assert!((s.norm() - 1.0).abs() < 1e-9);
+    }
+
+    /// Reversibility: U†U|0⟩ = |0⟩ exactly.
+    #[test]
+    fn inverse_run_round_trips(choices in choice_strategy(1..25)) {
+        let c = build_circuit(3, &choices);
+        let mut s = c.run(&[]).expect("run");
+        c.run_inverse_on(&mut s, &[]).expect("inverse");
+        prop_assert!((s.probability_all_zeros() - 1.0).abs() < 1e-9);
+    }
+
+    /// Cost bounds: the projector costs live in [0, 1]; Pauli strings in
+    /// [−1, 1].
+    #[test]
+    fn observable_bounds(choices in choice_strategy(1..25)) {
+        let c = build_circuit(3, &choices);
+        let s = c.run(&[]).expect("run");
+        for obs in [Observable::global_cost(3), Observable::local_cost(3)] {
+            let e = obs.expectation(&s).expect("expectation");
+            prop_assert!((-1e-10..=1.0 + 1e-10).contains(&e), "{e}");
+        }
+        let z = Observable::pauli(PauliString::parse("ZZI").unwrap()).unwrap();
+        let e = z.expectation(&s).expect("pauli expectation");
+        prop_assert!(e.abs() <= 1.0 + 1e-10);
+    }
+
+    /// QASM round trip: export → parse → identical state.
+    #[test]
+    fn qasm_round_trip(choices in choice_strategy(1..20)) {
+        let c = build_circuit(3, &choices);
+        let text = qasm::to_qasm(&c, &[]).expect("export");
+        let back = qasm::from_qasm(&text).expect("import");
+        let s1 = c.run(&[]).expect("run original");
+        let s2 = back.run(&[]).expect("run imported");
+        prop_assert!((s1.fidelity(&s2).expect("fidelity") - 1.0).abs() < 1e-9);
+    }
+
+    /// Simplification preserves the prepared state.
+    #[test]
+    fn simplify_preserves_state(choices in choice_strategy(1..25)) {
+        let c = build_circuit(3, &choices);
+        let s = passes::simplify(&c);
+        prop_assert!(s.gate_count() <= c.gate_count());
+        let s1 = c.run(&[]).expect("run original");
+        let s2 = s.run(&[]).expect("run simplified");
+        prop_assert!((s1.fidelity(&s2).expect("fidelity") - 1.0).abs() < 1e-9);
+    }
+
+    /// Density-matrix evolution agrees with pure-state evolution.
+    #[test]
+    fn density_matrix_matches_pure(choices in choice_strategy(1..12)) {
+        let c = build_circuit(2, &choices);
+        let pure = c.run(&[]).expect("run");
+        let expected = DensityMatrix::from_pure(&pure);
+        let mut dm = DensityMatrix::zero(2);
+        dm.apply_circuit(&c, &[]).expect("dm run");
+        prop_assert!(dm.matrix().max_abs_diff(expected.matrix()) < 1e-9);
+        prop_assert!((dm.purity() - 1.0).abs() < 1e-9);
+    }
+
+    /// The diagram renderer never panics and mentions every wire.
+    #[test]
+    fn diagram_total(choices in choice_strategy(0..20)) {
+        let c = build_circuit(4, &choices);
+        let art = diagram::draw(&c);
+        for q in 0..4 {
+            let label = format!("q{q}:");
+            prop_assert!(art.contains(&label), "missing wire label {}", label);
+        }
+    }
+
+    /// Fidelity is symmetric and bounded for arbitrary preparations.
+    #[test]
+    fn fidelity_symmetry(
+        a in choice_strategy(1..12),
+        b in choice_strategy(1..12),
+    ) {
+        let ca = build_circuit(3, &a);
+        let cb = build_circuit(3, &b);
+        let sa = ca.run(&[]).expect("run a");
+        let sb = cb.run(&[]).expect("run b");
+        let fab = sa.fidelity(&sb).expect("fab");
+        let fba = sb.fidelity(&sa).expect("fba");
+        prop_assert!((fab - fba).abs() < 1e-10);
+        prop_assert!((-1e-10..=1.0 + 1e-10).contains(&fab));
+    }
+}
+
+#[test]
+fn training_ansatz_qasm_export_is_importable_at_scale() {
+    // The paper's 10-qubit, 5-layer ansatz exports and re-imports exactly.
+    let ansatz = training_ansatz(10, 5).expect("ansatz");
+    let params: Vec<f64> = (0..ansatz.circuit.n_params())
+        .map(|i| (i as f64 * 0.37).sin() * 2.0)
+        .collect();
+    let text = qasm::to_qasm(&ansatz.circuit, &params).expect("export");
+    assert_eq!(text.lines().filter(|l| l.starts_with("rx") || l.starts_with("ry")).count(), 100);
+    let back = qasm::from_qasm(&text).expect("import");
+    let s1 = ansatz.circuit.run(&params).expect("run");
+    let s2 = back.run(&[]).expect("run imported");
+    assert!((s1.fidelity(&s2).expect("fidelity") - 1.0).abs() < 1e-10);
+}
+
+#[test]
+fn state_tensor_structure_under_partial_trace() {
+    // Preparing q0 and q1 independently then tracing one out returns the
+    // other's pure reduced state.
+    let mut c = Circuit::new(2).expect("circuit");
+    c.push_rotation_const(RotationGate::Ry, 0, 0.8).unwrap();
+    c.push_rotation_const(RotationGate::Ry, 1, -1.3).unwrap();
+    let s = c.run(&[]).expect("run");
+    let rho0 = plateau_sim::reduced_density_matrix(&s, &[0]).expect("trace");
+    assert!((plateau_sim::purity(&rho0) - 1.0).abs() < 1e-10);
+    // ⟨0|ρ|0⟩ = cos²(0.4).
+    assert!((rho0[(0, 0)].re - 0.4f64.cos().powi(2)).abs() < 1e-10);
+}
+
+#[test]
+fn noise_model_determinism_with_fixed_seed() {
+    use plateau_sim::NoiseModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut c = Circuit::new(2).expect("circuit");
+    c.rx(0).unwrap().cz(0, 1).unwrap();
+    let noise = NoiseModel::depolarizing(0.1).expect("noise");
+    let obs = Observable::global_cost(2);
+    let run = || {
+        let mut rng = StdRng::seed_from_u64(99);
+        noise
+            .expectation(&c, &[0.4], &obs, 200, &mut rng)
+            .expect("noisy expectation")
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn sampled_counts_sum_to_shots() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut s = State::zero(3);
+    s.apply_fixed(plateau_sim::FixedGate::H, &[0]).unwrap();
+    s.apply_fixed(plateau_sim::FixedGate::H, &[2]).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let counts = plateau_sim::sample_counts(&s, 5000, &mut rng);
+    assert_eq!(counts.values().sum::<usize>(), 5000);
+    // Outcomes with qubit 1 set are impossible.
+    for idx in counts.keys() {
+        assert_eq!(idx & 0b010, 0);
+    }
+}

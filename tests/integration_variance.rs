@@ -1,0 +1,93 @@
+//! End-to-end checks of the paper's central claim at reduced scale: the
+//! bounded classical initializers slow the exponential decay of gradient
+//! variance relative to the random baseline.
+
+use plateau_core::init::InitStrategy;
+use plateau_core::variance::{variance_scan, VarianceConfig};
+
+fn scan_config(layers: usize, n_circuits: usize) -> VarianceConfig {
+    VarianceConfig {
+        qubit_counts: vec![2, 4, 6],
+        layers,
+        n_circuits,
+        ..VarianceConfig::default()
+    }
+}
+
+#[test]
+fn random_baseline_shows_exponential_decay() {
+    let scan = variance_scan(&scan_config(25, 60), &[InitStrategy::Random]).expect("scan");
+    let curve = &scan.curves[0];
+    // Monotone decreasing variance across qubit counts.
+    for w in curve.points.windows(2) {
+        assert!(
+            w[0].variance > w[1].variance,
+            "variance should fall with qubits: {} vs {}",
+            w[0].variance,
+            w[1].variance
+        );
+    }
+    let fit = curve.decay_fit().expect("fit");
+    assert!(fit.rate < -0.3, "decay rate {} should be clearly negative", fit.rate);
+    assert!(fit.r_squared > 0.8, "exponential fit quality {}", fit.r_squared);
+}
+
+#[test]
+fn every_paper_strategy_beats_random() {
+    let scan = variance_scan(&scan_config(25, 60), &InitStrategy::PAPER_SET).expect("scan");
+    let improvements = scan
+        .improvements_vs(InitStrategy::Random)
+        .expect("improvement table");
+    assert_eq!(improvements.len(), 5);
+    for imp in &improvements {
+        assert!(
+            imp.improvement_percent > 0.0,
+            "{} should improve on random, got {:.1}%",
+            imp.strategy,
+            imp.improvement_percent
+        );
+    }
+}
+
+#[test]
+fn xavier_gradient_magnitudes_exceed_random_at_largest_width() {
+    let scan = variance_scan(
+        &scan_config(25, 60),
+        &[InitStrategy::Random, InitStrategy::XavierNormal],
+    )
+    .expect("scan");
+    let rand_curve = scan.curve_of(InitStrategy::Random).expect("random");
+    let xav_curve = scan.curve_of(InitStrategy::XavierNormal).expect("xavier");
+    let q_max_idx = rand_curve.points.len() - 1;
+    assert!(
+        xav_curve.points[q_max_idx].variance > rand_curve.points[q_max_idx].variance,
+        "at the largest width Xavier should retain more gradient variance"
+    );
+}
+
+#[test]
+fn paired_circuit_structure_across_strategies() {
+    // The harness reuses circuit structures across strategies: with the
+    // Zero strategy every gradient is exactly 0 (identity circuit at the
+    // global minimum), regardless of the random gate pattern.
+    let scan = variance_scan(&scan_config(10, 8), &[InitStrategy::Zero]).expect("scan");
+    for p in &scan.curves[0].points {
+        for g in &p.gradients {
+            assert!(g.abs() < 1e-12, "zero init must sit at the stationary point");
+        }
+    }
+}
+
+#[test]
+fn variance_magnitudes_are_physical() {
+    // C ∈ [0, 1] and the two-term shift rule bound |∂C| ≤ 1, so
+    // Var ≤ 1. Also all variances must be strictly positive for random.
+    let scan = variance_scan(&scan_config(15, 40), &[InitStrategy::Random]).expect("scan");
+    for p in &scan.curves[0].points {
+        assert!(p.variance > 0.0);
+        assert!(p.variance < 1.0);
+        for g in &p.gradients {
+            assert!(g.abs() <= 1.0 + 1e-9);
+        }
+    }
+}
