@@ -1,42 +1,35 @@
-//! Criterion benchmarks of the statevector gate kernels: single-qubit
-//! rotation application, the CZ diagonal fast path, and full HEA layers
-//! across register sizes. These time the substrate itself — the per-gate
-//! costs that every experiment in the paper multiplies by thousands.
+//! Benchmarks of the statevector gate kernels: single-qubit rotation
+//! application, the CZ diagonal fast path, and full HEA layers across
+//! register sizes. These time the substrate itself — the per-gate costs
+//! that every experiment in the paper multiplies by thousands.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use plateau_bench::harness::{black_box, Harness};
 use plateau_sim::{Circuit, RotationGate, State};
-use std::hint::black_box;
 
-fn bench_single_qubit_rotation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rx_apply");
+fn bench_single_qubit_rotation(h: &mut Harness) {
+    let mut group = h.group("rx_apply");
     for &n in &[4usize, 8, 12, 16] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let mut state = State::zero(n);
-            b.iter(|| {
-                state
-                    .apply_rotation(RotationGate::Rx, black_box(n / 2), black_box(0.37))
-                    .expect("valid qubit");
-            });
+        let mut state = State::zero(n);
+        group.bench(&n.to_string(), || {
+            state
+                .apply_rotation(RotationGate::Rx, black_box(n / 2), black_box(0.37))
+                .expect("valid qubit");
         });
     }
-    group.finish();
 }
 
-fn bench_cz_fast_path(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cz_apply");
+fn bench_cz_fast_path(h: &mut Harness) {
+    let mut group = h.group("cz_apply");
     for &n in &[4usize, 8, 12, 16] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let mut state = State::zero(n);
-            b.iter(|| {
-                state.apply_cz(black_box(0), black_box(n - 1)).expect("valid qubits");
-            });
+        let mut state = State::zero(n);
+        group.bench(&n.to_string(), || {
+            state.apply_cz(black_box(0), black_box(n - 1)).expect("valid qubits");
         });
     }
-    group.finish();
 }
 
-fn bench_hea_layer(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hea_full_run");
+fn bench_hea_layer(h: &mut Harness) {
+    let mut group = h.group("hea_full_run");
     for &n in &[4usize, 8, 10] {
         let mut circuit = Circuit::new(n).expect("valid register");
         for _ in 0..5 {
@@ -49,17 +42,14 @@ fn bench_hea_layer(c: &mut Criterion) {
             }
         }
         let params: Vec<f64> = (0..circuit.n_params()).map(|i| i as f64 * 0.01).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| circuit.run(black_box(&params)).expect("run"));
-        });
+        group.bench(&n.to_string(), || circuit.run(black_box(&params)).expect("run"));
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_single_qubit_rotation,
-    bench_cz_fast_path,
-    bench_hea_layer
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("gate_kernels");
+    bench_single_qubit_rotation(&mut h);
+    bench_cz_fast_path(&mut h);
+    bench_hea_layer(&mut h);
+    h.finish();
+}

@@ -1,17 +1,16 @@
-//! Criterion benchmarks comparing the three gradient engines on the
-//! paper's training ansatz: adjoint differentiation should scale as one
-//! backward sweep for all parameters, parameter shift as two evaluations
-//! per parameter, finite differences likewise — the crossover justifies
-//! the harness's engine choices.
+//! Benchmarks comparing the three gradient engines on the paper's
+//! training ansatz: adjoint differentiation should scale as one backward
+//! sweep for all parameters, parameter shift as two evaluations per
+//! parameter, finite differences likewise — the crossover justifies the
+//! harness's engine choices.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use plateau_bench::harness::{black_box, Harness};
 use plateau_core::ansatz::training_ansatz;
 use plateau_core::cost::CostKind;
 use plateau_grad::{Adjoint, FiniteDifference, GradientEngine, ParameterShift};
-use std::hint::black_box;
 
-fn bench_engines_full_gradient(c: &mut Criterion) {
-    let mut group = c.benchmark_group("full_gradient");
+fn bench_engines_full_gradient(h: &mut Harness) {
+    let mut group = h.group("full_gradient");
     group.sample_size(20);
     for &n in &[4usize, 6, 8] {
         let ansatz = training_ansatz(n, 3).expect("valid ansatz");
@@ -20,33 +19,26 @@ fn bench_engines_full_gradient(c: &mut Criterion) {
             .collect();
         let obs = CostKind::Global.observable(n);
 
-        group.bench_with_input(BenchmarkId::new("adjoint", n), &n, |b, _| {
-            b.iter(|| {
-                Adjoint
-                    .gradient(black_box(&ansatz.circuit), black_box(&params), &obs)
-                    .expect("gradient")
-            });
+        group.bench(&format!("adjoint/{n}"), || {
+            Adjoint
+                .gradient(black_box(&ansatz.circuit), black_box(&params), &obs)
+                .expect("gradient")
         });
-        group.bench_with_input(BenchmarkId::new("parameter_shift", n), &n, |b, _| {
-            b.iter(|| {
-                ParameterShift
-                    .gradient(black_box(&ansatz.circuit), black_box(&params), &obs)
-                    .expect("gradient")
-            });
+        group.bench(&format!("parameter_shift/{n}"), || {
+            ParameterShift
+                .gradient(black_box(&ansatz.circuit), black_box(&params), &obs)
+                .expect("gradient")
         });
-        group.bench_with_input(BenchmarkId::new("finite_difference", n), &n, |b, _| {
-            b.iter(|| {
-                FiniteDifference::default()
-                    .gradient(black_box(&ansatz.circuit), black_box(&params), &obs)
-                    .expect("gradient")
-            });
+        group.bench(&format!("finite_difference/{n}"), || {
+            FiniteDifference::default()
+                .gradient(black_box(&ansatz.circuit), black_box(&params), &obs)
+                .expect("gradient")
         });
     }
-    group.finish();
 }
 
-fn bench_partial_last(c: &mut Criterion) {
-    let mut group = c.benchmark_group("partial_last");
+fn bench_partial_last(h: &mut Harness) {
+    let mut group = h.group("partial_last");
     group.sample_size(20);
     let n = 8;
     let ansatz = training_ansatz(n, 5).expect("valid ansatz");
@@ -55,22 +47,21 @@ fn bench_partial_last(c: &mut Criterion) {
         .collect();
     let obs = CostKind::Global.observable(n);
 
-    group.bench_function("parameter_shift", |b| {
-        b.iter(|| {
-            ParameterShift
-                .partial_last(black_box(&ansatz.circuit), black_box(&params), &obs)
-                .expect("partial")
-        });
+    group.bench("parameter_shift", || {
+        ParameterShift
+            .partial_last(black_box(&ansatz.circuit), black_box(&params), &obs)
+            .expect("partial")
     });
-    group.bench_function("adjoint", |b| {
-        b.iter(|| {
-            Adjoint
-                .partial_last(black_box(&ansatz.circuit), black_box(&params), &obs)
-                .expect("partial")
-        });
+    group.bench("adjoint", || {
+        Adjoint
+            .partial_last(black_box(&ansatz.circuit), black_box(&params), &obs)
+            .expect("partial")
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_engines_full_gradient, bench_partial_last);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("gradient_engines");
+    bench_engines_full_gradient(&mut h);
+    bench_partial_last(&mut h);
+    h.finish();
+}

@@ -1,15 +1,15 @@
-//! Criterion benchmark of the end-to-end variance harness throughput —
-//! the cost of one Fig 5a cell (circuit generation + initialization +
-//! last-parameter gradient) at small scale, which bounds the wall-clock of
-//! the paper-scale scan.
+//! Benchmark of the end-to-end variance harness throughput — the cost of
+//! one Fig 5a cell (circuit generation + initialization + last-parameter
+//! gradient) at small scale, which bounds the wall-clock of the
+//! paper-scale scan. The scan fans out over the in-repo thread pool
+//! (`plateau-par`), so this also exercises the parallel path.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use plateau_bench::harness::{black_box, Harness};
 use plateau_core::init::InitStrategy;
 use plateau_core::variance::{variance_scan, VarianceConfig};
-use std::hint::black_box;
 
-fn bench_variance_cell(c: &mut Criterion) {
-    let mut group = c.benchmark_group("variance_scan_cell");
+fn bench_variance_cell(h: &mut Harness) {
+    let mut group = h.group("variance_scan_cell");
     group.sample_size(10);
     for &q in &[4usize, 6, 8] {
         let config = VarianceConfig {
@@ -18,19 +18,16 @@ fn bench_variance_cell(c: &mut Criterion) {
             n_circuits: 16,
             ..VarianceConfig::default()
         };
-        group.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, _| {
-            b.iter(|| {
-                variance_scan(black_box(&config), &[InitStrategy::Random]).expect("scan")
-            });
+        group.bench(&q.to_string(), || {
+            variance_scan(black_box(&config), &[InitStrategy::Random]).expect("scan")
         });
     }
-    group.finish();
 }
 
-fn bench_strategy_overhead(c: &mut Criterion) {
+fn bench_strategy_overhead(h: &mut Harness) {
     // Orthogonal pays a QR per draw; check it stays negligible next to the
     // gradient evaluation.
-    let mut group = c.benchmark_group("variance_scan_strategy");
+    let mut group = h.group("variance_scan_strategy");
     group.sample_size(10);
     let config = VarianceConfig {
         qubit_counts: vec![6],
@@ -43,16 +40,15 @@ fn bench_strategy_overhead(c: &mut Criterion) {
         InitStrategy::XavierNormal,
         InitStrategy::Orthogonal { gain: 1.0 },
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(strategy.name()),
-            &strategy,
-            |b, s| {
-                b.iter(|| variance_scan(black_box(&config), &[*s]).expect("scan"));
-            },
-        );
+        group.bench(strategy.name(), || {
+            variance_scan(black_box(&config), &[strategy]).expect("scan")
+        });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_variance_cell, bench_strategy_overhead);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("variance_harness");
+    bench_variance_cell(&mut h);
+    bench_strategy_overhead(&mut h);
+    h.finish();
+}

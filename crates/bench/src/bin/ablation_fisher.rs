@@ -16,8 +16,8 @@ use plateau_bench::{banner, csv_header, csv_row, env_fan_mode, timed, Scale};
 use plateau_core::ansatz::training_ansatz;
 use plateau_core::init::{FanMode, InitStrategy};
 use plateau_grad::classical_fisher_information;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use plateau_rng::rngs::StdRng;
+use plateau_rng::SeedableRng;
 
 /// Trace and participation ratio of a symmetric matrix.
 fn fisher_stats(f: &plateau_linalg::RMatrix) -> (f64, f64) {

@@ -13,8 +13,8 @@ use plateau_core::optim::{Adam, Optimizer};
 use plateau_core::qng::{train_qng, QngConfig};
 use plateau_core::spsa::{train_spsa, SpsaConfig};
 use plateau_core::train::{train, TrainingHistory};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use plateau_rng::rngs::StdRng;
+use plateau_rng::SeedableRng;
 
 fn summarize(label: &str, hist: &TrainingHistory) {
     let reach = hist

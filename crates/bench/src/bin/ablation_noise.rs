@@ -13,8 +13,8 @@ use plateau_core::init::{FanMode, InitStrategy};
 use plateau_core::optim::Adam;
 use plateau_core::train::train;
 use plateau_sim::NoiseModel;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use plateau_rng::rngs::StdRng;
+use plateau_rng::SeedableRng;
 
 fn main() {
     let scale = Scale::from_env();

@@ -11,8 +11,8 @@ use plateau_core::cost::CostKind;
 use plateau_core::init::{FanMode, InitStrategy};
 use plateau_stats::variance;
 use plateau_sim::estimate_expectation;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use plateau_rng::rngs::StdRng;
+use plateau_rng::SeedableRng;
 use std::f64::consts::FRAC_PI_2;
 
 /// Parameter-shift estimate of dC/dθ_last from finite shots.

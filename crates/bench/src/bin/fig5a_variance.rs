@@ -7,8 +7,8 @@ use plateau_core::init::FanMode;
 use plateau_core::variance::{variance_scan, VarianceConfig};
 use plateau_core::init::InitStrategy;
 use plateau_stats::{bootstrap_ci, variance as var_stat, welch_t_test};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use plateau_rng::rngs::StdRng;
+use plateau_rng::SeedableRng;
 
 fn main() {
     let scale = Scale::from_env();

@@ -21,6 +21,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+pub mod json;
+
 use plateau_core::init::InitStrategy;
 use std::time::Instant;
 
@@ -123,8 +126,8 @@ pub fn run_training_figure(
     use plateau_core::cost::CostKind;
     use plateau_core::init::FanMode;
     use plateau_core::train::train;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use plateau_rng::rngs::StdRng;
+    use plateau_rng::SeedableRng;
 
     banner(title, scale);
     let n_qubits = scale.pick(10, 4);

@@ -170,8 +170,8 @@ fn cmd_train(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
 
     let ansatz = training_ansatz(n_qubits, layers)?;
     let obs = CostKind::Global.observable(n_qubits);
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    use plateau_rng::SeedableRng;
+    let mut rng = plateau_rng::rngs::StdRng::seed_from_u64(seed);
     let theta0 = strategy.sample_params(&ansatz.shape, fan, &mut rng)?;
 
     let opt_name = parsed.get_str("optimizer", "adam");
@@ -211,8 +211,8 @@ fn cmd_landscape(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
     let seed = parsed.get("seed", 0u64)?;
 
     let ansatz = training_ansatz(n_qubits, layers)?;
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    use plateau_rng::SeedableRng;
+    let mut rng = plateau_rng::rngs::StdRng::seed_from_u64(seed);
     let base = InitStrategy::Random.sample_params(&ansatz.shape, FanMode::Qubits, &mut rng)?;
     let cfg = LandscapeConfig::default().with_resolution(resolution)?;
     let n = ansatz.circuit.n_params();
@@ -249,8 +249,8 @@ fn cmd_export(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
     let seed = parsed.get("seed", 0u64)?;
 
     let ansatz = training_ansatz(n_qubits, layers)?;
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    use plateau_rng::SeedableRng;
+    let mut rng = plateau_rng::rngs::StdRng::seed_from_u64(seed);
     let theta = strategy.sample_params(&ansatz.shape, fan, &mut rng)?;
     print!("{}", plateau_sim::qasm::to_qasm(&ansatz.circuit, &theta)?);
     Ok(())
@@ -300,8 +300,8 @@ fn cmd_classify(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
     let strategy = parse_strategy(&parsed.get_str("strategy", "xavier_normal"))?;
     let seed = parsed.get("seed", 42u64)?;
 
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    use plateau_rng::SeedableRng;
+    let mut rng = plateau_rng::rngs::StdRng::seed_from_u64(seed);
     let data = plateau_qml::two_moons(n_samples, noise, &mut rng);
     let (train_set, test_set) = plateau_qml::train_test_split(data, 0.75);
     let model = plateau_qml::Classifier::new(n_qubits, layers, 2)?;

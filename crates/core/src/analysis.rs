@@ -34,8 +34,8 @@ use crate::ansatz::Ansatz;
 use crate::error::CoreError;
 use crate::init::{FanMode, InitStrategy};
 use plateau_sim::meyer_wallach;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use plateau_rng::rngs::StdRng;
+use plateau_rng::SeedableRng;
 
 /// Mean Meyer–Wallach global entanglement `Q` of the states prepared by
 /// the ansatz under `samples` independent parameter draws from `strategy`.

@@ -28,7 +28,7 @@
 use crate::error::CoreError;
 use crate::init::LayerShape;
 use plateau_sim::{Circuit, RotationGate};
-use rand::Rng;
+use plateau_rng::Rng;
 
 /// An ansatz: a circuit plus the layer geometry its initializers need.
 #[derive(Debug, Clone, PartialEq)]
@@ -92,7 +92,7 @@ pub fn variance_ansatz<R: Rng + ?Sized>(
     let mut circuit = Circuit::new(n_qubits)?;
     for _ in 0..layers {
         for q in 0..n_qubits {
-            let gate = RotationGate::PAULI_ROTATIONS[rng.gen_range(0..3)];
+            let gate = RotationGate::PAULI_ROTATIONS[rng.gen_range(0..3usize)];
             circuit.push_rotation(gate, q)?;
         }
         for q in 0..n_qubits.saturating_sub(1) {
@@ -107,8 +107,8 @@ pub fn variance_ansatz<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use plateau_sim::Op;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use plateau_rng::rngs::StdRng;
+    use plateau_rng::SeedableRng;
 
     #[test]
     fn training_ansatz_paper_counts() {

@@ -6,7 +6,6 @@ use std::fmt;
 
 /// Which cost operator an experiment measures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum CostKind {
     /// `C = 1 − p(|0…0⟩)` — the paper's objective (Eq. 4). Global costs
     /// show barren plateaus at any depth.

@@ -20,7 +20,7 @@
 //!
 //! ```
 //! use plateau_core::init::{FanMode, InitStrategy, LayerShape};
-//! use rand::{rngs::StdRng, SeedableRng};
+//! use plateau_rng::{rngs::StdRng, SeedableRng};
 //!
 //! let shape = LayerShape::new(10, 20, 5)?; // 10 qubits, 2 gates/qubit, 5 layers
 //! let mut rng = StdRng::seed_from_u64(0);
@@ -35,14 +35,13 @@
 use crate::error::CoreError;
 use plateau_linalg::{qr_decompose_signfixed, RMatrix};
 use plateau_stats::{Beta, Normal, Sampler, Uniform};
-use rand::Rng;
+use plateau_rng::Rng;
 use std::f64::consts::PI;
 use std::fmt;
 
 /// How a PQC layer is mapped to the `(fan_in, fan_out)` of a classical
 /// dense layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum FanMode {
     /// `fan_in = fan_out = n_qubits` — the interpretation used for the
     /// headline reproduction.
@@ -63,7 +62,6 @@ pub enum FanMode {
 
 /// Geometry of a layered ansatz: enough information for every initializer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LayerShape {
     n_qubits: usize,
     params_per_layer: usize,
@@ -130,7 +128,6 @@ impl LayerShape {
 /// ([`InitStrategy::BetaInit`], [`InitStrategy::Zero`]) are baselines from
 /// the related-work discussion used in the ablation benches.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum InitStrategy {
     /// Angles uniform on `[0, 2π)` — the barren-plateau-prone baseline
     /// (PennyLane's convention for random PQC parameters).
@@ -328,8 +325,8 @@ fn sample_haar_orthogonal<R: Rng>(n: usize, gauss: &Normal, rng: &mut R) -> RMat
 mod tests {
     use super::*;
     use plateau_stats::{mean, variance};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use plateau_rng::rngs::StdRng;
+    use plateau_rng::SeedableRng;
 
     fn shape(q: usize, ppl: usize, l: usize) -> LayerShape {
         LayerShape::new(q, ppl, l).unwrap()

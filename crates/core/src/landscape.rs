@@ -28,7 +28,6 @@ use std::f64::consts::PI;
 
 /// Grid geometry for a landscape scan.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LandscapeConfig {
     /// Lower bound of both scanned angles.
     pub min: f64,
@@ -83,7 +82,6 @@ impl LandscapeConfig {
 
 /// A scanned 2-D cost surface.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LandscapeGrid {
     /// Coordinates along the first scanned parameter.
     pub xs: Vec<f64>,

@@ -16,7 +16,7 @@
 //!
 //! ```
 //! use plateau_core::mitigation::{identity_block_ansatz, identity_block_params};
-//! use rand::{rngs::StdRng, SeedableRng};
+//! use plateau_rng::{rngs::StdRng, SeedableRng};
 //!
 //! let ansatz = identity_block_ansatz(4, 2, 1)?;
 //! let mut rng = StdRng::seed_from_u64(0);
@@ -37,7 +37,7 @@ use crate::optim::Optimizer;
 use crate::train::TrainingHistory;
 use plateau_grad::{expectation, Adjoint, GradientEngine};
 use plateau_sim::{Circuit, Observable};
-use rand::Rng;
+use plateau_rng::Rng;
 use std::f64::consts::PI;
 
 /// Builds the Grant-style identity-block ansatz: `blocks` repetitions of
@@ -197,8 +197,8 @@ mod tests {
     use crate::init::{FanMode, InitStrategy};
     use crate::optim::Adam;
     use plateau_sim::{Observable, PauliString};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use plateau_rng::rngs::StdRng;
+    use plateau_rng::SeedableRng;
 
     #[test]
     fn identity_block_ansatz_counts() {

@@ -28,7 +28,6 @@ use std::fmt;
 
 /// A learning-rate schedule evaluated per iteration (0-based).
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Schedule {
     /// A constant rate.
     Constant(f64),

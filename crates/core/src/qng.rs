@@ -15,7 +15,7 @@
 //! use plateau_core::{ansatz::training_ansatz, cost::CostKind};
 //! use plateau_core::qng::{train_qng, QngConfig};
 //! use plateau_core::init::{FanMode, InitStrategy};
-//! use rand::{rngs::StdRng, SeedableRng};
+//! use plateau_rng::{rngs::StdRng, SeedableRng};
 //!
 //! let a = training_ansatz(3, 2)?;
 //! let mut rng = StdRng::seed_from_u64(4);
@@ -39,7 +39,6 @@ use plateau_sim::{Circuit, Observable};
 
 /// Configuration of the QNG optimizer.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct QngConfig {
     /// Step size η (the paper's experiments use 0.1 for its optimizers).
     pub learning_rate: f64,
@@ -124,8 +123,8 @@ mod tests {
     use crate::init::{FanMode, InitStrategy};
     use crate::optim::GradientDescent;
     use crate::train::train;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use plateau_rng::rngs::StdRng;
+    use plateau_rng::SeedableRng;
 
     #[test]
     fn qng_trains_identity_task() {

@@ -18,7 +18,7 @@
 //! use plateau_core::{ansatz::training_ansatz, cost::CostKind};
 //! use plateau_core::spsa::{train_spsa, SpsaConfig};
 //! use plateau_core::init::{FanMode, InitStrategy};
-//! use rand::{rngs::StdRng, SeedableRng};
+//! use plateau_rng::{rngs::StdRng, SeedableRng};
 //!
 //! let a = training_ansatz(3, 2)?;
 //! let mut rng = StdRng::seed_from_u64(9);
@@ -39,11 +39,10 @@ use crate::error::CoreError;
 use crate::train::TrainingHistory;
 use plateau_grad::expectation;
 use plateau_sim::{Circuit, Observable};
-use rand::Rng;
+use plateau_rng::Rng;
 
 /// SPSA gain-sequence configuration (Spall's standard parameterization).
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SpsaConfig {
     /// Step-size numerator `a`.
     pub a: f64,
@@ -164,8 +163,8 @@ mod tests {
     use crate::ansatz::training_ansatz;
     use crate::cost::CostKind;
     use crate::init::{FanMode, InitStrategy};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use plateau_rng::rngs::StdRng;
+    use plateau_rng::SeedableRng;
 
     #[test]
     fn gain_sequences_decay() {

@@ -9,7 +9,7 @@
 //! ```
 //! use plateau_core::{ansatz::training_ansatz, cost::CostKind, optim::Adam, train::train};
 //! use plateau_core::init::{FanMode, InitStrategy};
-//! use rand::{rngs::StdRng, SeedableRng};
+//! use plateau_rng::{rngs::StdRng, SeedableRng};
 //!
 //! let a = training_ansatz(4, 2)?;
 //! let mut rng = StdRng::seed_from_u64(1);
@@ -28,7 +28,6 @@ use plateau_sim::{Circuit, Observable};
 
 /// The recorded trajectory of one training run.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TrainingHistory {
     /// Loss before training plus after each iteration
     /// (`iterations + 1` entries).
@@ -125,8 +124,8 @@ mod tests {
     use crate::init::{FanMode, InitStrategy};
     use crate::optim::{Adam, GradientDescent};
     use plateau_grad::ParameterShift;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use plateau_rng::rngs::StdRng;
+    use plateau_rng::SeedableRng;
 
     fn setup(n: usize, layers: usize, strategy: InitStrategy, seed: u64) -> (Circuit, Vec<f64>) {
         let a = training_ansatz(n, layers).unwrap();

@@ -37,13 +37,11 @@ use crate::error::CoreError;
 use crate::init::{FanMode, InitStrategy};
 use plateau_grad::{GradientEngine, ParameterShift};
 use plateau_stats::{decay_improvement_percent, fit_exponential_decay, variance, ExpDecayFit};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use rayon::prelude::*;
+use plateau_par::par_map_indexed;
+use plateau_rng::{derive_seed, rngs::StdRng, SeedableRng};
 
 /// Which ansatz family the scan ensembles over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum AnsatzKind {
     /// The paper's Eq. 2: one rotation per qubit per layer, drawn uniformly
     /// from `{RX, RY, RZ}` per ensemble member.
@@ -58,7 +56,6 @@ pub enum AnsatzKind {
 
 /// Configuration of a variance scan.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct VarianceConfig {
     /// Qubit counts to sweep (paper: `{2, 4, 6, 8, 10}`).
     pub qubit_counts: Vec<usize>,
@@ -114,7 +111,6 @@ impl VarianceConfig {
 
 /// One `(qubit count, strategy)` cell of the scan.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct VariancePoint {
     /// Qubit count of this cell.
     pub n_qubits: usize,
@@ -127,7 +123,6 @@ pub struct VariancePoint {
 
 /// The variance-vs-qubits curve of one strategy.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StrategyCurve {
     /// The initialization strategy.
     pub strategy: InitStrategy,
@@ -160,7 +155,7 @@ impl StrategyCurve {
     /// Returns [`CoreError::InvalidConfig`] for a zero resample budget or
     /// a confidence level outside `(0, 1)`, and [`CoreError::Fit`] when a
     /// resampled fit is ill-posed.
-    pub fn decay_rate_ci<R: rand::Rng>(
+    pub fn decay_rate_ci<R: plateau_rng::Rng>(
         &self,
         resamples: usize,
         level: f64,
@@ -200,7 +195,6 @@ impl StrategyCurve {
 
 /// Full result of a variance scan.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct VarianceScan {
     /// The configuration that produced this scan.
     pub config: VarianceConfig,
@@ -210,7 +204,6 @@ pub struct VarianceScan {
 
 /// One row of the improvement table (the paper's headline numbers).
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Improvement {
     /// The strategy being compared against the baseline.
     pub strategy: InitStrategy,
@@ -257,20 +250,6 @@ impl VarianceScan {
     }
 }
 
-/// SplitMix64 — used to derive independent per-task seeds from the master
-/// seed so results are reproducible regardless of rayon's scheduling.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e3779b97f4a7c15);
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-    z ^ (z >> 31)
-}
-
-fn derive_seed(master: u64, a: u64, b: u64, c: u64) -> u64 {
-    splitmix64(master ^ splitmix64(a ^ splitmix64(b ^ splitmix64(c))))
-}
-
 /// Computes one gradient sample: build circuit `(q, i)`, draw parameters
 /// with `strategy`, differentiate the last parameter.
 fn gradient_sample(
@@ -305,8 +284,9 @@ fn gradient_sample(
 
 /// Runs the full variance scan for the given strategies.
 ///
-/// Work is parallelized over ensemble members with rayon; determinism is
-/// guaranteed by per-task seed derivation.
+/// Work is parallelized over ensemble members with
+/// [`plateau_par::par_map_indexed`]; determinism is guaranteed by
+/// per-task seed derivation ([`plateau_rng::derive_seed`]).
 ///
 /// # Errors
 ///
@@ -325,9 +305,11 @@ pub fn variance_scan(
     for (s_idx, &strategy) in strategies.iter().enumerate() {
         let mut points = Vec::with_capacity(config.qubit_counts.len());
         for &q in &config.qubit_counts {
-            let gradients: Result<Vec<f64>, CoreError> = (0..config.n_circuits)
-                .into_par_iter()
-                .map(|i| gradient_sample(config, strategy, s_idx, q, i))
+            let gradients: Result<Vec<f64>, CoreError> =
+                par_map_indexed(config.n_circuits, |i| {
+                    gradient_sample(config, strategy, s_idx, q, i)
+                })
+                .into_iter()
                 .collect();
             let gradients = gradients?;
             points.push(VariancePoint {
@@ -481,8 +463,8 @@ mod tests {
 
     #[test]
     fn decay_rate_ci_brackets_the_point_estimate() {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use plateau_rng::rngs::StdRng;
+        use plateau_rng::SeedableRng;
         let cfg = small_config();
         let scan = variance_scan(&cfg, &[InitStrategy::Random]).unwrap();
         let curve = &scan.curves[0];
@@ -531,5 +513,22 @@ mod tests {
         let s2 = derive_seed(7, 1, 2, 4);
         assert_ne!(s1, s2);
         assert!((s1 ^ s2).count_ones() > 8);
+    }
+
+    #[test]
+    fn scan_is_identical_when_forced_sequential() {
+        // Thread count must never leak into results: per-task seed
+        // derivation makes the parallel and sequential scans bit-equal.
+        let cfg = VarianceConfig {
+            qubit_counts: vec![2, 3],
+            layers: 6,
+            n_circuits: 10,
+            ..VarianceConfig::default()
+        };
+        let parallel = variance_scan(&cfg, &[InitStrategy::Random]).unwrap();
+        std::env::set_var("PLATEAU_THREADS", "1");
+        let sequential = variance_scan(&cfg, &[InitStrategy::Random]).unwrap();
+        std::env::remove_var("PLATEAU_THREADS");
+        assert_eq!(parallel, sequential);
     }
 }

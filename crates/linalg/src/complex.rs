@@ -315,21 +315,6 @@ impl Product for C64 {
     }
 }
 
-#[cfg(feature = "serde")]
-impl serde::Serialize for C64 {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        (self.re, self.im).serialize(s)
-    }
-}
-
-#[cfg(feature = "serde")]
-impl<'de> serde::Deserialize<'de> for C64 {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        let (re, im) = <(f64, f64)>::deserialize(d)?;
-        Ok(C64::new(re, im))
-    }
-}
-
 /// Shorthand constructor: `c64(re, im)`.
 ///
 /// # Examples

@@ -186,8 +186,8 @@ pub fn eigh(a: &CMatrix, tol: f64, max_sweeps: usize) -> Result<EigenDecompositi
 mod tests {
     use super::*;
     use crate::complex::c64;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use plateau_rng::rngs::StdRng;
+    use plateau_rng::{Rng, SeedableRng};
 
     fn random_hermitian(n: usize, seed: u64) -> CMatrix {
         let mut rng = StdRng::seed_from_u64(seed);

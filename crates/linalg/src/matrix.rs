@@ -24,7 +24,6 @@ use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
 
 /// A dense row-major complex matrix.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CMatrix {
     rows: usize,
     cols: usize,
@@ -388,7 +387,6 @@ impl fmt::Display for CMatrix {
 
 /// A dense row-major real matrix, used by the orthogonal initializer.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RMatrix {
     rows: usize,
     cols: usize,

@@ -143,8 +143,8 @@ pub fn qr_decompose_signfixed(a: &RMatrix) -> QrDecomposition {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use plateau_rng::rngs::StdRng;
+    use plateau_rng::{Rng, SeedableRng};
 
     fn random_matrix(rows: usize, cols: usize, seed: u64) -> RMatrix {
         let mut rng = StdRng::seed_from_u64(seed);

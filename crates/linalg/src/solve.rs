@@ -102,8 +102,8 @@ pub fn solve(a: &RMatrix, b: &[f64]) -> Result<Vec<f64>, SolveError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use plateau_rng::rngs::StdRng;
+    use plateau_rng::{Rng, SeedableRng};
 
     #[test]
     fn identity_system() {

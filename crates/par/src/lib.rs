@@ -1,0 +1,243 @@
+//! # plateau-par
+//!
+//! Minimal scoped fork-join parallelism for the plateau stack, replacing
+//! the `rayon` dependency with `std::thread::scope`.
+//!
+//! The workspace has exactly one parallelism shape: embarrassingly
+//! parallel fan-out over an ensemble (e.g. 200 gradient samples per
+//! variance-scan cell), where every task derives its own RNG seed so the
+//! result is independent of scheduling. [`par_map_collect`] covers that
+//! shape: an ordered parallel map with dynamic (atomic-counter) load
+//! balancing.
+//!
+//! Design notes:
+//!
+//! - **Scoped, not pooled.** Each call spawns its workers inside a
+//!   `std::thread::scope` and joins them before returning. There is no
+//!   global pool, hence no shared queue — nested calls simply spawn their
+//!   own scope and cannot deadlock.
+//! - **Ordered.** Results come back in input order regardless of which
+//!   worker ran which item, so seeded experiments stay reproducible.
+//! - **Dynamic scheduling.** Workers claim items one at a time from an
+//!   atomic counter; uneven per-item cost (larger circuits are slower)
+//!   balances automatically.
+//!
+//! The worker count defaults to the machine's available parallelism and
+//! can be capped with the `PLATEAU_THREADS` environment variable
+//! (`PLATEAU_THREADS=1` forces sequential execution, useful when
+//! profiling or bisecting).
+//!
+//! # Examples
+//!
+//! ```
+//! use plateau_par::par_map_collect;
+//!
+//! let squares = par_map_collect(0..8u64, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads a parallel call will use for `n_items`:
+/// `min(available_parallelism, PLATEAU_THREADS, n_items)`, at least 1.
+pub fn worker_count(n_items: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let cap = std::env::var("PLATEAU_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(usize::MAX);
+    hw.min(cap).min(n_items).max(1)
+}
+
+/// Maps `f` over `items` in parallel, returning results in input order.
+///
+/// Spawns up to [`worker_count`] scoped threads; each claims items from a
+/// shared atomic counter, computes `f`, and stashes `(index, result)`
+/// locally. After the join, results are reassembled in input order. With
+/// one worker (or one item) no thread is spawned at all and `f` runs on
+/// the caller's thread.
+///
+/// `f` may itself call `par_map_collect`: nested calls open their own
+/// scope, so there is no pool to exhaust and no deadlock.
+///
+/// # Panics
+///
+/// If `f` panics on any item, the panic is propagated to the caller after
+/// all workers have stopped.
+pub fn par_map_collect<I, T, U, F>(items: I, f: F) -> Vec<U>
+where
+    I: IntoIterator<Item = T>,
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let items: Vec<T> = items.into_iter().collect();
+    let n = items.len();
+    let workers = worker_count(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Hand items out through a Mutex<Vec<Option<T>>>: the atomic counter
+    // assigns indices, the mutex slot transfers ownership of the item.
+    // Contention is negligible against the per-item work this crate is
+    // used for (circuit simulation, not arithmetic).
+    let slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let slots = Mutex::new(slots);
+    let next = AtomicUsize::new(0);
+
+    let mut buckets: Vec<Vec<(usize, U)>> = Vec::with_capacity(workers);
+    let mut first_panic = None;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| {
+                let mut local: Vec<(usize, U)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        return local;
+                    }
+                    let item = slots
+                        .lock()
+                        .expect("plateau-par: a sibling worker panicked")[i]
+                        .take()
+                        .expect("plateau-par: item claimed twice");
+                    local.push((i, f(item)));
+                }
+            }));
+        }
+        // Join every worker before propagating, so the scope never has to
+        // re-raise a second panic while the first is unwinding.
+        for h in handles {
+            match h.join() {
+                Ok(local) => buckets.push(local),
+                Err(payload) if first_panic.is_none() => first_panic = Some(payload),
+                Err(_) => {}
+            }
+        }
+    });
+    if let Some(payload) = first_panic {
+        std::panic::resume_unwind(payload);
+    }
+
+    let mut pairs: Vec<(usize, U)> = buckets.into_iter().flatten().collect();
+    debug_assert_eq!(pairs.len(), n);
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    pairs.into_iter().map(|(_, u)| u).collect()
+}
+
+/// Runs `f` over `0..n` in parallel — the index-based convenience form
+/// used by the ensemble harnesses.
+///
+/// # Examples
+///
+/// ```
+/// let doubled = plateau_par::par_map_indexed(4, |i| 2 * i);
+/// assert_eq!(doubled, vec![0, 2, 4, 6]);
+/// ```
+pub fn par_map_indexed<U: Send, F: Fn(usize) -> U + Sync>(n: usize, f: F) -> Vec<U> {
+    par_map_collect(0..n, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn matches_sequential_map_over_1000_items() {
+        let items: Vec<u64> = (0..1_000).collect();
+        let expected: Vec<u64> = items.iter().map(|&i| i.wrapping_mul(i) ^ 0xabcd).collect();
+        let got = par_map_collect(items, |i| i.wrapping_mul(i) ^ 0xabcd);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn results_are_in_input_order_under_skewed_workloads() {
+        // Early items sleep, late items return instantly: completion order
+        // is the reverse of input order, output order must not be.
+        let got = par_map_indexed(32, |i| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            i
+        });
+        assert_eq!(got, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_invocation_does_not_deadlock() {
+        let table = par_map_indexed(8, |i| par_map_indexed(8, move |j| i * 8 + j));
+        for (i, row) in table.iter().enumerate() {
+            assert_eq!(*row, (i * 8..i * 8 + 8).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = par_map_collect(Vec::<u32>::new(), |x| x + 1);
+        assert!(empty.is_empty());
+        assert_eq!(par_map_collect(vec![41u32], |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn non_copy_items_are_moved_into_the_closure() {
+        let items: Vec<String> = (0..100).map(|i| format!("item-{i}")).collect();
+        let got = par_map_collect(items, |s| s.len());
+        assert_eq!(got.len(), 100);
+        assert_eq!(got[7], "item-7".len());
+    }
+
+    #[test]
+    fn result_collection_short_circuits_errors_like_the_harness_does() {
+        // The variance harness maps to Result and collects afterward; make
+        // sure the pattern composes.
+        let out: Result<Vec<usize>, String> =
+            par_map_indexed(100, |i| if i == 63 { Err(format!("boom at {i}")) } else { Ok(i) })
+                .into_iter()
+                .collect();
+        assert_eq!(out.unwrap_err(), "boom at 63");
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads_when_available() {
+        if worker_count(64) < 2 {
+            return; // single-core CI — nothing to assert
+        }
+        let seen_other_thread = AtomicBool::new(false);
+        let caller = std::thread::current().id();
+        par_map_indexed(64, |_| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            if std::thread::current().id() != caller {
+                seen_other_thread.store(true, Ordering::Relaxed);
+            }
+        });
+        assert!(seen_other_thread.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn worker_panic_propagates() {
+        par_map_indexed(16, |i| {
+            if i == 5 {
+                panic!("worker boom");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn worker_count_respects_item_count() {
+        assert_eq!(worker_count(0), 1);
+        assert_eq!(worker_count(1), 1);
+        assert!(worker_count(1_000) >= 1);
+    }
+}

@@ -16,9 +16,9 @@
 //! use plateau_core::optim::Adam;
 //! use plateau_qml::classifier::Classifier;
 //! use plateau_qml::dataset::gaussian_blobs;
-//! use rand::{rngs::StdRng, SeedableRng};
+//! use plateau_rng::{rngs::StdRng, SeedableRng};
 //!
-//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut rng = StdRng::seed_from_u64(2);
 //! let data = gaussian_blobs(60, 0.15, &mut rng);
 //! let mut model = Classifier::new(2, 2, 2)?;
 //! let w0 = model.init_weights(InitStrategy::XavierNormal, FanMode::TensorShape, &mut rng)?;
@@ -34,7 +34,7 @@ use plateau_core::init::{FanMode, InitStrategy, LayerShape};
 use plateau_core::optim::Optimizer;
 use plateau_grad::{Adjoint, GradientEngine};
 use plateau_sim::{Circuit, Observable, Pauli, PauliString};
-use rand::Rng;
+use plateau_rng::Rng;
 
 /// A data re-uploading classifier model: fixed architecture, trainable
 /// weight vector supplied per call.
@@ -274,8 +274,8 @@ mod tests {
     use super::*;
     use crate::dataset::{gaussian_blobs, train_test_split, two_moons};
     use plateau_core::optim::Adam;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use plateau_rng::rngs::StdRng;
+    use plateau_rng::SeedableRng;
 
     #[test]
     fn architecture_counts() {

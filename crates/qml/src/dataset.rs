@@ -12,7 +12,7 @@
 //!
 //! ```
 //! use plateau_qml::dataset::two_moons;
-//! use rand::{rngs::StdRng, SeedableRng};
+//! use plateau_rng::{rngs::StdRng, SeedableRng};
 //!
 //! let mut rng = StdRng::seed_from_u64(0);
 //! let data = two_moons(100, 0.05, &mut rng);
@@ -20,7 +20,7 @@
 //! assert!(data.iter().all(|s| s.features.iter().all(|x| x.abs() <= 1.0)));
 //! ```
 
-use rand::Rng;
+use plateau_rng::Rng;
 use std::f64::consts::PI;
 
 /// One labelled sample: a feature vector and a binary label.
@@ -100,8 +100,8 @@ pub fn train_test_split(data: Vec<Sample>, ratio: f64) -> (Vec<Sample>, Vec<Samp
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use plateau_rng::rngs::StdRng;
+    use plateau_rng::SeedableRng;
 
     #[test]
     fn moons_are_balanced_and_bounded() {

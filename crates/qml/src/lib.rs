@@ -17,7 +17,7 @@
 //! use plateau_core::init::{FanMode, InitStrategy};
 //! use plateau_core::optim::Adam;
 //! use plateau_qml::{classifier::Classifier, dataset::gaussian_blobs};
-//! use rand::{rngs::StdRng, SeedableRng};
+//! use plateau_rng::{rngs::StdRng, SeedableRng};
 //!
 //! let mut rng = StdRng::seed_from_u64(1);
 //! let data = gaussian_blobs(40, 0.15, &mut rng);

@@ -1,0 +1,155 @@
+//! A minimal, shrink-free property-test helper.
+//!
+//! Replaces the `proptest` dependency for this workspace's needs: a
+//! seeded case generator plus a `forall` loop over a fixed number of
+//! cases. There is no shrinking — on failure the panic message carries
+//! the seed, the case index, and the `Debug` form of the generated case,
+//! which is enough to reproduce deterministically (re-run `forall` with
+//! the same seed and count).
+//!
+//! # Examples
+//!
+//! ```
+//! use plateau_rng::check::forall;
+//! use plateau_rng::{prop_assert, Rng};
+//!
+//! forall(0xfeed, 64, |rng| rng.gen_range(-10.0..10.0), |&x| {
+//!     prop_assert!(x.abs() <= 10.0, "out of range: {x}");
+//!     Ok(())
+//! });
+//! ```
+
+use crate::{SeedableRng, StdRng};
+use std::fmt::Debug;
+
+/// Number of cases the workspace's property tests run by default.
+pub const DEFAULT_CASES: usize = 64;
+
+/// Runs `prop` against `cases` values drawn by `gen` from a generator
+/// seeded with `seed`.
+///
+/// # Panics
+///
+/// Panics on the first failing case, reporting the seed, case index, and
+/// the case itself.
+pub fn forall<T: Debug>(
+    seed: u64,
+    cases: usize,
+    mut gen: impl FnMut(&mut StdRng) -> T,
+    mut prop: impl FnMut(&T) -> Result<(), String>,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..cases {
+        let case = gen(&mut rng);
+        if let Err(msg) = prop(&case) {
+            panic!(
+                "property failed at case {i}/{cases} (seed {seed:#x}): {msg}\ncase: {case:#?}"
+            );
+        }
+    }
+}
+
+/// Generates a `Vec<T>` whose length is drawn from `len` and whose
+/// elements come from `element` — the common "random op sequence" shape
+/// of this workspace's circuit properties.
+pub fn vec_of<T>(
+    rng: &mut StdRng,
+    len: std::ops::Range<usize>,
+    mut element: impl FnMut(&mut StdRng) -> T,
+) -> Vec<T> {
+    use crate::Rng;
+    let n = rng.gen_range(len);
+    (0..n).map(|_| element(rng)).collect()
+}
+
+/// Property-scoped assertion: evaluates to `Err` (with an optional
+/// formatted message) instead of panicking, so [`forall`] can attach the
+/// case context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality form of [`prop_assert!`], printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    #[test]
+    fn forall_passes_trivially_true_property() {
+        forall(1, DEFAULT_CASES, |rng| rng.gen::<f64>(), |&x| {
+            prop_assert!((0.0..1.0).contains(&x));
+            Ok(())
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed at case")]
+    fn forall_reports_failing_case() {
+        forall(2, 64, |rng| rng.gen_range(0..100usize), |&x| {
+            prop_assert!(x < 50, "x = {x} not below 50");
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn forall_is_deterministic_per_seed() {
+        let mut a = Vec::new();
+        forall(3, 16, |rng| rng.gen::<u64>(), |&x| {
+            a.push(x);
+            Ok(())
+        });
+        let mut b = Vec::new();
+        forall(3, 16, |rng| rng.gen::<u64>(), |&x| {
+            b.push(x);
+            Ok(())
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn vec_of_respects_length_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let v = vec_of(&mut rng, 1..30, |r| r.gen::<f64>());
+            assert!((1..30).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn prop_assert_eq_formats_both_sides() {
+        let check = || -> Result<(), String> {
+            prop_assert_eq!(1 + 1, 3);
+            Ok(())
+        };
+        let err = check().unwrap_err();
+        assert!(err.contains("left: 2"));
+        assert!(err.contains("right: 3"));
+    }
+}

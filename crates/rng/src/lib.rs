@@ -1,0 +1,355 @@
+//! # plateau-rng
+//!
+//! Self-contained deterministic randomness for the plateau stack — no
+//! crates.io dependency, so the whole workspace builds offline.
+//!
+//! The paper's experiments hinge on reproducible ensembles: 200 random HEA
+//! circuits per qubit count, each with a seeded parameter draw. Everything
+//! here is therefore *explicitly seeded*: there is no entropy source, no
+//! thread-local generator, and the same seed always yields the same stream
+//! on every platform (the generators are pure integer arithmetic).
+//!
+//! The API mirrors the small subset of the `rand` crate the codebase used,
+//! so call sites read identically:
+//!
+//! - [`StdRng`] — the workspace's default generator
+//!   (xoshiro256++, seeded through splitmix64);
+//! - [`SeedableRng::seed_from_u64`] — deterministic construction;
+//! - [`Rng::gen`] / [`Rng::gen_range`] — uniform `f64`/`bool` draws and
+//!   ranged `f64`/integer draws;
+//! - [`RngCore`] — the object-safe bit-stream trait (`&mut dyn RngCore`).
+//!
+//! # Examples
+//!
+//! ```
+//! use plateau_rng::{rngs::StdRng, Rng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let u: f64 = rng.gen();            // uniform on [0, 1)
+//! let k = rng.gen_range(0..10usize); // uniform on {0, …, 9}
+//! assert!((0.0..1.0).contains(&u));
+//! assert!(k < 10);
+//!
+//! // Same seed, same stream — bit-for-bit.
+//! let mut a = StdRng::seed_from_u64(42);
+//! let mut b = StdRng::seed_from_u64(42);
+//! assert_eq!(a.gen::<f64>(), b.gen::<f64>());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod check;
+mod dist;
+mod xoshiro;
+
+pub use dist::{StandardNormal, Uniform};
+pub use xoshiro::{SplitMix64, Xoshiro256PlusPlus};
+
+/// Generators module, mirroring the layout of the `rand` crate's `rngs`
+/// module so imports read identically.
+pub mod rngs {
+    /// The workspace's standard generator: xoshiro256++ seeded via
+    /// splitmix64. Fast (4 × u64 of state, a handful of shifts/adds per
+    /// draw), passes BigCrush, and is fully deterministic cross-platform.
+    pub use crate::xoshiro::Xoshiro256PlusPlus as StdRng;
+}
+
+pub use rngs::StdRng;
+
+/// SplitMix64 output function: one step of the splitmix64 sequence
+/// starting at `x`. Used for seed expansion and derivation of independent
+/// per-task seeds (`derive_seed`).
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derives an independent seed from a master seed and up to three task
+/// coordinates by chaining [`splitmix64`] mixes. Adjacent coordinates give
+/// statistically unrelated seeds, so parallel tasks can each build their
+/// own [`StdRng`] and the result is independent of scheduling order.
+pub fn derive_seed(master: u64, a: u64, b: u64, c: u64) -> u64 {
+    splitmix64(master ^ splitmix64(a ^ splitmix64(b ^ splitmix64(c))))
+}
+
+/// An object-safe source of uniformly distributed 64-bit blocks.
+///
+/// Everything else ([`Rng`], the distributions, [`check`]) is built on
+/// this single method, so swapping the underlying generator is a one-type
+/// change.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly distributed bits (the high half of
+    /// [`RngCore::next_u64`], which is the better-mixed half of
+    /// xoshiro-family outputs).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Deterministic construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types drawable uniformly from an [`RngCore`] bit stream via
+/// [`Rng::gen`].
+pub trait StandardSample {
+    /// Draws one value from the generator's standard distribution:
+    /// `[0, 1)` for floats, the full range for integers, a fair coin for
+    /// `bool`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    /// 53-bit mantissa construction: uniform on `[0, 1)` with every
+    /// representable multiple of 2⁻⁵³ equally likely.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        // The top bit — xoshiro++'s low bits are its weakest.
+        rng.next_u64() >> 63 != 0
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(
+            self.start < self.end && self.start.is_finite() && self.end.is_finite(),
+            "gen_range requires a finite non-empty range, got {:?}",
+            self
+        );
+        let u = f64::sample_standard(rng);
+        let v = self.start + u * (self.end - self.start);
+        // Rounding can land exactly on `end` when the span is tiny; clamp
+        // to keep the half-open contract.
+        if v >= self.end {
+            self.end - (self.end - self.start) * f64::EPSILON
+        } else {
+            v
+        }
+    }
+}
+
+/// Uniform integer on `[0, bound)` by widening multiply with rejection
+/// (Lemire's method) — exact, no modulo bias.
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    let threshold = bound.wrapping_neg() % bound;
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (bound as u128);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(
+                    self.start < self.end,
+                    "gen_range requires a non-empty range, got {:?}",
+                    self
+                );
+                let span = (self.end - self.start) as u64;
+                self.start + bounded_u64(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u64, u32);
+
+/// Convenience draws over any [`RngCore`]. Blanket-implemented, including
+/// for `dyn RngCore`, so `&mut dyn RngCore` receivers keep working.
+pub trait Rng: RngCore {
+    /// Draws a value of the standard distribution of `T`
+    /// (see [`StandardSample`]).
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws uniformly from a half-open range, e.g. `rng.gen_range(0..n)`
+    /// or `rng.gen_range(-1.0..1.0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty (or non-finite, for floats).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_vector_pins_the_stdrng_stream() {
+        // First 8 outputs of StdRng seeded with 42. Pinned so that any
+        // change to the generator, the seeding path, or the splitmix
+        // constants is loudly observable — these values feed every
+        // experiment in the workspace (Fig 5a inputs included).
+        let mut rng = StdRng::seed_from_u64(42);
+        let outputs: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        assert_eq!(outputs, GOLDEN_SEED_42);
+    }
+
+    /// Computed once from this implementation and frozen; see
+    /// `golden_vector_pins_the_stdrng_stream`.
+    const GOLDEN_SEED_42: [u64; 8] = [
+        0xd076_4d4f_4476_689f,
+        0x519e_4174_576f_3791,
+        0xfbe0_7cfb_0c24_ed8c,
+        0xb37d_9f60_0cd8_35b8,
+        0xcb23_1c38_7484_6a73,
+        0x968d_9f00_4e50_de7d,
+        0x2017_18ff_221a_3556,
+        0x9ae9_4e07_0ed8_cb46,
+    ];
+
+    #[test]
+    fn derive_seed_spreads_bits() {
+        let s1 = derive_seed(7, 1, 2, 3);
+        let s2 = derive_seed(7, 1, 2, 4);
+        assert_ne!(s1, s2);
+        assert!((s1 ^ s2).count_ones() > 8);
+    }
+
+    #[test]
+    fn standard_f64_is_half_open_unit() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let heads = (0..10_000).filter(|_| rng.gen::<bool>()).count();
+        assert!((4600..5400).contains(&heads), "heads {heads}");
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "hits {hits}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn int_range_covers_and_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..7usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit: {seen:?}");
+        for _ in 0..1_000 {
+            let v = rng.gen_range(10u64..13);
+            assert!((10..13).contains(&v));
+        }
+    }
+
+    #[test]
+    fn float_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-3.0..3.0);
+            assert!((-3.0..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty range")]
+    fn empty_int_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.gen_range(5..5usize);
+    }
+
+    #[test]
+    fn works_through_dyn_rng_core() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let dynref: &mut dyn RngCore = &mut rng;
+        let u: f64 = dynref.gen();
+        assert!((0.0..1.0).contains(&u));
+        let k = dynref.gen_range(0..4usize);
+        assert!(k < 4);
+    }
+
+    #[test]
+    fn works_through_mut_ref_forwarding() {
+        fn draw<R: Rng>(mut rng: R) -> f64 {
+            rng.gen()
+        }
+        let mut rng = StdRng::seed_from_u64(12);
+        let a = draw(&mut rng);
+        let b = draw(&mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn lemire_bound_is_unbiased_over_small_modulus() {
+        // χ²-style sanity check over 16 buckets.
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 160_000;
+        let mut counts = [0usize; 16];
+        for _ in 0..n {
+            counts[rng.gen_range(0..16usize)] += 1;
+        }
+        let expected = n as f64 / 16.0;
+        for (i, &c) in counts.iter().enumerate() {
+            let rel = (c as f64 - expected).abs() / expected;
+            assert!(rel < 0.05, "bucket {i}: {c} vs {expected}");
+        }
+    }
+}

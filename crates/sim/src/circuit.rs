@@ -32,7 +32,6 @@ use crate::state::{State, MAX_QUBITS};
 /// A parameter slot of a rotation gate: either a trainable index into the
 /// circuit's parameter vector, or a constant angle baked into the circuit.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Param {
     /// Trainable parameter: index into the vector passed to
     /// [`Circuit::run`].
@@ -63,7 +62,6 @@ impl Param {
 
 /// One operation in a circuit.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Op {
     /// A parameter-free gate on one or two qubits (first operand is the
     /// control for controlled gates).
@@ -243,7 +241,6 @@ impl Op {
 /// parameterized gate appended — which makes "the last parameter" of the
 /// paper's variance analysis simply index `n_params − 1`.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Circuit {
     n_qubits: usize,
     ops: Vec<Op>,

@@ -29,7 +29,6 @@ use std::fmt;
 
 /// Parameter-free gates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum FixedGate {
     /// Pauli-X (NOT).
     X,
@@ -186,7 +185,6 @@ impl fmt::Display for FixedGate {
 /// have a spectral gap of 1 ([`RotationGate::Phase`] equals RZ up to a
 /// global phase, which cancels in expectation values).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum RotationGate {
     /// `RX(θ) = exp(-i θ X / 2)`.
     Rx,
@@ -317,7 +315,6 @@ impl fmt::Display for RotationGate {
 /// Mølmer–Sørensen-style RXX). Their generators square to the identity,
 /// so the two-term parameter-shift rule applies unchanged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum TwoQubitRotationGate {
     /// `RXX(θ) = exp(-i θ X⊗X / 2)`.
     Rxx,

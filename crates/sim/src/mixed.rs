@@ -368,8 +368,8 @@ mod tests {
     use super::*;
     use crate::gate::RotationGate;
     use crate::noise::NoiseModel;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use plateau_rng::rngs::StdRng;
+    use plateau_rng::SeedableRng;
 
     const TOL: f64 = 1e-10;
 

@@ -12,7 +12,7 @@
 //!
 //! ```
 //! use plateau_sim::{Circuit, NoiseModel, Observable};
-//! use rand::{rngs::StdRng, SeedableRng};
+//! use plateau_rng::{rngs::StdRng, SeedableRng};
 //!
 //! let mut c = Circuit::new(2)?;
 //! c.rx(0)?.ry(1)?.cz(0, 1)?;
@@ -29,12 +29,11 @@ use crate::circuit::Circuit;
 use crate::error::SimError;
 use crate::observable::Observable;
 use crate::state::State;
-use rand::Rng;
+use plateau_rng::Rng;
 
 /// A single-qubit Pauli error channel applied after every gate to each of
 /// the gate's operand qubits.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NoiseModel {
     /// Probability of an X error.
     pub p_x: f64,
@@ -184,8 +183,8 @@ impl PauliError {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use plateau_rng::rngs::StdRng;
+    use plateau_rng::SeedableRng;
 
     fn trivial_circuit(n: usize) -> Circuit {
         let mut c = Circuit::new(n).unwrap();

@@ -28,7 +28,6 @@ use std::fmt;
 
 /// A single-qubit Pauli operator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Pauli {
     /// Identity.
     I,
@@ -56,7 +55,6 @@ impl fmt::Display for Pauli {
 /// Index `k` of the inner vector is the Pauli on qubit `k` (little-endian,
 /// matching [`State`]).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PauliString {
     paulis: Vec<Pauli>,
 }
@@ -253,7 +251,6 @@ impl fmt::Display for PauliString {
 
 /// A Hermitian observable usable as a cost operator.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Observable {
     /// A real-weighted sum of Pauli strings `Σ_k c_k P_k`.
     PauliSum {

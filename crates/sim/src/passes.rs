@@ -150,7 +150,8 @@ mod tests {
     use super::*;
     use crate::gate::{FixedGate, RotationGate};
     use crate::unitary::circuit_unitary;
-    use proptest::prelude::*;
+    use plateau_rng::check::{forall, vec_of};
+    use plateau_rng::{prop_assert, prop_assert_eq, Rng};
 
     fn assert_equivalent(original: &Circuit, simplified: &Circuit, params: &[f64]) {
         let u1 = circuit_unitary(original, params).unwrap();
@@ -245,35 +246,45 @@ mod tests {
         assert_equivalent(&c, &s, &[]);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-
-        /// Random 3-qubit circuits with a mix of bound rotations, free
-        /// rotations, and fixed gates keep their unitary under
-        /// simplification.
-        #[test]
-        fn simplify_preserves_unitary(
-            choices in proptest::collection::vec((0usize..6, 0usize..3, -3.0f64..3.0), 1..25)
-        ) {
-            let mut c = Circuit::new(3).unwrap();
-            for (kind, qubit, angle) in &choices {
-                let q = *qubit;
-                match kind {
-                    0 => { c.push_rotation_const(RotationGate::Rx, q, *angle).unwrap(); }
-                    1 => { c.push_rotation_const(RotationGate::Rz, q, *angle).unwrap(); }
-                    2 => { c.rx(q).unwrap(); }
-                    3 => { c.cz(q, (q + 1) % 3).unwrap(); }
-                    4 => { c.x(q).unwrap(); }
-                    _ => { c.h(q).unwrap(); }
+    /// Random 3-qubit circuits with a mix of bound rotations, free
+    /// rotations, and fixed gates keep their unitary under
+    /// simplification.
+    #[test]
+    fn simplify_preserves_unitary() {
+        forall(
+            0x70617373,
+            64,
+            |rng| {
+                vec_of(rng, 1..25, |rng| {
+                    (
+                        rng.gen_range(0..6usize),
+                        rng.gen_range(0..3usize),
+                        rng.gen_range(-3.0..3.0),
+                    )
+                })
+            },
+            |choices| {
+                let mut c = Circuit::new(3).unwrap();
+                for (kind, qubit, angle) in choices {
+                    let q = *qubit;
+                    match kind {
+                        0 => { c.push_rotation_const(RotationGate::Rx, q, *angle).unwrap(); }
+                        1 => { c.push_rotation_const(RotationGate::Rz, q, *angle).unwrap(); }
+                        2 => { c.rx(q).unwrap(); }
+                        3 => { c.cz(q, (q + 1) % 3).unwrap(); }
+                        4 => { c.x(q).unwrap(); }
+                        _ => { c.h(q).unwrap(); }
+                    }
                 }
-            }
-            let params: Vec<f64> = (0..c.n_params()).map(|i| 0.1 * i as f64 - 0.5).collect();
-            let s = simplify(&c);
-            prop_assert!(s.gate_count() <= c.gate_count());
-            prop_assert_eq!(s.n_params(), c.n_params());
-            let u1 = circuit_unitary(&c, &params).unwrap();
-            let u2 = circuit_unitary(&s, &params).unwrap();
-            prop_assert!(u1.approx_eq(&u2, 1e-9));
-        }
+                let params: Vec<f64> = (0..c.n_params()).map(|i| 0.1 * i as f64 - 0.5).collect();
+                let s = simplify(&c);
+                prop_assert!(s.gate_count() <= c.gate_count());
+                prop_assert_eq!(s.n_params(), c.n_params());
+                let u1 = circuit_unitary(&c, &params).unwrap();
+                let u2 = circuit_unitary(&s, &params).unwrap();
+                prop_assert!(u1.approx_eq(&u2, 1e-9));
+                Ok(())
+            },
+        );
     }
 }

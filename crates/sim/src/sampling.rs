@@ -10,7 +10,7 @@
 //!
 //! ```
 //! use plateau_sim::{sample_counts, FixedGate, State};
-//! use rand::{rngs::StdRng, SeedableRng};
+//! use plateau_rng::{rngs::StdRng, SeedableRng};
 //!
 //! let mut psi = State::zero(2);
 //! psi.apply_fixed(FixedGate::H, &[0])?;
@@ -28,7 +28,7 @@
 
 use crate::observable::Observable;
 use crate::state::State;
-use rand::Rng;
+use plateau_rng::Rng;
 use std::collections::BTreeMap;
 
 /// Draws one computational-basis outcome index from the state's Born
@@ -166,8 +166,8 @@ mod tests {
     use super::*;
     use crate::gate::{FixedGate, RotationGate};
     use crate::observable::PauliString;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use plateau_rng::rngs::StdRng;
+    use plateau_rng::SeedableRng;
 
     fn bell() -> State {
         let mut s = State::zero(2);

@@ -36,7 +36,6 @@ pub const MAX_QUBITS: usize = 26;
 
 /// A pure quantum state of `n` qubits as a dense statevector.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct State {
     n_qubits: usize,
     amps: Vec<C64>,
@@ -500,7 +499,7 @@ impl State {
     /// # Errors
     ///
     /// Returns [`SimError::QubitOutOfRange`] for an invalid qubit.
-    pub fn measure_qubit<R: rand::Rng + ?Sized>(
+    pub fn measure_qubit<R: plateau_rng::Rng + ?Sized>(
         &mut self,
         qubit: usize,
         rng: &mut R,
@@ -837,8 +836,8 @@ mod tests {
 
     #[test]
     fn measurement_collapses_and_is_born_distributed() {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use plateau_rng::rngs::StdRng;
+        use plateau_rng::SeedableRng;
         // RY(θ)|0⟩: p(1) = sin²(θ/2).
         let theta = 1.2;
         let expected_p1 = (theta / 2.0f64).sin().powi(2);
@@ -867,8 +866,8 @@ mod tests {
 
     #[test]
     fn repeated_measurement_is_stable() {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use plateau_rng::rngs::StdRng;
+        use plateau_rng::SeedableRng;
         let mut rng = StdRng::seed_from_u64(1);
         let mut s = State::zero(1);
         s.apply_fixed(FixedGate::H, &[0]).unwrap();

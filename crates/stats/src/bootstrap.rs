@@ -9,7 +9,7 @@
 //!
 //! ```
 //! use plateau_stats::{bootstrap_ci, variance};
-//! use rand::{rngs::StdRng, SeedableRng};
+//! use plateau_rng::{rngs::StdRng, SeedableRng};
 //!
 //! let data: Vec<f64> = (0..200).map(|i| ((i * 37 % 101) as f64) / 101.0).collect();
 //! let mut rng = StdRng::seed_from_u64(1);
@@ -18,7 +18,7 @@
 //! ```
 
 use crate::descriptive::quantile;
-use rand::Rng;
+use plateau_rng::Rng;
 use std::error::Error;
 use std::fmt;
 
@@ -48,7 +48,6 @@ impl Error for BootstrapError {}
 
 /// A percentile-bootstrap confidence interval around a point estimate.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ConfidenceInterval {
     /// Statistic evaluated on the original sample.
     pub estimate: f64,
@@ -118,8 +117,8 @@ pub fn bootstrap_ci<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use crate::descriptive::{mean, variance};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use plateau_rng::rngs::StdRng;
+    use plateau_rng::SeedableRng;
 
     fn sample_data(n: usize) -> Vec<f64> {
         (0..n).map(|i| ((i * 7919 % 1000) as f64) / 1000.0).collect()

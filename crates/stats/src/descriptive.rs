@@ -96,7 +96,6 @@ pub fn quantile(xs: &[f64], q: f64) -> f64 {
 
 /// A five-number-plus summary of a sample.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Summary {
     /// Sample size.
     pub n: usize,

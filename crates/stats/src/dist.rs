@@ -10,7 +10,7 @@
 //!
 //! ```
 //! use plateau_stats::{Normal, Sampler};
-//! use rand::{rngs::StdRng, SeedableRng};
+//! use plateau_rng::{rngs::StdRng, SeedableRng};
 //!
 //! let mut rng = StdRng::seed_from_u64(7);
 //! let normal = Normal::new(0.0, 2.0).expect("valid std");
@@ -19,7 +19,7 @@
 //! assert!(mean.abs() < 0.1);
 //! ```
 
-use rand::Rng;
+use plateau_rng::Rng;
 use std::error::Error;
 use std::fmt;
 
@@ -43,23 +43,22 @@ impl fmt::Display for InvalidDistributionError {
 
 impl Error for InvalidDistributionError {}
 
-/// A source of `f64` samples driven by any [`rand::Rng`].
+/// A source of `f64` samples driven by any [`plateau_rng::Rng`].
 ///
 /// Object-safe so that heterogeneous initializer configurations can hold a
 /// `Box<dyn Sampler>`.
 pub trait Sampler {
     /// Draws one sample.
-    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64;
+    fn sample(&self, rng: &mut dyn plateau_rng::RngCore) -> f64;
 
     /// Draws `n` samples into a fresh vector.
-    fn sample_n(&self, rng: &mut dyn rand::RngCore, n: usize) -> Vec<f64> {
+    fn sample_n(&self, rng: &mut dyn plateau_rng::RngCore, n: usize) -> Vec<f64> {
         (0..n).map(|_| self.sample(rng)).collect()
     }
 }
 
 /// Continuous uniform distribution on `[low, high)`.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Uniform {
     low: f64,
     high: f64,
@@ -118,7 +117,7 @@ impl Uniform {
 }
 
 impl Sampler for Uniform {
-    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+    fn sample(&self, rng: &mut dyn plateau_rng::RngCore) -> f64 {
         let u: f64 = rng.gen();
         self.low + u * (self.high - self.low)
     }
@@ -127,7 +126,6 @@ impl Sampler for Uniform {
 /// Gaussian distribution `N(mean, std²)` sampled with the Box–Muller
 /// transform.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Normal {
     mean: f64,
     std: f64,
@@ -187,7 +185,7 @@ impl Normal {
     }
 
     /// Draws one standard-normal variate via Box–Muller.
-    fn standard_sample(rng: &mut dyn rand::RngCore) -> f64 {
+    fn standard_sample(rng: &mut dyn plateau_rng::RngCore) -> f64 {
         // Draw u1 in (0, 1] to avoid ln(0).
         let u1: f64 = 1.0 - rng.gen::<f64>();
         let u2: f64 = rng.gen();
@@ -196,7 +194,7 @@ impl Normal {
 }
 
 impl Sampler for Normal {
-    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+    fn sample(&self, rng: &mut dyn plateau_rng::RngCore) -> f64 {
         self.mean + self.std * Normal::standard_sample(rng)
     }
 }
@@ -204,7 +202,6 @@ impl Sampler for Normal {
 /// Gamma distribution with shape `k` and scale `θ`, sampled with the
 /// Marsaglia–Tsang squeeze method (with the standard boost for `k < 1`).
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Gamma {
     shape: f64,
     scale: f64,
@@ -246,7 +243,7 @@ impl Gamma {
         self.shape * self.scale * self.scale
     }
 
-    fn sample_standard(shape: f64, rng: &mut dyn rand::RngCore) -> f64 {
+    fn sample_standard(shape: f64, rng: &mut dyn plateau_rng::RngCore) -> f64 {
         if shape < 1.0 {
             // Boost: Gamma(k) = Gamma(k+1) * U^{1/k}.
             let u: f64 = 1.0 - rng.gen::<f64>();
@@ -273,7 +270,7 @@ impl Gamma {
 }
 
 impl Sampler for Gamma {
-    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+    fn sample(&self, rng: &mut dyn plateau_rng::RngCore) -> f64 {
         self.scale * Gamma::sample_standard(self.shape, rng)
     }
 }
@@ -284,7 +281,6 @@ impl Sampler for Gamma {
 /// Used by the BeInit extension baseline (Kulshrestha & Safro, IEEE QCE
 /// 2022 — cited as related work §II-e of the paper).
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Beta {
     alpha: f64,
     beta: f64,
@@ -326,7 +322,7 @@ impl Beta {
 }
 
 impl Sampler for Beta {
-    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+    fn sample(&self, rng: &mut dyn plateau_rng::RngCore) -> f64 {
         let x = Gamma::sample_standard(self.alpha, rng);
         let y = Gamma::sample_standard(self.beta, rng);
         x / (x + y)
@@ -336,7 +332,6 @@ impl Sampler for Beta {
 /// A point mass: always returns `value`. Useful for zero-initialization
 /// baselines and deterministic tests.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Constant {
     value: f64,
 }
@@ -349,7 +344,7 @@ impl Constant {
 }
 
 impl Sampler for Constant {
-    fn sample(&self, _rng: &mut dyn rand::RngCore) -> f64 {
+    fn sample(&self, _rng: &mut dyn plateau_rng::RngCore) -> f64 {
         self.value
     }
 }
@@ -358,8 +353,8 @@ impl Sampler for Constant {
 mod tests {
     use super::*;
     use crate::descriptive::{mean, variance};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use plateau_rng::rngs::StdRng;
+    use plateau_rng::SeedableRng;
 
     const N: usize = 60_000;
 

@@ -23,7 +23,6 @@ use crate::regression::FitError;
 
 /// Result of a Welch two-sample t-test.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct WelchTTest {
     /// The t statistic (positive when the first sample's mean is larger).
     pub t_statistic: f64,
@@ -223,8 +222,8 @@ pub fn ks_test_uniform(sample: &[f64], low: f64, high: f64) -> (f64, f64) {
 mod tests {
     use super::*;
     use crate::dist::{Normal, Sampler, Uniform};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use plateau_rng::rngs::StdRng;
+    use plateau_rng::SeedableRng;
 
     #[test]
     fn ln_gamma_known_values() {

@@ -16,7 +16,7 @@
 //!
 //! ```
 //! use plateau_stats::{fit_exponential_decay, Normal, Sampler, variance};
-//! use rand::{rngs::StdRng, SeedableRng};
+//! use plateau_rng::{rngs::StdRng, SeedableRng};
 //!
 //! // A synthetic barren plateau: gradient samples whose spread halves
 //! // with every extra qubit.

@@ -51,7 +51,6 @@ impl Error for FitError {}
 
 /// Result of a straight-line least-squares fit `y = intercept + slope·x`.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LineFit {
     /// Fitted slope.
     pub slope: f64,
@@ -138,7 +137,6 @@ pub fn fit_line(xs: &[f64], ys: &[f64]) -> Result<LineFit, FitError> {
 
 /// Result of fitting `y = amplitude · e^{rate·x}` through the log transform.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ExpDecayFit {
     /// Exponential rate `b` (negative for decay).
     pub rate: f64,

@@ -28,8 +28,8 @@ use plateau_core::init::{FanMode, InitStrategy};
 use plateau_core::optim::Adam;
 use plateau_core::train::{train, TrainingHistory};
 use plateau_sim::Observable;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use plateau_rng::rngs::StdRng;
+use plateau_rng::SeedableRng;
 
 /// VQE run configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -12,8 +12,8 @@ use plateau_core::init::{FanMode, InitStrategy};
 use plateau_core::optim::Adam;
 use plateau_qml::classifier::Classifier;
 use plateau_qml::dataset::{train_test_split, two_moons};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use plateau_rng::rngs::StdRng;
+use plateau_rng::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut data_rng = StdRng::seed_from_u64(42);

@@ -13,8 +13,8 @@ use plateau_core::cost::CostKind;
 use plateau_core::init::{FanMode, InitStrategy};
 use plateau_core::optim::{Adam, AdaGrad, GradientDescent, Momentum, Optimizer, RmsProp};
 use plateau_core::train::train;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use plateau_rng::rngs::StdRng;
+use plateau_rng::SeedableRng;
 
 fn optimizers() -> Result<Vec<Box<dyn Optimizer>>, plateau_core::CoreError> {
     Ok(vec![

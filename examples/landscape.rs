@@ -12,8 +12,8 @@ use plateau_core::ansatz::training_ansatz;
 use plateau_core::cost::CostKind;
 use plateau_core::init::{FanMode, InitStrategy};
 use plateau_core::landscape::{landscape_grid, LandscapeConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use plateau_rng::rngs::StdRng;
+use plateau_rng::SeedableRng;
 
 const SHADES: &[u8] = b" .:-=+*#%@";
 

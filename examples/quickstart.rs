@@ -13,8 +13,8 @@ use plateau_core::init::{FanMode, InitStrategy};
 use plateau_core::optim::Adam;
 use plateau_core::train::train;
 use plateau_grad::{Adjoint, GradientEngine};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use plateau_rng::rngs::StdRng;
+use plateau_rng::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Build the paper's training ansatz: 6 qubits, 4 layers of

@@ -13,8 +13,8 @@ use plateau_core::cost::CostKind;
 use plateau_core::init::{FanMode, InitStrategy};
 use plateau_core::optim::{Adam, GradientDescent, Optimizer};
 use plateau_core::train::train;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use plateau_rng::rngs::StdRng;
+use plateau_rng::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n_qubits = 6;

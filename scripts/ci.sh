@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: hermetic build + full test suite, fully offline.
+#
+# The workspace has a zero-dependency policy (DESIGN.md §6): every crate in
+# the graph must be one of ours. This script fails if the build needs the
+# network, if any test fails, or if the dependency tree picks up anything
+# that is not a plateau-* crate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== cargo build --release --offline ==="
+cargo build --release --workspace --offline
+
+echo "=== cargo test -q --offline ==="
+cargo test -q --workspace --offline
+
+echo "=== zero-dependency policy check ==="
+violations=$(cargo tree --workspace --offline --prefix none \
+    | awk '{print $1}' | sort -u | grep -v '^plateau-' || true)
+if [[ -n "${violations}" ]]; then
+    echo "non-plateau crates in the dependency graph:" >&2
+    echo "${violations}" >&2
+    exit 1
+fi
+echo "dependency graph is plateau-* only."
+
+echo "CI gate passed."

@@ -11,8 +11,8 @@ use plateau_core::optim::Adam;
 use plateau_core::train::train;
 use plateau_core::variance::{variance_scan, VarianceConfig};
 use plateau_sim::{estimate_expectation, Observable};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use plateau_rng::rngs::StdRng;
+use plateau_rng::SeedableRng;
 
 #[test]
 fn full_pipeline_variance_to_training() {
@@ -48,13 +48,16 @@ fn full_pipeline_variance_to_training() {
     .expect("train");
     assert!(hist.final_loss() < hist.initial_loss());
 
-    // 3. Landscape scan around the trained solution is locally flat-bottomed.
+    // 3. Landscape scan bracketing the trained solution. The window's
+    // endpoints are the two trained coordinates themselves, so the trained
+    // point is a grid node and the window's minimum cannot exceed it.
+    let n = ansatz.circuit.n_params();
+    let (ta, tb) = (hist.final_params[n - 2], hist.final_params[n - 1]);
     let cfg = LandscapeConfig {
-        min: -0.5,
-        max: 0.5,
+        min: ta.min(tb),
+        max: ta.max(tb).max(ta.min(tb) + 1e-6),
         resolution: 7,
     };
-    let n = ansatz.circuit.n_params();
     let grid = landscape_grid(
         &ansatz.circuit,
         &CostKind::Global.observable(4),
@@ -64,7 +67,6 @@ fn full_pipeline_variance_to_training() {
         &cfg,
     )
     .expect("landscape");
-    // The trained point sits inside the scanned window's value range.
     assert!(grid.min_value() <= hist.final_loss() + 1e-9);
 }
 

@@ -14,8 +14,8 @@ use plateau_core::spsa::{train_spsa, SpsaConfig};
 use plateau_core::train::train;
 use plateau_grad::{Adjoint, GradientEngine, ParameterShift};
 use plateau_sim::{Circuit, NoiseModel, Observable};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use plateau_rng::rngs::StdRng;
+use plateau_rng::SeedableRng;
 
 #[test]
 fn qng_and_adam_both_solve_the_identity_task() {

@@ -5,9 +5,9 @@
 use plateau_core::ansatz::{training_ansatz, variance_ansatz};
 use plateau_core::cost::CostKind;
 use plateau_grad::{Adjoint, FiniteDifference, GradientEngine, ParameterShift};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use plateau_rng::check::{forall, DEFAULT_CASES};
+use plateau_rng::rngs::StdRng;
+use plateau_rng::{prop_assert, prop_assert_eq, Rng, SeedableRng};
 
 #[test]
 fn engines_agree_on_training_ansatz() {
@@ -69,44 +69,55 @@ fn partial_last_is_consistent_across_engines() {
     assert!((a - f).abs() < 1e-6);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// For arbitrary angle vectors on a 3-qubit, 2-layer training ansatz,
+/// the exact engines agree to near machine precision and the gradient
+/// obeys the parameter-shift trigonometric structure (bounded by 1).
+#[test]
+fn gradients_agree_for_arbitrary_angles() {
+    forall(
+        0x67726164,
+        DEFAULT_CASES,
+        |rng| -> Vec<f64> { (0..12).map(|_| rng.gen_range(-6.0..6.0)).collect() },
+        |raw| {
+            let ansatz = training_ansatz(3, 1).expect("ansatz");
+            prop_assert_eq!(ansatz.circuit.n_params(), 6);
+            let params: Vec<f64> = raw.iter().copied().take(6).collect();
+            let obs = CostKind::Global.observable(3);
+            let adj = Adjoint.gradient(&ansatz.circuit, &params, &obs).expect("adjoint");
+            let shift = ParameterShift.gradient(&ansatz.circuit, &params, &obs).expect("shift");
+            for (a, s) in adj.iter().zip(shift.iter()) {
+                prop_assert!((a - s).abs() < 1e-9);
+                // Cost is in [0,1]; a single π/2-shift rule bounds |∂C| by 1.
+                prop_assert!(a.abs() <= 1.0 + 1e-9);
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// For arbitrary angle vectors on a 3-qubit, 2-layer training ansatz,
-    /// the exact engines agree to near machine precision and the gradient
-    /// obeys the parameter-shift trigonometric structure (bounded by 1).
-    #[test]
-    fn gradients_agree_for_arbitrary_angles(
-        raw in proptest::collection::vec(-6.0f64..6.0, 12)
-    ) {
-        let ansatz = training_ansatz(3, 1).expect("ansatz");
-        prop_assert_eq!(ansatz.circuit.n_params(), 6);
-        let params: Vec<f64> = raw.into_iter().take(6).collect();
-        let obs = CostKind::Global.observable(3);
-        let adj = Adjoint.gradient(&ansatz.circuit, &params, &obs).expect("adjoint");
-        let shift = ParameterShift.gradient(&ansatz.circuit, &params, &obs).expect("shift");
-        for (a, s) in adj.iter().zip(shift.iter()) {
-            prop_assert!((a - s).abs() < 1e-9);
-            // Cost is in [0,1]; a single π/2-shift rule bounds |∂C| by 1.
-            prop_assert!(a.abs() <= 1.0 + 1e-9);
-        }
-    }
-
-    /// Gradients are 2π-periodic in every parameter.
-    #[test]
-    fn gradient_is_two_pi_periodic(
-        raw in proptest::collection::vec(-3.0f64..3.0, 6),
-        which in 0usize..6
-    ) {
-        let ansatz = training_ansatz(3, 1).expect("ansatz");
-        let obs = CostKind::Global.observable(3);
-        let params: Vec<f64> = raw.clone();
-        let mut shifted = raw;
-        shifted[which] += 2.0 * std::f64::consts::PI;
-        let g1 = Adjoint.gradient(&ansatz.circuit, &params, &obs).expect("g1");
-        let g2 = Adjoint.gradient(&ansatz.circuit, &shifted, &obs).expect("g2");
-        for (a, b) in g1.iter().zip(g2.iter()) {
-            prop_assert!((a - b).abs() < 1e-9);
-        }
-    }
+/// Gradients are 2π-periodic in every parameter.
+#[test]
+fn gradient_is_two_pi_periodic() {
+    forall(
+        0x706572,
+        DEFAULT_CASES,
+        |rng| {
+            let raw: Vec<f64> = (0..6).map(|_| rng.gen_range(-3.0..3.0)).collect();
+            let which = rng.gen_range(0..6usize);
+            (raw, which)
+        },
+        |(raw, which)| {
+            let ansatz = training_ansatz(3, 1).expect("ansatz");
+            let obs = CostKind::Global.observable(3);
+            let params: Vec<f64> = raw.clone();
+            let mut shifted = raw.clone();
+            shifted[*which] += 2.0 * std::f64::consts::PI;
+            let g1 = Adjoint.gradient(&ansatz.circuit, &params, &obs).expect("g1");
+            let g2 = Adjoint.gradient(&ansatz.circuit, &shifted, &obs).expect("g2");
+            for (a, b) in g1.iter().zip(g2.iter()) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+            Ok(())
+        },
+    );
 }

@@ -5,8 +5,8 @@
 use plateau_core::ansatz::{training_ansatz, variance_ansatz};
 use plateau_linalg::CMatrix;
 use plateau_sim::{circuit_unitary, Observable, State};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use plateau_rng::rngs::StdRng;
+use plateau_rng::{Rng, SeedableRng};
 
 fn random_params(n: usize, rng: &mut StdRng) -> Vec<f64> {
     (0..n).map(|_| rng.gen_range(-3.0..3.0)).collect()

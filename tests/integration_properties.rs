@@ -1,13 +1,15 @@
 //! Property-based invariants spanning the whole stack, driven by
-//! proptest-generated random circuits.
+//! randomly generated circuits (seeded `forall` over 64 cases).
 
 use plateau_core::ansatz::training_ansatz;
+use plateau_rng::check::{forall, vec_of, DEFAULT_CASES};
+use plateau_rng::rngs::StdRng;
+use plateau_rng::{prop_assert, Rng};
 use plateau_sim::{
     diagram, passes, qasm, Circuit, DensityMatrix, Observable, PauliString, RotationGate, State,
 };
-use proptest::prelude::*;
 
-/// A compact op-choice encoding proptest can generate: (kind, qubit, angle).
+/// A compact randomly generated op-choice encoding: (kind, qubit, angle).
 fn build_circuit(n_qubits: usize, choices: &[(u8, usize, f64)]) -> Circuit {
     let mut c = Circuit::new(n_qubits).expect("register");
     for (kind, raw_q, angle) in choices {
@@ -50,35 +52,45 @@ fn build_circuit(n_qubits: usize, choices: &[(u8, usize, f64)]) -> Circuit {
     c
 }
 
-fn choice_strategy(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<(u8, usize, f64)>> {
-    proptest::collection::vec((0u8..8, 0usize..4, -3.2f64..3.2), len)
+fn gen_choices(rng: &mut StdRng, len: std::ops::Range<usize>) -> Vec<(u8, usize, f64)> {
+    vec_of(rng, len, |r| {
+        (
+            r.gen_range(0..8u64) as u8,
+            r.gen_range(0..4usize),
+            r.gen_range(-3.2..3.2),
+        )
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Unitarity: every generated circuit preserves the norm.
-    #[test]
-    fn circuits_preserve_norm(choices in choice_strategy(1..30)) {
-        let c = build_circuit(3, &choices);
+/// Unitarity: every generated circuit preserves the norm.
+#[test]
+fn circuits_preserve_norm() {
+    forall(0x6e6f726d, DEFAULT_CASES, |rng| gen_choices(rng, 1..30), |choices| {
+        let c = build_circuit(3, choices);
         let s = c.run(&[]).expect("run");
         prop_assert!((s.norm() - 1.0).abs() < 1e-9);
-    }
+        Ok(())
+    });
+}
 
-    /// Reversibility: U†U|0⟩ = |0⟩ exactly.
-    #[test]
-    fn inverse_run_round_trips(choices in choice_strategy(1..25)) {
-        let c = build_circuit(3, &choices);
+/// Reversibility: U†U|0⟩ = |0⟩ exactly.
+#[test]
+fn inverse_run_round_trips() {
+    forall(0x696e76, DEFAULT_CASES, |rng| gen_choices(rng, 1..25), |choices| {
+        let c = build_circuit(3, choices);
         let mut s = c.run(&[]).expect("run");
         c.run_inverse_on(&mut s, &[]).expect("inverse");
         prop_assert!((s.probability_all_zeros() - 1.0).abs() < 1e-9);
-    }
+        Ok(())
+    });
+}
 
-    /// Cost bounds: the projector costs live in [0, 1]; Pauli strings in
-    /// [−1, 1].
-    #[test]
-    fn observable_bounds(choices in choice_strategy(1..25)) {
-        let c = build_circuit(3, &choices);
+/// Cost bounds: the projector costs live in [0, 1]; Pauli strings in
+/// [−1, 1].
+#[test]
+fn observable_bounds() {
+    forall(0x6f6273, DEFAULT_CASES, |rng| gen_choices(rng, 1..25), |choices| {
+        let c = build_circuit(3, choices);
         let s = c.run(&[]).expect("run");
         for obs in [Observable::global_cost(3), Observable::local_cost(3)] {
             let e = obs.expectation(&s).expect("expectation");
@@ -87,68 +99,86 @@ proptest! {
         let z = Observable::pauli(PauliString::parse("ZZI").unwrap()).unwrap();
         let e = z.expectation(&s).expect("pauli expectation");
         prop_assert!(e.abs() <= 1.0 + 1e-10);
-    }
+        Ok(())
+    });
+}
 
-    /// QASM round trip: export → parse → identical state.
-    #[test]
-    fn qasm_round_trip(choices in choice_strategy(1..20)) {
-        let c = build_circuit(3, &choices);
+/// QASM round trip: export → parse → identical state.
+#[test]
+fn qasm_round_trip() {
+    forall(0x7161736d, DEFAULT_CASES, |rng| gen_choices(rng, 1..20), |choices| {
+        let c = build_circuit(3, choices);
         let text = qasm::to_qasm(&c, &[]).expect("export");
         let back = qasm::from_qasm(&text).expect("import");
         let s1 = c.run(&[]).expect("run original");
         let s2 = back.run(&[]).expect("run imported");
         prop_assert!((s1.fidelity(&s2).expect("fidelity") - 1.0).abs() < 1e-9);
-    }
+        Ok(())
+    });
+}
 
-    /// Simplification preserves the prepared state.
-    #[test]
-    fn simplify_preserves_state(choices in choice_strategy(1..25)) {
-        let c = build_circuit(3, &choices);
+/// Simplification preserves the prepared state.
+#[test]
+fn simplify_preserves_state() {
+    forall(0x73696d70, DEFAULT_CASES, |rng| gen_choices(rng, 1..25), |choices| {
+        let c = build_circuit(3, choices);
         let s = passes::simplify(&c);
         prop_assert!(s.gate_count() <= c.gate_count());
         let s1 = c.run(&[]).expect("run original");
         let s2 = s.run(&[]).expect("run simplified");
         prop_assert!((s1.fidelity(&s2).expect("fidelity") - 1.0).abs() < 1e-9);
-    }
+        Ok(())
+    });
+}
 
-    /// Density-matrix evolution agrees with pure-state evolution.
-    #[test]
-    fn density_matrix_matches_pure(choices in choice_strategy(1..12)) {
-        let c = build_circuit(2, &choices);
+/// Density-matrix evolution agrees with pure-state evolution.
+#[test]
+fn density_matrix_matches_pure() {
+    forall(0x646d, DEFAULT_CASES, |rng| gen_choices(rng, 1..12), |choices| {
+        let c = build_circuit(2, choices);
         let pure = c.run(&[]).expect("run");
         let expected = DensityMatrix::from_pure(&pure);
         let mut dm = DensityMatrix::zero(2);
         dm.apply_circuit(&c, &[]).expect("dm run");
         prop_assert!(dm.matrix().max_abs_diff(expected.matrix()) < 1e-9);
         prop_assert!((dm.purity() - 1.0).abs() < 1e-9);
-    }
+        Ok(())
+    });
+}
 
-    /// The diagram renderer never panics and mentions every wire.
-    #[test]
-    fn diagram_total(choices in choice_strategy(0..20)) {
-        let c = build_circuit(4, &choices);
+/// The diagram renderer never panics and mentions every wire.
+#[test]
+fn diagram_total() {
+    forall(0x64696167, DEFAULT_CASES, |rng| gen_choices(rng, 0..20), |choices| {
+        let c = build_circuit(4, choices);
         let art = diagram::draw(&c);
         for q in 0..4 {
             let label = format!("q{q}:");
             prop_assert!(art.contains(&label), "missing wire label {}", label);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Fidelity is symmetric and bounded for arbitrary preparations.
-    #[test]
-    fn fidelity_symmetry(
-        a in choice_strategy(1..12),
-        b in choice_strategy(1..12),
-    ) {
-        let ca = build_circuit(3, &a);
-        let cb = build_circuit(3, &b);
-        let sa = ca.run(&[]).expect("run a");
-        let sb = cb.run(&[]).expect("run b");
-        let fab = sa.fidelity(&sb).expect("fab");
-        let fba = sb.fidelity(&sa).expect("fba");
-        prop_assert!((fab - fba).abs() < 1e-10);
-        prop_assert!((-1e-10..=1.0 + 1e-10).contains(&fab));
-    }
+/// Fidelity is symmetric and bounded for arbitrary preparations.
+#[test]
+fn fidelity_symmetry() {
+    forall(
+        0x666964,
+        DEFAULT_CASES,
+        |rng| (gen_choices(rng, 1..12), gen_choices(rng, 1..12)),
+        |(a, b)| {
+            let ca = build_circuit(3, a);
+            let cb = build_circuit(3, b);
+            let sa = ca.run(&[]).expect("run a");
+            let sb = cb.run(&[]).expect("run b");
+            let fab = sa.fidelity(&sb).expect("fab");
+            let fba = sb.fidelity(&sa).expect("fba");
+            prop_assert!((fab - fba).abs() < 1e-10);
+            prop_assert!((-1e-10..=1.0 + 1e-10).contains(&fab));
+            Ok(())
+        },
+    );
 }
 
 #[test]
@@ -183,8 +213,8 @@ fn state_tensor_structure_under_partial_trace() {
 #[test]
 fn noise_model_determinism_with_fixed_seed() {
     use plateau_sim::NoiseModel;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use plateau_rng::rngs::StdRng;
+    use plateau_rng::SeedableRng;
     let mut c = Circuit::new(2).expect("circuit");
     c.rx(0).unwrap().cz(0, 1).unwrap();
     let noise = NoiseModel::depolarizing(0.1).expect("noise");
@@ -200,8 +230,8 @@ fn noise_model_determinism_with_fixed_seed() {
 
 #[test]
 fn sampled_counts_sum_to_shots() {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use plateau_rng::rngs::StdRng;
+    use plateau_rng::SeedableRng;
     let mut s = State::zero(3);
     s.apply_fixed(plateau_sim::FixedGate::H, &[0]).unwrap();
     s.apply_fixed(plateau_sim::FixedGate::H, &[2]).unwrap();

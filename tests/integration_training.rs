@@ -7,8 +7,8 @@ use plateau_core::cost::CostKind;
 use plateau_core::init::{FanMode, InitStrategy};
 use plateau_core::optim::{Adam, GradientDescent, Optimizer};
 use plateau_core::train::train;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use plateau_rng::rngs::StdRng;
+use plateau_rng::SeedableRng;
 
 fn trained_final_loss(
     n_qubits: usize,
