@@ -50,4 +50,5 @@ fn main() {
     }
     println!("# expectation: larger (α, β) concentrates angles near 0 and behaves");
     println!("# increasingly like the narrow Gaussian initializers.");
+    plateau_bench::finish_observability();
 }

@@ -47,4 +47,5 @@ fn main() {
     println!("\n# expectation: the local cost decays markedly slower than the global");
     println!("# cost under random initialization (Cerezo et al.), while bounded");
     println!("# initialization flattens the contrast.");
+    plateau_bench::finish_observability();
 }

@@ -43,4 +43,5 @@ fn main() {
     }
     println!("# expectation: the random-baseline rate saturates near the 2-design");
     println!("# limit as depth grows; bounded initializations keep shallower rates.");
+    plateau_bench::finish_observability();
 }

@@ -67,4 +67,5 @@ fn main() {
     println!("# expectation: random saturates Q quickly (2-design onset = plateau);");
     println!("# bounded initializations keep both Q and expressibility low, which is");
     println!("# exactly why their gradients survive (Holmes et al.).");
+    plateau_bench::finish_observability();
 }

@@ -42,4 +42,5 @@ fn main() {
     println!("# where ParamsPerLayer halves every Gaussian initializer's variance");
     println!("# relative to Qubits — bounding the headline table's sensitivity to");
     println!("# the fan convention.");
+    plateau_bench::finish_observability();
 }

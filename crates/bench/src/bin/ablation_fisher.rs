@@ -83,4 +83,5 @@ fn main() {
     println!("# width-independent (few strong, usable directions) while random's");
     println!("# grows toward uniformity — information spread too thin to align");
     println!("# with any single cost direction.");
+    plateau_bench::finish_observability();
 }

@@ -49,4 +49,5 @@ fn main() {
     }
     println!("# expectation: the random column decays exponentially (flat in every");
     println!("# direction, not just along the gradient); the Xavier column stays O(1).");
+    plateau_bench::finish_observability();
 }

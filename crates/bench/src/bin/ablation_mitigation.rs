@@ -122,4 +122,5 @@ fn main() {
     println!("# structurally heavier mitigations; nothing rescues plain random+GD-");
     println!("# family optimizers on the global-cost plateau except a better start");
     println!("# (identity-block also works — it is itself an initialization method).");
+    plateau_bench::finish_observability();
 }

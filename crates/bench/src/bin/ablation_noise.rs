@@ -45,7 +45,7 @@ fn main() {
         let noise = NoiseModel::depolarizing(p).expect("valid p");
         let mut rng = StdRng::seed_from_u64(0xA61 + (p * 1e6) as u64);
         let noisy = noise
-            .expectation(&ansatz.circuit, &hist.final_params, &obs, trajectories, &mut rng)
+            .expectation(&ansatz.circuit, hist.final_params(), &obs, trajectories, &mut rng)
             .expect("noisy expectation");
         csv_row(&format!("{p}"), &[noisy, noisy - hist.final_loss()]);
     }
@@ -78,4 +78,5 @@ fn main() {
     println!("# expectation: the cost floor rises roughly linearly in p·(gate count),");
     println!("# and the parameter-shift signal shrinks as noise mixes the state —");
     println!("# initialization cannot mitigate noise-induced plateaus.");
+    plateau_bench::finish_observability();
 }

@@ -82,4 +82,5 @@ fn main() {
     println!("# expectation: the measured variance is (true variance + shot-noise floor);");
     println!("# for random init at larger qubit counts the floor dominates, so the");
     println!("# columns converge to ~1/(2·shots) regardless of the true gradient.");
+    plateau_bench::finish_observability();
 }

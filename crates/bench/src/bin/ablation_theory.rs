@@ -66,4 +66,5 @@ fn main() {
     }
     println!("# expectation: random tracks −2·ln2 ≈ −1.386 from above; small-angle");
     println!("# ensembles sit within a factor ~2 of (2/3)(σ²/4)(1+(L−1)/3).");
+    plateau_bench::finish_observability();
 }

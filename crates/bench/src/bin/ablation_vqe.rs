@@ -41,4 +41,5 @@ fn main() {
     }
     println!("# expectation: the Fig 5 ordering carries over — bounded initializers");
     println!("# reach a few-percent relative error; random converges slowest.");
+    plateau_bench::finish_observability();
 }

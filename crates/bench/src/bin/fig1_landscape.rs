@@ -58,4 +58,5 @@ fn main() {
         csv_row(&q.to_string(), &[amp, lo, hi]);
     }
     println!("# expectation from the paper: amplitude shrinks sharply with qubit count");
+    plateau_bench::finish_observability();
 }

@@ -98,4 +98,5 @@ fn main() {
     println!("# all bounded initializations decay visibly slower. The Welch tests");
     println!("# show which orderings are resolvable at the paper's 200-circuit");
     println!("# budget — the He-vs-LeCun gap typically is not.");
+    plateau_bench::finish_observability();
 }

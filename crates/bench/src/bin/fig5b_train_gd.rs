@@ -11,4 +11,5 @@ fn main() {
         Scale::from_env(),
         &mut || Box::new(GradientDescent::new(0.1).expect("valid lr")) as Box<dyn Optimizer>,
     );
+    plateau_bench::finish_observability();
 }

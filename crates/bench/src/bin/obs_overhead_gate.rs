@@ -1,0 +1,113 @@
+//! CI gate for the observability stack: disabled instrumentation must be
+//! invisible, both in the metrics registry and on the benchmark clock.
+//!
+//! Two checks, either failure exits non-zero:
+//!
+//! 1. **Zero-recording.** With the registry off, a full variance scan
+//!    (which crosses every instrumented layer: par → core → grad → sim)
+//!    must leave the metrics snapshot empty.
+//! 2. **Zero-overhead.** The `variance_scan_cell` workloads from the
+//!    `variance_harness` bench are re-measured and their medians compared
+//!    against the recorded baseline in
+//!    `benchmarks/BENCH_variance_harness.json` (override with
+//!    `PLATEAU_BASELINE`). A median more than `PLATEAU_OVERHEAD_FACTOR`
+//!    (default 3.0, generous because CI machines differ from the baseline
+//!    recorder) times the baseline fails the gate.
+
+use plateau_bench::harness::{black_box, Harness};
+use plateau_bench::json::Json;
+use plateau_core::init::InitStrategy;
+use plateau_core::variance::{variance_scan, VarianceConfig};
+use std::collections::BTreeMap;
+
+fn baseline_medians(path: &str) -> BTreeMap<String, f64> {
+    let raw = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let doc = Json::parse(&raw).expect("baseline is valid JSON");
+    let mut out = BTreeMap::new();
+    for bench in doc.get("benchmarks").and_then(Json::as_arr).expect("benchmarks array") {
+        let name = bench.get("name").and_then(Json::as_str).expect("name");
+        let median = bench.get("median_ns").and_then(Json::as_f64).expect("median_ns");
+        out.insert(name.to_string(), median);
+    }
+    out
+}
+
+fn main() {
+    // Force every subscriber off, whatever the environment says — this
+    // gate measures the disabled path.
+    std::env::remove_var("PLATEAU_METRICS_OUT");
+    plateau_obs::set_log_level(plateau_obs::Level::Off);
+    plateau_obs::set_metrics_enabled(false);
+    plateau_obs::metrics::reset();
+
+    // Check 1: a scan through every instrumented layer records nothing.
+    let cfg = VarianceConfig {
+        qubit_counts: vec![2, 3],
+        layers: 8,
+        n_circuits: 8,
+        ..VarianceConfig::default()
+    };
+    variance_scan(&cfg, &[InitStrategy::Random, InitStrategy::XavierNormal]).expect("scan");
+    let snap = plateau_obs::snapshot();
+    assert!(
+        snap.is_empty(),
+        "disabled observability still recorded metrics:\n{}",
+        snap.to_json().to_pretty_string()
+    );
+    println!("# disabled-path check: metrics snapshot empty");
+
+    // Check 2: medians of the variance_harness cell workloads against the
+    // recorded baseline.
+    let baseline_path = std::env::var("PLATEAU_BASELINE")
+        .unwrap_or_else(|_| "benchmarks/BENCH_variance_harness.json".to_string());
+    let baseline = baseline_medians(&baseline_path);
+    let factor: f64 = std::env::var("PLATEAU_OVERHEAD_FACTOR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3.0);
+
+    let mut h = Harness::new("obs_overhead_gate");
+    let mut group = h.group("variance_scan_cell");
+    group.sample_size(10);
+    for &q in &[4usize, 6] {
+        let config = VarianceConfig {
+            qubit_counts: vec![q],
+            layers: 20,
+            n_circuits: 16,
+            ..VarianceConfig::default()
+        };
+        group.bench(&q.to_string(), || {
+            variance_scan(black_box(&config), &[InitStrategy::Random]).expect("scan")
+        });
+    }
+    let reports = h.finish();
+
+    let mut failed = false;
+    for r in &reports {
+        let Some(&base) = baseline.get(&r.name) else {
+            println!("# {}: no baseline entry, skipping", r.name);
+            continue;
+        };
+        let ratio = r.median_ns / base;
+        let verdict = if ratio <= factor { "ok" } else { "REGRESSION" };
+        println!(
+            "# {}: median {:.0} ns vs baseline {:.0} ns (x{:.2}, limit x{:.1}) {}",
+            r.name, r.median_ns, base, ratio, factor, verdict
+        );
+        if ratio > factor {
+            failed = true;
+        }
+    }
+    // The snapshot must *still* be empty after benchmarking — the harness
+    // itself may not turn metrics on behind the gate's back.
+    assert!(
+        plateau_obs::snapshot().is_empty(),
+        "benchmark pass re-enabled metrics recording"
+    );
+    if failed {
+        eprintln!("obs overhead gate FAILED: disabled-path median exceeded baseline envelope");
+        std::process::exit(1);
+    }
+    println!("# obs overhead gate passed");
+}

@@ -80,4 +80,5 @@ fn main() {
         .map(|i| i.improvement_percent)
         .unwrap_or(f64::NAN);
     println!("# shape check: xavier_normal ({xavier:.1}%) vs he ({he:.1}%) — the paper ranks Xavier first");
+    plateau_bench::finish_observability();
 }

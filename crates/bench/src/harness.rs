@@ -115,6 +115,7 @@ impl Harness {
     /// Creates a harness. `PLATEAU_SCALE=quick` in the environment
     /// switches to [`BenchOptions::quick`] automatically.
     pub fn new(name: &str) -> Harness {
+        crate::init_observability(name);
         let options = if std::env::var("PLATEAU_SCALE").as_deref() == Ok("quick") {
             BenchOptions::quick()
         } else {
@@ -172,9 +173,10 @@ impl Harness {
             ]);
             match std::fs::write(&path, doc.to_pretty_string()) {
                 Ok(()) => println!("# json report: {path}"),
-                Err(e) => eprintln!("# failed to write {path}: {e}"),
+                Err(e) => plateau_obs::warn!("failed to write {path}: {e}"),
             }
         }
+        plateau_obs::finish_run();
         self.reports
     }
 
@@ -200,7 +202,7 @@ impl Harness {
             estimates_ns.push(t0.elapsed().as_secs_f64() * 1e9 / batch as f64);
         }
 
-        self.reports.push(Report {
+        let report = Report {
             name,
             iterations: batch * options.samples as u64,
             median_ns: median(&estimates_ns),
@@ -208,7 +210,19 @@ impl Harness {
             stddev_ns: stddev(&estimates_ns),
             min_ns: estimates_ns.iter().copied().fold(f64::INFINITY, f64::min),
             max_ns: estimates_ns.iter().copied().fold(f64::NEG_INFINITY, f64::max),
-        });
+        };
+        plateau_obs::debug!(
+            "bench {}: median {}",
+            report.name,
+            format_ns(report.median_ns)
+        );
+        if plateau_obs::span::jsonl_active() {
+            if let Json::Obj(mut pairs) = report.to_json() {
+                pairs.insert(0, ("type".to_string(), Json::str("bench")));
+                plateau_obs::span::write_jsonl_record(&Json::Obj(pairs));
+            }
+        }
+        self.reports.push(report);
     }
 }
 

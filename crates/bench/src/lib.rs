@@ -22,7 +22,10 @@
 #![warn(missing_docs)]
 
 pub mod harness;
-pub mod json;
+
+/// The JSON value tree + parser (moved to `plateau-obs`; re-exported so
+/// `plateau_bench::json::Json` keeps working for the figure binaries).
+pub use plateau_obs::json;
 
 use plateau_core::init::InitStrategy;
 use std::time::Instant;
@@ -77,10 +80,46 @@ pub fn env_fan_mode(default: plateau_core::FanMode) -> plateau_core::FanMode {
     }
 }
 
-/// Prints a report header with a title and the run scale.
+/// Prints a report header with a title and the run scale, and (first call
+/// only) initializes observability: opens the JSONL sink named by
+/// `PLATEAU_METRICS_OUT` and emits the run manifest.
 pub fn banner(title: &str, scale: Scale) {
+    init_observability(title);
     println!("# {title}");
     println!("# scale: {scale:?}");
+}
+
+/// Idempotent observability setup for figure binaries and benches. The
+/// stderr level comes from `PLATEAU_LOG` (handled inside `plateau-obs`);
+/// this adds the `PLATEAU_METRICS_OUT` JSONL sink and stamps the run
+/// manifest.
+pub fn init_observability(command: &str) {
+    static INIT: std::sync::Once = std::sync::Once::new();
+    INIT.call_once(|| {
+        if let Ok(path) = std::env::var("PLATEAU_METRICS_OUT") {
+            plateau_obs::set_metrics_enabled(true);
+            if let Err(e) = plateau_obs::span::set_jsonl_path(std::path::Path::new(&path)) {
+                plateau_obs::warn!("failed to open metrics sink {path}: {e}");
+            }
+        }
+        plateau_obs::emit_manifest(
+            command,
+            vec![
+                (
+                    "scale".to_string(),
+                    json::Json::str(format!("{:?}", Scale::from_env())),
+                ),
+                ("kind".to_string(), json::Json::str("bench")),
+            ],
+            None,
+        );
+    });
+}
+
+/// Ends the run: appends the final metrics snapshot to the JSONL sink
+/// (if one is open) and closes it. Call at the end of `main`.
+pub fn finish_observability() {
+    plateau_obs::finish_run();
 }
 
 /// Prints a CSV header row.
@@ -103,11 +142,16 @@ pub fn paper_strategies() -> Vec<InitStrategy> {
     InitStrategy::PAPER_SET.to_vec()
 }
 
-/// Times a closure, printing the elapsed wall-clock seconds.
+/// Times a closure inside a `bench_step` span, logging the elapsed
+/// wall-clock seconds at `info` (so `PLATEAU_LOG=info` shows per-stage
+/// progress and the default stays quiet).
 pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    let _span = plateau_obs::span::Span::enter_with("bench_step", || {
+        vec![plateau_obs::Field::new("label", label)]
+    });
     let start = Instant::now();
     let out = f();
-    println!("# {label}: {:.2}s", start.elapsed().as_secs_f64());
+    plateau_obs::info!("{label}: {:.2}s", start.elapsed().as_secs_f64());
     out
 }
 
@@ -165,7 +209,7 @@ pub fn run_training_figure(
     header.extend(strategies.iter().map(|s| s.name().to_string()));
     csv_header(&header.iter().map(String::as_str).collect::<Vec<_>>());
     for it in 0..=iterations {
-        let row: Vec<f64> = histories.iter().map(|(_, h)| h.losses[it]).collect();
+        let row: Vec<f64> = histories.iter().map(|(_, h)| h.losses()[it]).collect();
         csv_row(&it.to_string(), &row);
     }
 

@@ -91,6 +91,17 @@ impl ParsedArgs {
             .unwrap_or_else(|| default.to_string())
     }
 
+    /// Fetches a string option when it was supplied, `None` otherwise —
+    /// for flags with no meaningful default (e.g. `--metrics-out`).
+    pub fn opt_str(&self, flag: &str) -> Option<String> {
+        self.options.get(flag).cloned()
+    }
+
+    /// All supplied `--key value` options, in sorted key order.
+    pub fn options(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.options.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
     /// Lists option keys that were supplied but not in `known` — catching
     /// typos like `--qubit` for `--qubits`.
     pub fn unknown_flags(&self, known: &[&str]) -> Vec<String> {
@@ -142,6 +153,15 @@ mod tests {
             p.get("lr", 0.1f64).unwrap_err(),
             ArgError::BadValue { .. }
         ));
+    }
+
+    #[test]
+    fn opt_str_distinguishes_absent_from_default() {
+        let p = parse(&["variance", "--metrics-out", "run.jsonl"]).unwrap();
+        assert_eq!(p.opt_str("metrics-out").as_deref(), Some("run.jsonl"));
+        assert_eq!(p.opt_str("log"), None);
+        let opts: Vec<(&str, &str)> = p.options().collect();
+        assert_eq!(opts, vec![("metrics-out", "run.jsonl")]);
     }
 
     #[test]

@@ -35,21 +35,48 @@ fn main() -> ExitCode {
     match run(argv) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
+            plateau_obs::error!("{e}");
             ExitCode::FAILURE
         }
     }
 }
 
+/// Global flags accepted by every subcommand, on top of its own list.
+const GLOBAL_FLAGS: &[&str] = &["log", "metrics-out"];
+
+/// Applies `--log` / `--metrics-out` and stamps the run manifest. Must run
+/// before the subcommand so its spans and counters are recorded.
+fn init_observability(parsed: &ParsedArgs, argv: &[String]) -> Result<(), Box<dyn Error>> {
+    let level = match parsed.opt_str("log") {
+        Some(raw) => Some(plateau_obs::Level::parse(&raw).ok_or_else(|| {
+            format!("unknown log level {raw:?} (off|error|warn|info|debug|trace)")
+        })?),
+        None => None,
+    };
+    let metrics_out = parsed.opt_str("metrics-out").map(std::path::PathBuf::from);
+    plateau_obs::init(level, metrics_out.as_deref())
+        .map_err(|e| format!("failed to open --metrics-out sink: {e}"))?;
+
+    let command = format!("plateau {}", argv.join(" "));
+    let config = parsed
+        .options()
+        .map(|(k, v)| (k.to_string(), plateau_obs::json::Json::str(v)))
+        .collect();
+    let seed = parsed.opt_str("seed").and_then(|s| s.parse::<u64>().ok());
+    plateau_obs::emit_manifest(&command, config, seed);
+    Ok(())
+}
+
 fn run(argv: Vec<String>) -> Result<(), Box<dyn Error>> {
-    let parsed = match ParsedArgs::parse(argv) {
+    let parsed = match ParsedArgs::parse(argv.clone()) {
         Err(ArgError::MissingCommand) => {
             print_help();
             return Ok(());
         }
         other => other?,
     };
-    match parsed.command.as_str() {
+    init_observability(&parsed, &argv)?;
+    let result = match parsed.command.as_str() {
         "variance" => cmd_variance(&parsed),
         "train" => cmd_train(&parsed),
         "landscape" => cmd_landscape(&parsed),
@@ -63,7 +90,11 @@ fn run(argv: Vec<String>) -> Result<(), Box<dyn Error>> {
             Ok(())
         }
         other => Err(format!("unknown subcommand {other:?} (try `plateau help`)").into()),
-    }
+    };
+    // Flush the metrics snapshot and close the JSONL sink even when the
+    // subcommand failed — a partial trace is still a trace.
+    plateau_obs::finish_run();
+    result
 }
 
 fn print_help() {
@@ -81,7 +112,13 @@ fn print_help() {
          \x20 classify   two-moons classification with the re-uploading model\n\
          \x20 help       this message\n\
          \n\
-         run `plateau <subcommand> --flag value …`; see crate docs for flags."
+         run `plateau <subcommand> --flag value …`; see crate docs for flags.\n\
+         \n\
+         global flags (every subcommand):\n\
+         \x20 --log LEVEL         stderr verbosity: off|error|warn|info|debug|trace\n\
+         \x20                     (defaults to the PLATEAU_LOG environment variable)\n\
+         \x20 --metrics-out PATH  write spans, events, the run manifest, and a final\n\
+         \x20                     metrics snapshot as JSON lines to PATH"
     );
 }
 
@@ -114,7 +151,9 @@ fn parse_strategy(raw: &str) -> Result<InitStrategy, Box<dyn Error>> {
 }
 
 fn check_flags(parsed: &ParsedArgs, known: &[&str]) -> Result<(), Box<dyn Error>> {
-    let unknown = parsed.unknown_flags(known);
+    let mut known: Vec<&str> = known.to_vec();
+    known.extend_from_slice(GLOBAL_FLAGS);
+    let unknown = parsed.unknown_flags(&known);
     if unknown.is_empty() {
         Ok(())
     } else {
@@ -191,11 +230,11 @@ fn cmd_train(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
     );
     let hist = train(&ansatz.circuit, &obs, theta0, optimizer.as_mut(), iterations)?;
     println!("iteration,loss,grad_norm");
-    for (i, loss) in hist.losses.iter().enumerate() {
+    for (i, loss) in hist.losses().iter().enumerate() {
         let g = if i == 0 {
             String::from("")
         } else {
-            format!("{:.6e}", hist.grad_norms[i - 1])
+            format!("{:.6e}", hist.grad_norms()[i - 1])
         };
         println!("{i},{loss:.6e},{g}");
     }
@@ -282,7 +321,7 @@ fn cmd_vqe(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
     };
     let r = plateau_vqe::solve(&hamiltonian, strategy, &cfg)?;
     println!("iteration,energy");
-    for (i, e) in r.history.losses.iter().enumerate() {
+    for (i, e) in r.history.losses().iter().enumerate() {
         println!("{i},{e:.8}");
     }
     println!("# exact E0 = {:.8}", r.exact_energy);

@@ -182,11 +182,7 @@ pub fn train_layerwise(
         }
     }
 
-    Ok(TrainingHistory {
-        losses,
-        grad_norms,
-        final_params: params,
-    })
+    TrainingHistory::new(losses, grad_norms, params)
 }
 
 #[cfg(test)]

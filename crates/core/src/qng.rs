@@ -108,11 +108,7 @@ pub fn train_qng(
         losses.push(expectation(circuit, &params, observable)?);
     }
 
-    Ok(TrainingHistory {
-        losses,
-        grad_norms,
-        final_params: params,
-    })
+    TrainingHistory::new(losses, grad_norms, params)
 }
 
 #[cfg(test)]

@@ -150,11 +150,7 @@ pub fn train_spsa<R: Rng + ?Sized>(
         losses.push(expectation(circuit, &params, observable)?);
     }
 
-    Ok(TrainingHistory {
-        losses,
-        grad_norms,
-        final_params: params,
-    })
+    TrainingHistory::new(losses, grad_norms, params)
 }
 
 #[cfg(test)]

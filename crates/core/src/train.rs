@@ -4,6 +4,12 @@
 //! optimizer, [`train`] runs a fixed number of iterations (the paper uses
 //! 50) recording the loss trajectory — the data series behind Fig 5b/5c.
 //!
+//! The loop carries a [`BarrenPlateauAlarm`]: when the gradient norm stays
+//! below a threshold for a configurable number of consecutive iterations,
+//! a structured `barren_plateau_alarm` warning event is emitted through
+//! `plateau-obs` and the occurrence is recorded in
+//! [`TrainingHistory::plateau_alarms`].
+//!
 //! # Examples
 //!
 //! ```
@@ -16,7 +22,7 @@
 //! let theta0 = InitStrategy::XavierNormal.sample_params(&a.shape, FanMode::Qubits, &mut rng)?;
 //! let mut adam = Adam::new(0.1)?;
 //! let hist = train(&a.circuit, &CostKind::Global.observable(4), theta0, &mut adam, 30)?;
-//! assert_eq!(hist.losses.len(), 31); // initial loss + one per iteration
+//! assert_eq!(hist.losses().len(), 31); // initial loss + one per iteration
 //! assert!(hist.final_loss() < hist.initial_loss());
 //! # Ok::<(), plateau_core::CoreError>(())
 //! ```
@@ -26,27 +32,143 @@ use crate::optim::Optimizer;
 use plateau_grad::{expectation, Adjoint, GradientEngine};
 use plateau_sim::{Circuit, Observable};
 
+/// One firing of the [`BarrenPlateauAlarm`]: the iteration at which a
+/// sub-threshold gradient-norm streak reached the alarm window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlateauAlarmEvent {
+    /// Zero-based iteration index at which the streak completed.
+    pub iteration: usize,
+    /// The gradient norm observed at that iteration.
+    pub grad_norm: f64,
+}
+
+/// Health check for training runs: fires when the gradient norm stays
+/// below `threshold` for `window` consecutive iterations — the operational
+/// signature of a barren plateau. Each streak fires at most once; the
+/// streak resets as soon as the norm recovers.
+///
+/// A `window` of 0 disables the alarm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BarrenPlateauAlarm {
+    /// Gradient-norm threshold below which an iteration counts toward the
+    /// streak.
+    pub threshold: f64,
+    /// Number of consecutive sub-threshold iterations required to fire.
+    pub window: usize,
+}
+
+impl Default for BarrenPlateauAlarm {
+    fn default() -> Self {
+        BarrenPlateauAlarm {
+            threshold: 1e-4,
+            window: 8,
+        }
+    }
+}
+
+impl BarrenPlateauAlarm {
+    /// Feeds one iteration's gradient norm into the streak counter held in
+    /// `streak`. Returns an event exactly when the streak *reaches* the
+    /// window — later iterations of the same streak stay silent.
+    pub fn observe(
+        &self,
+        streak: &mut usize,
+        iteration: usize,
+        grad_norm: f64,
+    ) -> Option<PlateauAlarmEvent> {
+        if self.window == 0 {
+            return None;
+        }
+        if grad_norm < self.threshold {
+            *streak += 1;
+            if *streak == self.window {
+                return Some(PlateauAlarmEvent { iteration, grad_norm });
+            }
+        } else {
+            *streak = 0;
+        }
+        None
+    }
+}
+
 /// The recorded trajectory of one training run.
+///
+/// Guaranteed non-empty: every constructor validates that there is at
+/// least one loss entry and that `grad_norms` holds exactly one entry per
+/// iteration (`losses.len() - 1`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrainingHistory {
-    /// Loss before training plus after each iteration
-    /// (`iterations + 1` entries).
-    pub losses: Vec<f64>,
-    /// L2 norm of the gradient at each iteration (`iterations` entries).
-    pub grad_norms: Vec<f64>,
-    /// Parameters after the final iteration.
-    pub final_params: Vec<f64>,
+    pub(crate) losses: Vec<f64>,
+    pub(crate) grad_norms: Vec<f64>,
+    pub(crate) final_params: Vec<f64>,
+    pub(crate) plateau_alarms: Vec<PlateauAlarmEvent>,
 }
 
 impl TrainingHistory {
+    /// Builds a history, enforcing the structural invariants that the
+    /// accessors rely on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when `losses` is empty or when
+    /// `grad_norms.len() + 1 != losses.len()`.
+    pub fn new(
+        losses: Vec<f64>,
+        grad_norms: Vec<f64>,
+        final_params: Vec<f64>,
+    ) -> Result<TrainingHistory, CoreError> {
+        if losses.is_empty() {
+            return Err(CoreError::InvalidConfig(
+                "training history needs at least one loss entry".into(),
+            ));
+        }
+        if grad_norms.len() + 1 != losses.len() {
+            return Err(CoreError::InvalidConfig(format!(
+                "training history needs one gradient norm per iteration: \
+                 {} losses imply {} norms, got {}",
+                losses.len(),
+                losses.len() - 1,
+                grad_norms.len()
+            )));
+        }
+        Ok(TrainingHistory {
+            losses,
+            grad_norms,
+            final_params,
+            plateau_alarms: Vec::new(),
+        })
+    }
+
+    /// Loss before training plus after each iteration
+    /// (`iterations + 1` entries).
+    pub fn losses(&self) -> &[f64] {
+        &self.losses
+    }
+
+    /// L2 norm of the gradient at each iteration (`iterations` entries).
+    pub fn grad_norms(&self) -> &[f64] {
+        &self.grad_norms
+    }
+
+    /// Parameters after the final iteration.
+    pub fn final_params(&self) -> &[f64] {
+        &self.final_params
+    }
+
+    /// Barren-plateau alarms raised during the run, in firing order.
+    pub fn plateau_alarms(&self) -> &[PlateauAlarmEvent] {
+        &self.plateau_alarms
+    }
+
     /// Loss at initialization.
     pub fn initial_loss(&self) -> f64 {
         self.losses[0]
     }
 
-    /// Loss after the final iteration.
+    /// Loss after the final iteration. Total by construction: the
+    /// validating constructors reject empty histories.
     pub fn final_loss(&self) -> f64 {
-        *self.losses.last().expect("history is never empty")
+        self.losses[self.losses.len() - 1]
     }
 
     /// First iteration (1-based) at which the loss drops below `threshold`,
@@ -82,7 +204,7 @@ pub fn train(
 
 /// [`train`] with an explicit gradient engine (used by tests to show that
 /// the training trajectory is engine-independent, and by the shot-noise
-/// ablation).
+/// ablation). Runs the default [`BarrenPlateauAlarm`].
 ///
 /// # Errors
 ///
@@ -95,25 +217,67 @@ pub fn train_with_engine(
     iterations: usize,
     engine: &dyn GradientEngine,
 ) -> Result<TrainingHistory, CoreError> {
+    train_with_alarm(
+        circuit,
+        observable,
+        initial_params,
+        optimizer,
+        iterations,
+        engine,
+        &BarrenPlateauAlarm::default(),
+    )
+}
+
+/// [`train_with_engine`] with an explicit [`BarrenPlateauAlarm`]
+/// configuration.
+///
+/// # Errors
+///
+/// Propagates configuration errors as [`CoreError`].
+pub fn train_with_alarm(
+    circuit: &Circuit,
+    observable: &Observable,
+    initial_params: Vec<f64>,
+    optimizer: &mut dyn Optimizer,
+    iterations: usize,
+    engine: &dyn GradientEngine,
+    alarm: &BarrenPlateauAlarm,
+) -> Result<TrainingHistory, CoreError> {
     let mut params = initial_params;
     circuit.check_params(&params)?;
 
+    let _span = plateau_obs::span!("train", iterations = iterations, params = params.len());
+
     let mut losses = Vec::with_capacity(iterations + 1);
     let mut grad_norms = Vec::with_capacity(iterations);
+    let mut alarms = Vec::new();
+    let mut streak = 0usize;
     losses.push(expectation(circuit, &params, observable)?);
 
-    for _ in 0..iterations {
+    for it in 0..iterations {
         let grad = engine.gradient(circuit, &params, observable)?;
-        grad_norms.push(grad.iter().map(|g| g * g).sum::<f64>().sqrt());
+        let norm = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
+        plateau_obs::gauge!("train.grad_norm").set(norm);
+        grad_norms.push(norm);
+        if let Some(event) = alarm.observe(&mut streak, it, norm) {
+            plateau_obs::event!(
+                plateau_obs::Level::Warn,
+                "barren_plateau_alarm",
+                iteration = event.iteration,
+                grad_norm = event.grad_norm,
+                threshold = alarm.threshold,
+                window = alarm.window
+            );
+            alarms.push(event);
+        }
         optimizer.step(&mut params, &grad)?;
+        plateau_obs::counter!("train.optimizer_steps").inc();
         losses.push(expectation(circuit, &params, observable)?);
     }
 
-    Ok(TrainingHistory {
-        losses,
-        grad_norms,
-        final_params: params,
-    })
+    let mut hist = TrainingHistory::new(losses, grad_norms, params)?;
+    hist.plateau_alarms = alarms;
+    Ok(hist)
 }
 
 #[cfg(test)]
@@ -143,9 +307,9 @@ mod tests {
         let mut adam = Adam::new(0.1).unwrap();
         let hist = train(&c, &obs, theta, &mut adam, 50).unwrap();
         assert!(hist.final_loss() < 0.05, "final {}", hist.final_loss());
-        assert_eq!(hist.losses.len(), 51);
-        assert_eq!(hist.grad_norms.len(), 50);
-        assert_eq!(hist.final_params.len(), c.n_params());
+        assert_eq!(hist.losses().len(), 51);
+        assert_eq!(hist.grad_norms().len(), 50);
+        assert_eq!(hist.final_params().len(), c.n_params());
     }
 
     #[test]
@@ -165,10 +329,10 @@ mod tests {
         let obs = CostKind::Global.observable(3);
         let mut gd = GradientDescent::new(0.1).unwrap();
         let hist = train(&c, &obs, theta, &mut gd, 5).unwrap();
-        for l in &hist.losses {
+        for l in hist.losses() {
             assert!(l.abs() < 1e-12);
         }
-        for g in &hist.grad_norms {
+        for g in hist.grad_norms() {
             assert!(g.abs() < 1e-12);
         }
     }
@@ -181,23 +345,96 @@ mod tests {
         let h1 = train_with_engine(&c, &obs, theta.clone(), &mut gd1, 10, &Adjoint).unwrap();
         let mut gd2 = GradientDescent::new(0.1).unwrap();
         let h2 = train_with_engine(&c, &obs, theta, &mut gd2, 10, &ParameterShift).unwrap();
-        for (a, b) in h1.losses.iter().zip(h2.losses.iter()) {
+        for (a, b) in h1.losses().iter().zip(h2.losses().iter()) {
             assert!((a - b).abs() < 1e-9);
         }
     }
 
     #[test]
     fn history_helpers() {
-        let hist = TrainingHistory {
-            losses: vec![0.9, 0.5, 0.2, 0.05],
-            grad_norms: vec![1.0, 0.8, 0.3],
-            final_params: vec![0.0],
-        };
+        let hist = TrainingHistory::new(
+            vec![0.9, 0.5, 0.2, 0.05],
+            vec![1.0, 0.8, 0.3],
+            vec![0.0],
+        )
+        .unwrap();
         assert_eq!(hist.initial_loss(), 0.9);
         assert_eq!(hist.final_loss(), 0.05);
         assert_eq!(hist.iterations_to_reach(0.3), Some(2));
         assert_eq!(hist.iterations_to_reach(0.01), None);
         assert!((hist.improvement() - 0.85).abs() < 1e-12);
+        assert!(hist.plateau_alarms().is_empty());
+    }
+
+    #[test]
+    fn iterations_to_reach_edge_cases() {
+        // Threshold already met at initialization → iteration 0.
+        let below_at_start =
+            TrainingHistory::new(vec![0.01, 0.5], vec![1.0], vec![0.0]).unwrap();
+        assert_eq!(below_at_start.iterations_to_reach(0.1), Some(0));
+        // Threshold never met → None (including exact equality: strictly
+        // below is required).
+        let never = TrainingHistory::new(vec![0.5, 0.5, 0.5], vec![1.0, 1.0], vec![0.0]).unwrap();
+        assert_eq!(never.iterations_to_reach(0.5), None);
+        assert_eq!(never.iterations_to_reach(0.1), None);
+        // Single-entry history (zero iterations).
+        let single = TrainingHistory::new(vec![0.3], vec![], vec![]).unwrap();
+        assert_eq!(single.iterations_to_reach(0.4), Some(0));
+        assert_eq!(single.iterations_to_reach(0.2), None);
+    }
+
+    #[test]
+    fn constructor_enforces_invariants() {
+        assert!(TrainingHistory::new(vec![], vec![], vec![]).is_err());
+        assert!(TrainingHistory::new(vec![0.5], vec![1.0], vec![]).is_err());
+        assert!(TrainingHistory::new(vec![0.5, 0.4], vec![1.0, 0.9], vec![]).is_err());
+        assert!(TrainingHistory::new(vec![0.5, 0.4], vec![1.0], vec![]).is_ok());
+    }
+
+    #[test]
+    fn alarm_fires_once_per_streak_and_resets() {
+        let alarm = BarrenPlateauAlarm {
+            threshold: 0.1,
+            window: 3,
+        };
+        let mut streak = 0;
+        // Two sub-threshold, one recovery, then a full streak of four: the
+        // alarm fires exactly once, at the third consecutive low norm.
+        let norms = [0.01, 0.02, 0.5, 0.01, 0.01, 0.01, 0.01];
+        let mut events = Vec::new();
+        for (it, &n) in norms.iter().enumerate() {
+            if let Some(e) = alarm.observe(&mut streak, it, n) {
+                events.push(e);
+            }
+        }
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].iteration, 5);
+        assert_eq!(events[0].grad_norm, 0.01);
+        // window = 0 disables the alarm entirely.
+        let off = BarrenPlateauAlarm { threshold: 0.1, window: 0 };
+        let mut s = 0;
+        assert!(off.observe(&mut s, 0, 0.0).is_none());
+    }
+
+    #[test]
+    fn plateau_alarm_surfaces_in_history() {
+        // Zero-init on the identity learner sits exactly on the plateau:
+        // every gradient norm is ~0, so the default window-8 alarm fires at
+        // iteration 7 and only once.
+        let (c, _) = setup(3, 2, InitStrategy::Zero, 7);
+        let theta = vec![0.0; c.n_params()];
+        let obs = CostKind::Global.observable(3);
+        let mut gd = GradientDescent::new(0.1).unwrap();
+        let hist = train(&c, &obs, theta, &mut gd, 12).unwrap();
+        assert_eq!(hist.plateau_alarms().len(), 1);
+        assert_eq!(hist.plateau_alarms()[0].iteration, 7);
+        assert!(hist.plateau_alarms()[0].grad_norm < 1e-4);
+        // A healthy run raises no alarm.
+        let (c2, theta2) = setup(4, 3, InitStrategy::XavierNormal, 0);
+        let obs2 = CostKind::Global.observable(4);
+        let mut adam = Adam::new(0.1).unwrap();
+        let healthy = train(&c2, &obs2, theta2, &mut adam, 20).unwrap();
+        assert!(healthy.plateau_alarms().is_empty());
     }
 
     #[test]
@@ -206,8 +443,8 @@ mod tests {
         let obs = CostKind::Global.observable(2);
         let mut gd = GradientDescent::new(0.1).unwrap();
         let hist = train(&c, &obs, theta, &mut gd, 0).unwrap();
-        assert_eq!(hist.losses.len(), 1);
-        assert!(hist.grad_norms.is_empty());
+        assert_eq!(hist.losses().len(), 1);
+        assert!(hist.grad_norms().is_empty());
     }
 
     #[test]

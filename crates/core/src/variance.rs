@@ -301,10 +301,21 @@ pub fn variance_scan(
         return Err(CoreError::InvalidConfig("at least one strategy required".into()));
     }
 
+    let _scan_span = plateau_obs::span!(
+        "variance_scan",
+        strategies = strategies.len(),
+        qubit_counts = config.qubit_counts.len(),
+        circuits = config.n_circuits,
+        layers = config.layers
+    );
+
     let mut curves = Vec::with_capacity(strategies.len());
     for (s_idx, &strategy) in strategies.iter().enumerate() {
         let mut points = Vec::with_capacity(config.qubit_counts.len());
         for &q in &config.qubit_counts {
+            let _cell_span =
+                plateau_obs::span!("variance_cell", strategy = strategy.to_string(), q = q);
+            plateau_obs::counter!("core.variance.cells").inc();
             let gradients: Result<Vec<f64>, CoreError> =
                 par_map_indexed(config.n_circuits, |i| {
                     gradient_sample(config, strategy, s_idx, q, i)
@@ -312,9 +323,11 @@ pub fn variance_scan(
                 .into_iter()
                 .collect();
             let gradients = gradients?;
+            let var = variance(&gradients);
+            plateau_obs::info!("variance cell {strategy} q={q}: var={var:.3e}");
             points.push(VariancePoint {
                 n_qubits: q,
-                variance: variance(&gradients),
+                variance: var,
                 gradients,
             });
         }

@@ -62,6 +62,11 @@ impl GradientEngine for Adjoint {
             });
         }
 
+        plateau_obs::counter!("grad.gradients.adjoint").inc();
+        // One forward run plus one backward sweep, regardless of the
+        // parameter count — the whole point of the adjoint method.
+        plateau_obs::counter!("grad.executions.adjoint").add(2);
+
         // Forward pass: φ = U|0⟩.
         let mut phi = circuit.run(params)?;
         // λ = H|ψ⟩ (generally unnormalized).

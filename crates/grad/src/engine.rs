@@ -25,6 +25,7 @@ use plateau_sim::{Circuit, Observable, SimError};
 /// # Ok::<(), plateau_sim::SimError>(())
 /// ```
 pub fn expectation(circuit: &Circuit, params: &[f64], obs: &Observable) -> Result<f64, SimError> {
+    plateau_obs::counter!("grad.expectation_evals").inc();
     let state = circuit.run(params)?;
     obs.expectation(&state)
 }

@@ -59,6 +59,8 @@ impl GradientEngine for FiniteDifference {
         obs: &Observable,
     ) -> Result<Vec<f64>, SimError> {
         circuit.check_params(params)?;
+        plateau_obs::counter!("grad.gradients.finite_diff").inc();
+        plateau_obs::counter!("grad.executions.finite_diff").add(2 * params.len() as u64);
         let mut grad = Vec::with_capacity(params.len());
         let mut work = params.to_vec();
         for i in 0..params.len() {
@@ -86,6 +88,7 @@ impl GradientEngine for FiniteDifference {
                 n_params: params.len(),
             });
         }
+        plateau_obs::counter!("grad.executions.finite_diff").add(2);
         let mut work = params.to_vec();
         work[index] = params[index] + self.eps;
         let plus = expectation(circuit, &work, obs)?;

@@ -88,11 +88,13 @@ impl ParameterShift {
         circuit.check_params(params)?;
         match rule_for_param(circuit, index)? {
             ShiftRule::TwoTerm => {
+                plateau_obs::counter!("grad.executions.parameter_shift").add(2);
                 let plus = eval_shifted(circuit, params, obs, index, FRAC_PI_2)?;
                 let minus = eval_shifted(circuit, params, obs, index, -FRAC_PI_2)?;
                 Ok((plus - minus) / 2.0)
             }
             ShiftRule::FourTerm => {
+                plateau_obs::counter!("grad.executions.parameter_shift").add(4);
                 // PennyLane's four-term rule for controlled rotations:
                 // c± = (√2 ± 1) / (4√2), shifts π/2 and 3π/2.
                 let c1 = (SQRT_2 + 1.0) / (4.0 * SQRT_2);
@@ -115,6 +117,7 @@ impl GradientEngine for ParameterShift {
         obs: &Observable,
     ) -> Result<Vec<f64>, SimError> {
         circuit.check_params(params)?;
+        plateau_obs::counter!("grad.gradients.parameter_shift").inc();
         (0..circuit.n_params())
             .map(|i| self.partial_impl(circuit, params, obs, i))
             .collect()

@@ -1,0 +1,451 @@
+//! Spans, structured events, and the two subscribers (human-readable
+//! stderr, machine-readable JSONL).
+//!
+//! A [`Span`] times a scope. On entry it logs a `> name` line to stderr at
+//! `debug` level; on drop it logs `< name <duration>`, appends a
+//! `{"type":"span",...}` JSONL record when a sink is open, and records the
+//! duration into a `span.<name>_ns` histogram when metrics are enabled.
+//! When none of the three subscribers is listening, entering a span is two
+//! relaxed atomic loads — no clock read, no field construction, no
+//! allocation.
+//!
+//! Span nesting depth is tracked per-thread (for stderr indentation and
+//! the `depth` field of JSONL records); a span moved across threads will
+//! report the depth of the thread it drops on.
+
+use std::cell::Cell;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::json::Json;
+use crate::{level_enabled, metrics_enabled, Level};
+
+/// A dynamically typed field value attached to spans and events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Float.
+    F64(f64),
+    /// String.
+    Str(String),
+}
+
+impl Value {
+    fn to_json(&self) -> Json {
+        match self {
+            Value::Bool(b) => Json::Bool(*b),
+            Value::I64(v) => Json::Num(*v as f64),
+            Value::U64(v) => Json::Num(*v as f64),
+            Value::F64(v) => Json::Num(*v),
+            Value::Str(s) => Json::str(s.clone()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::U64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Value {
+        Value::I64(v as i64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::U64(v as u64)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::U64(v as u64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+/// A named field on a span or event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    /// Field name (the identifier from the macro call site).
+    pub key: &'static str,
+    /// Field value.
+    pub value: Value,
+}
+
+impl Field {
+    /// Builds a field from anything convertible to [`Value`].
+    pub fn new(key: &'static str, value: impl Into<Value>) -> Field {
+        Field {
+            key,
+            value: value.into(),
+        }
+    }
+}
+
+thread_local! {
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+fn indent(depth: usize) -> String {
+    "  ".repeat(depth)
+}
+
+fn fmt_fields(fields: &[Field]) -> String {
+    if fields.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    for f in fields {
+        out.push(' ');
+        out.push_str(f.key);
+        out.push('=');
+        out.push_str(&f.value.to_string());
+    }
+    out
+}
+
+fn fmt_duration(ns: u64) -> String {
+    match ns {
+        0..=9_999 => format!("{ns}ns"),
+        10_000..=9_999_999 => format!("{:.1}us", ns as f64 / 1e3),
+        10_000_000..=999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+/// Writes one formatted line to stderr. The caller has already checked the
+/// level; this just formats.
+pub fn log(level: Level, msg: &str) {
+    let depth = DEPTH.with(Cell::get);
+    eprintln!("[plateau {:>5}] {}{}", level.as_str(), indent(depth), msg);
+}
+
+/// A timed scope. Create via the [`span!`](crate::span) macro; the span
+/// closes (and reports) when dropped.
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+    fields: Vec<Field>,
+    stderr: bool,
+    jsonl: bool,
+    metrics: bool,
+}
+
+impl Span {
+    /// Enters a span, building fields lazily only if some subscriber is
+    /// listening.
+    pub fn enter_with(name: &'static str, make_fields: impl FnOnce() -> Vec<Field>) -> Span {
+        let stderr = level_enabled(Level::Debug);
+        let jsonl = jsonl_active();
+        let metrics = metrics_enabled();
+        if !(stderr || jsonl || metrics) {
+            return Span {
+                name,
+                start: None,
+                fields: Vec::new(),
+                stderr: false,
+                jsonl: false,
+                metrics: false,
+            };
+        }
+        let fields = make_fields();
+        let depth = DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v + 1);
+            v
+        });
+        if stderr {
+            eprintln!(
+                "[plateau {:>5}] {}> {}{}",
+                Level::Debug.as_str(),
+                indent(depth),
+                name,
+                fmt_fields(&fields)
+            );
+        }
+        Span {
+            name,
+            start: Some(Instant::now()),
+            fields,
+            stderr,
+            jsonl,
+            metrics,
+        }
+    }
+
+    /// Whether any subscriber accepted this span.
+    pub fn is_active(&self) -> bool {
+        self.start.is_some()
+    }
+
+    /// Attaches another field after entry (e.g. a result computed inside
+    /// the span). A no-op on inactive spans.
+    pub fn record(&mut self, key: &'static str, value: impl Into<Value>) {
+        if self.start.is_some() {
+            self.fields.push(Field::new(key, value));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let dur_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let depth = DEPTH.with(|d| {
+            let v = d.get().saturating_sub(1);
+            d.set(v);
+            v
+        });
+        if self.stderr {
+            eprintln!(
+                "[plateau {:>5}] {}< {} {}{}",
+                Level::Debug.as_str(),
+                indent(depth),
+                self.name,
+                fmt_duration(dur_ns),
+                fmt_fields(&self.fields)
+            );
+        }
+        if self.jsonl {
+            let fields = Json::Obj(
+                self.fields
+                    .iter()
+                    .map(|f| (f.key.to_string(), f.value.to_json()))
+                    .collect(),
+            );
+            write_jsonl_record(&Json::Obj(vec![
+                ("type".to_string(), Json::str("span")),
+                ("name".to_string(), Json::str(self.name)),
+                ("duration_ns".to_string(), Json::Num(dur_ns as f64)),
+                ("depth".to_string(), Json::from(depth)),
+                ("fields".to_string(), fields),
+            ]));
+        }
+        if self.metrics {
+            crate::metrics::histogram(&format!("span.{}_ns", self.name)).record(dur_ns);
+        }
+    }
+}
+
+/// Emits a structured event (prefer the [`event!`](crate::event) macro).
+/// Goes to stderr when `level` passes the filter, and to the JSONL sink
+/// whenever one is open; fields are built lazily.
+pub fn emit_event(level: Level, name: &str, make_fields: impl FnOnce() -> Vec<Field>) {
+    let stderr = level != Level::Off && level_enabled(level);
+    let jsonl = jsonl_active();
+    if !(stderr || jsonl) {
+        return;
+    }
+    let fields = make_fields();
+    if stderr {
+        log(level, &format!("{}{}", name, fmt_fields(&fields)));
+    }
+    if jsonl {
+        write_jsonl_record(&Json::Obj(vec![
+            ("type".to_string(), Json::str("event")),
+            ("level".to_string(), Json::str(level.as_str())),
+            ("name".to_string(), Json::str(name)),
+            (
+                "fields".to_string(),
+                Json::Obj(
+                    fields
+                        .iter()
+                        .map(|f| (f.key.to_string(), f.value.to_json()))
+                        .collect(),
+                ),
+            ),
+        ]));
+    }
+}
+
+static JSONL_ON: AtomicBool = AtomicBool::new(false);
+static JSONL_SINK: Mutex<Option<BufWriter<File>>> = Mutex::new(None);
+
+/// Whether a JSONL sink is currently open.
+#[inline]
+pub fn jsonl_active() -> bool {
+    JSONL_ON.load(Relaxed)
+}
+
+/// Opens (truncating) a JSONL sink at `path`. Subsequent spans, events,
+/// manifests, and metric snapshots append one JSON object per line.
+pub fn set_jsonl_path(path: &Path) -> io::Result<()> {
+    let file = File::create(path)?;
+    *lock_sink() = Some(BufWriter::new(file));
+    JSONL_ON.store(true, Relaxed);
+    Ok(())
+}
+
+/// Appends one record to the sink, if open. Write errors are swallowed —
+/// observability must never take down the experiment.
+pub fn write_jsonl_record(record: &Json) {
+    if !jsonl_active() {
+        return;
+    }
+    if let Some(w) = lock_sink().as_mut() {
+        let _ = writeln!(w, "{record}");
+    }
+}
+
+/// Flushes and closes the sink. Idempotent.
+pub fn close_jsonl() {
+    JSONL_ON.store(false, Relaxed);
+    if let Some(mut w) = lock_sink().take() {
+        let _ = w.flush();
+    }
+}
+
+fn lock_sink() -> std::sync::MutexGuard<'static, Option<BufWriter<File>>> {
+    JSONL_SINK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{set_log_level, set_metrics_enabled, test_lock};
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("plateau_obs_{}_{}.jsonl", tag, std::process::id()))
+    }
+
+    #[test]
+    fn disabled_span_skips_field_construction() {
+        let _guard = test_lock();
+        set_log_level(Level::Error);
+        set_metrics_enabled(false);
+        close_jsonl();
+        let mut built = false;
+        {
+            let _s = Span::enter_with("test_disabled", || {
+                built = true;
+                vec![]
+            });
+        }
+        assert!(!built, "fields must not be built with all subscribers off");
+    }
+
+    #[test]
+    fn active_span_records_duration_histogram() {
+        let _guard = test_lock();
+        set_log_level(Level::Error);
+        set_metrics_enabled(true);
+        let h = crate::metrics::histogram("span.test_active_ns");
+        let before = h.count();
+        {
+            let _s = crate::span!("test_active", q = 4usize);
+        }
+        assert_eq!(h.count(), before + 1);
+        set_metrics_enabled(false);
+    }
+
+    #[test]
+    fn jsonl_sink_round_trips_span_and_event_records() {
+        let _guard = test_lock();
+        set_log_level(Level::Error);
+        set_metrics_enabled(false);
+        let path = temp_path("roundtrip");
+        set_jsonl_path(&path).expect("create sink");
+        {
+            let mut s = crate::span!("outer", strategy = "gaussian", q = 8usize);
+            s.record("variance", 1.5e-3);
+            let _inner = crate::span!("inner");
+            crate::event!(Level::Warn, "test_event", iteration = 3usize);
+        }
+        close_jsonl();
+        let text = std::fs::read_to_string(&path).expect("read sink");
+        let _ = std::fs::remove_file(&path);
+        let records: Vec<Json> = text
+            .lines()
+            .map(|l| Json::parse(l).expect("every line is valid JSON"))
+            .collect();
+        assert_eq!(records.len(), 3);
+        // The event fires first, then inner closes, then outer.
+        assert_eq!(records[0].get("type").unwrap().as_str(), Some("event"));
+        assert_eq!(records[0].get("name").unwrap().as_str(), Some("test_event"));
+        assert_eq!(records[0].get("level").unwrap().as_str(), Some("warn"));
+        assert_eq!(
+            records[0].get("fields").unwrap().get("iteration").unwrap().as_f64(),
+            Some(3.0)
+        );
+        assert_eq!(records[1].get("name").unwrap().as_str(), Some("inner"));
+        assert_eq!(records[1].get("depth").unwrap().as_f64(), Some(1.0));
+        let outer = &records[2];
+        assert_eq!(outer.get("type").unwrap().as_str(), Some("span"));
+        assert_eq!(outer.get("depth").unwrap().as_f64(), Some(0.0));
+        assert!(outer.get("duration_ns").unwrap().as_f64().unwrap() >= 0.0);
+        let fields = outer.get("fields").unwrap();
+        assert_eq!(fields.get("strategy").unwrap().as_str(), Some("gaussian"));
+        assert_eq!(fields.get("q").unwrap().as_f64(), Some(8.0));
+        assert_eq!(fields.get("variance").unwrap().as_f64(), Some(1.5e-3));
+    }
+
+    #[test]
+    fn event_below_level_without_sink_is_dropped() {
+        let _guard = test_lock();
+        set_log_level(Level::Error);
+        set_metrics_enabled(false);
+        close_jsonl();
+        let mut built = false;
+        emit_event(Level::Info, "quiet", || {
+            built = true;
+            vec![]
+        });
+        assert!(!built);
+    }
+
+    #[test]
+    fn duration_formatting_is_human_readable() {
+        assert_eq!(fmt_duration(0), "0ns");
+        assert_eq!(fmt_duration(9_999), "9999ns");
+        assert_eq!(fmt_duration(25_000), "25.0us");
+        assert_eq!(fmt_duration(12_300_000), "12.3ms");
+        assert_eq!(fmt_duration(2_500_000_000), "2.50s");
+    }
+}

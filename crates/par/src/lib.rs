@@ -81,8 +81,10 @@ where
     let items: Vec<T> = items.into_iter().collect();
     let n = items.len();
     let workers = worker_count(n);
+    plateau_obs::counter!("par.batches").inc();
+    plateau_obs::gauge!("par.workers").set(workers as f64);
     if workers <= 1 {
-        return items.into_iter().map(f).collect();
+        return items.into_iter().map(|item| run_task(&f, item)).collect();
     }
 
     // Hand items out through a Mutex<Vec<Option<T>>>: the atomic counter
@@ -105,12 +107,13 @@ where
                     if i >= n {
                         return local;
                     }
+                    plateau_obs::gauge!("par.queue_depth").set((n - (i + 1).min(n)) as f64);
                     let item = slots
                         .lock()
                         .expect("plateau-par: a sibling worker panicked")[i]
                         .take()
                         .expect("plateau-par: item claimed twice");
-                    local.push((i, f(item)));
+                    local.push((i, run_task(&f, item)));
                 }
             }));
         }
@@ -132,6 +135,23 @@ where
     debug_assert_eq!(pairs.len(), n);
     pairs.sort_unstable_by_key(|&(i, _)| i);
     pairs.into_iter().map(|(_, u)| u).collect()
+}
+
+/// Runs one task, bumping `par.tasks` and (when metrics are on) timing it
+/// into the `par.task_ns` histogram. The clock is only read while metrics
+/// are enabled, so the disabled path adds a single load + branch per item.
+#[inline]
+fn run_task<T, U>(f: &impl Fn(T) -> U, item: T) -> U {
+    plateau_obs::counter!("par.tasks").inc();
+    if plateau_obs::metrics_enabled() {
+        let t0 = std::time::Instant::now();
+        let out = f(item);
+        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        plateau_obs::histogram!("par.task_ns").record(ns);
+        out
+    } else {
+        f(item)
+    }
 }
 
 /// Runs `f` over `0..n` in parallel — the index-based convenience form

@@ -105,12 +105,29 @@ pub enum Op {
 }
 
 impl Op {
+    /// Bumps the per-kind `sim.gate.*` application counter. One relaxed
+    /// atomic load + branch when metrics are disabled.
+    #[inline]
+    fn count_application(&self) {
+        match self {
+            Op::Fixed { .. } => plateau_obs::counter!("sim.gate.fixed").inc(),
+            Op::Rotation { .. } => plateau_obs::counter!("sim.gate.rotation").inc(),
+            Op::ControlledRotation { .. } => {
+                plateau_obs::counter!("sim.gate.controlled_rotation").inc()
+            }
+            Op::TwoQubitRotation { .. } => {
+                plateau_obs::counter!("sim.gate.two_qubit_rotation").inc()
+            }
+        }
+    }
+
     /// Applies the operation to a state.
     ///
     /// # Errors
     ///
     /// Propagates qubit-validity errors from the kernels.
     pub fn apply(&self, state: &mut State, params: &[f64]) -> Result<(), SimError> {
+        self.count_application();
         match self {
             Op::Fixed { gate, qubits } => state.apply_fixed(*gate, qubits),
             Op::Rotation { gate, qubit, param } => {
@@ -138,6 +155,7 @@ impl Op {
     ///
     /// Propagates qubit-validity errors from the kernels.
     pub fn apply_inverse(&self, state: &mut State, params: &[f64]) -> Result<(), SimError> {
+        plateau_obs::counter!("sim.gate.inverse_applications").inc();
         match self {
             Op::Fixed { gate, qubits } => {
                 if let Some(inv) = gate.inverse() {
@@ -179,6 +197,7 @@ impl Op {
     /// Returns [`SimError::WrongArity`] for fixed gates, and
     /// qubit-validity errors from the kernels.
     pub fn apply_derivative(&self, state: &mut State, params: &[f64]) -> Result<(), SimError> {
+        plateau_obs::counter!("sim.gate.derivative_applications").inc();
         match self {
             Op::Fixed { gate, .. } => Err(SimError::WrongArity {
                 gate: gate.to_string(),

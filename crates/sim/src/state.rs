@@ -52,6 +52,7 @@ impl State {
             (1..=MAX_QUBITS).contains(&n_qubits),
             "qubit count must be in 1..={MAX_QUBITS}"
         );
+        plateau_obs::counter!("sim.state.allocations").inc();
         let mut amps = vec![C64::ZERO; 1 << n_qubits];
         amps[0] = C64::ONE;
         State { n_qubits, amps }
@@ -88,6 +89,7 @@ impl State {
         if (norm - 1.0).abs() > 1e-9 {
             return Err(SimError::NotNormalized { norm });
         }
+        plateau_obs::counter!("sim.state.allocations").inc();
         Ok(State {
             n_qubits: dim.trailing_zeros() as usize,
             amps,
@@ -113,6 +115,7 @@ impl State {
                 found: dim,
             });
         }
+        plateau_obs::counter!("sim.state.allocations").inc();
         Ok(State {
             n_qubits: dim.trailing_zeros() as usize,
             amps,

@@ -24,4 +24,10 @@ if [[ -n "${violations}" ]]; then
 fi
 echo "dependency graph is plateau-* only."
 
+echo "=== observability overhead gate ==="
+# With every subscriber disabled, the metrics snapshot must be empty and
+# the variance-harness medians must sit inside the recorded baseline
+# envelope (benchmarks/BENCH_variance_harness.json).
+cargo run -q --release --offline -p plateau-bench --bin obs_overhead_gate
+
 echo "CI gate passed."

@@ -52,7 +52,7 @@ fn full_pipeline_variance_to_training() {
     // endpoints are the two trained coordinates themselves, so the trained
     // point is a grid node and the window's minimum cannot exceed it.
     let n = ansatz.circuit.n_params();
-    let (ta, tb) = (hist.final_params[n - 2], hist.final_params[n - 1]);
+    let (ta, tb) = (hist.final_params()[n - 2], hist.final_params()[n - 1]);
     let cfg = LandscapeConfig {
         min: ta.min(tb),
         max: ta.max(tb).max(ta.min(tb) + 1e-6),
@@ -61,7 +61,7 @@ fn full_pipeline_variance_to_training() {
     let grid = landscape_grid(
         &ansatz.circuit,
         &CostKind::Global.observable(4),
-        &hist.final_params,
+        hist.final_params(),
         n - 2,
         n - 1,
         &cfg,
@@ -98,7 +98,7 @@ fn analytic_and_sampled_costs_agree_after_training() {
     let mut adam = Adam::new(0.1).expect("adam");
     let hist = train(&ansatz.circuit, &obs, theta0, &mut adam, 20).expect("train");
 
-    let state = ansatz.circuit.run(&hist.final_params).expect("run");
+    let state = ansatz.circuit.run(hist.final_params()).expect("run");
     let exact = obs.expectation(&state).expect("exact");
     let mut shot_rng = StdRng::seed_from_u64(7);
     let sampled =

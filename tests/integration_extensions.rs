@@ -106,7 +106,7 @@ fn noise_floor_rises_with_channel_strength_on_trained_circuit() {
         let mut traj_rng = StdRng::seed_from_u64(5);
         floors.push(
             noise
-                .expectation(&a.circuit, &hist.final_params, &obs, 800, &mut traj_rng)
+                .expectation(&a.circuit, hist.final_params(), &obs, 800, &mut traj_rng)
                 .expect("noisy cost"),
         );
     }

@@ -1,0 +1,175 @@
+//! Cross-crate observability integration: exact counter totals through the
+//! thread pool, analytic gate-count verification around a variance scan,
+//! and a JSONL round-trip through the in-repo JSON parser.
+//!
+//! The obs registry is process-global, so every test serializes on
+//! [`plateau_obs::test_lock`] and works with snapshot *deltas*.
+
+use plateau_core::init::InitStrategy;
+use plateau_core::variance::{variance_scan, VarianceConfig};
+use plateau_obs::json::Json;
+
+fn counter_value(name: &str) -> u64 {
+    plateau_obs::snapshot().counter(name).unwrap_or(0)
+}
+
+#[test]
+fn par_task_counter_is_exact_across_thread_counts() {
+    let _guard = plateau_obs::test_lock();
+    plateau_obs::set_metrics_enabled(true);
+    for threads in ["1", "4", "8"] {
+        std::env::set_var("PLATEAU_THREADS", threads);
+        let before = counter_value("par.tasks");
+        let batches_before = counter_value("par.batches");
+        let out = plateau_par::par_map_indexed(97, |i| i * i);
+        assert_eq!(out.len(), 97);
+        // Every item is claimed and executed exactly once, regardless of
+        // how many workers raced for the queue.
+        assert_eq!(counter_value("par.tasks") - before, 97, "threads={threads}");
+        assert_eq!(counter_value("par.batches") - batches_before, 1);
+        let workers = plateau_obs::snapshot().gauge("par.workers").unwrap();
+        assert!(workers >= 1.0 && workers <= threads.parse::<f64>().unwrap());
+        // The timing histogram saw the same 97 tasks.
+        let hist = plateau_obs::snapshot();
+        assert!(hist.histogram("par.task_ns").unwrap().count >= 97);
+    }
+    std::env::remove_var("PLATEAU_THREADS");
+    plateau_obs::set_metrics_enabled(false);
+}
+
+#[test]
+fn variance_scan_gate_counters_match_analytic_counts() {
+    let _guard = plateau_obs::test_lock();
+    plateau_obs::set_metrics_enabled(true);
+    plateau_obs::metrics::reset();
+
+    let qubits = [2usize, 3];
+    let (circuits, layers) = (4usize, 5usize);
+    let cfg = VarianceConfig {
+        qubit_counts: qubits.to_vec(),
+        layers,
+        n_circuits: circuits,
+        ..VarianceConfig::default()
+    };
+    variance_scan(&cfg, &[InitStrategy::Random]).unwrap();
+
+    let snap = plateau_obs::snapshot();
+    // Each gradient sample is a two-term parameter shift: 2 circuit
+    // executions. The variance ansatz applies one rotation per qubit per
+    // layer and a CZ chain of (q − 1) fixed gates per layer.
+    let evals: u64 = 2 * circuits as u64 * qubits.len() as u64;
+    let rot: u64 = qubits.iter().map(|&q| (2 * circuits * layers * q) as u64).sum();
+    let fixed: u64 = qubits.iter().map(|&q| (2 * circuits * layers * (q - 1)) as u64).sum();
+    assert_eq!(snap.counter("grad.expectation_evals"), Some(evals));
+    assert_eq!(snap.counter("grad.executions.parameter_shift"), Some(evals));
+    assert_eq!(snap.counter("sim.gate.rotation"), Some(rot));
+    assert_eq!(snap.counter("sim.gate.fixed"), Some(fixed));
+    assert_eq!(
+        snap.counter("core.variance.cells"),
+        Some(qubits.len() as u64)
+    );
+    // One statevector allocation per circuit execution.
+    assert_eq!(snap.counter("sim.state.allocations"), Some(evals));
+
+    plateau_obs::metrics::reset();
+    plateau_obs::set_metrics_enabled(false);
+}
+
+#[test]
+fn adjoint_executes_constant_circuits_per_gradient() {
+    let _guard = plateau_obs::test_lock();
+    plateau_obs::set_metrics_enabled(true);
+
+    use plateau_core::ansatz::training_ansatz;
+    use plateau_core::cost::CostKind;
+    use plateau_grad::{Adjoint, GradientEngine, ParameterShift};
+
+    let a = training_ansatz(3, 2).unwrap();
+    let obs = CostKind::Global.observable(3);
+    let params = vec![0.1; a.circuit.n_params()];
+
+    let adj_before = counter_value("grad.executions.adjoint");
+    Adjoint.gradient(&a.circuit, &params, &obs).unwrap();
+    // Forward run + backward sweep: 2, independent of the 12 parameters.
+    assert_eq!(counter_value("grad.executions.adjoint") - adj_before, 2);
+
+    let shift_before = counter_value("grad.executions.parameter_shift");
+    ParameterShift.gradient(&a.circuit, &params, &obs).unwrap();
+    // The shift rule pays 2 executions per parameter.
+    assert_eq!(
+        counter_value("grad.executions.parameter_shift") - shift_before,
+        2 * a.circuit.n_params() as u64
+    );
+
+    plateau_obs::set_metrics_enabled(false);
+}
+
+#[test]
+fn jsonl_records_round_trip_through_the_parser() {
+    let _guard = plateau_obs::test_lock();
+    plateau_obs::metrics::reset();
+    let path = std::env::temp_dir().join(format!(
+        "plateau-obs-integration-{}.jsonl",
+        std::process::id()
+    ));
+    plateau_obs::init(None, Some(&path)).unwrap();
+
+    plateau_obs::emit_manifest(
+        "integration-test",
+        vec![("layers".to_string(), Json::str("5"))],
+        Some(42),
+    );
+    {
+        let _span = plateau_obs::span!("outer_work", q = 3usize);
+        plateau_obs::counter!("test.obs.round_trip").add(7);
+        plateau_obs::event!(
+            plateau_obs::Level::Warn,
+            "synthetic_event",
+            grad_norm = 1.5e-5
+        );
+    }
+    plateau_obs::finish_run();
+    plateau_obs::set_metrics_enabled(false);
+
+    let raw = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let records: Vec<Json> = raw
+        .lines()
+        .map(|l| Json::parse(l).expect("every JSONL line parses"))
+        .collect();
+    assert!(records.len() >= 4, "manifest + event + span + metrics");
+
+    let kind = |r: &Json| r.get("type").and_then(|t| t.as_str().map(String::from));
+    let manifest = &records[0];
+    assert_eq!(kind(manifest).as_deref(), Some("manifest"));
+    assert_eq!(
+        manifest.get("command").unwrap().as_str().unwrap(),
+        "integration-test"
+    );
+    assert_eq!(manifest.get("seed").unwrap().as_f64().unwrap(), 42.0);
+
+    let event = records
+        .iter()
+        .find(|r| kind(r).as_deref() == Some("event"))
+        .expect("event record");
+    assert_eq!(event.get("name").unwrap().as_str().unwrap(), "synthetic_event");
+
+    let span = records
+        .iter()
+        .find(|r| kind(r).as_deref() == Some("span"))
+        .expect("span record");
+    assert_eq!(span.get("name").unwrap().as_str().unwrap(), "outer_work");
+    assert!(span.get("duration_ns").unwrap().as_f64().unwrap() >= 0.0);
+
+    let metrics = records
+        .iter()
+        .find(|r| kind(r).as_deref() == Some("metrics"))
+        .expect("metrics snapshot record");
+    assert_eq!(
+        metrics
+            .get("counters")
+            .and_then(|c| c.get("test.obs.round_trip"))
+            .and_then(|v| v.as_f64()),
+        Some(7.0)
+    );
+}

@@ -108,7 +108,7 @@ fn loss_is_monotone_under_small_step_gd_near_solution() {
     let obs = CostKind::Global.observable(4);
     let mut gd = GradientDescent::new(0.02).expect("gd");
     let hist = train(&ansatz.circuit, &obs, theta0, &mut gd, 30).expect("train");
-    for w in hist.losses.windows(2) {
+    for w in hist.losses().windows(2) {
         assert!(w[1] <= w[0] + 1e-9, "loss increased: {} → {}", w[0], w[1]);
     }
 }
