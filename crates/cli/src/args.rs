@@ -39,12 +39,15 @@ impl fmt::Display for ArgError {
 
 impl Error for ArgError {}
 
-/// A parsed command line: the subcommand plus `--key value` options.
+/// A parsed command line: the subcommand, `--key value` options, and any
+/// bare positional arguments (used by command families like `plateau obs
+/// report` / `plateau obs diff a.jsonl b.jsonl`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParsedArgs {
     /// The subcommand (first positional argument).
     pub command: String,
     options: BTreeMap<String, String>,
+    positionals: Vec<String>,
 }
 
 impl ParsedArgs {
@@ -57,15 +60,40 @@ impl ParsedArgs {
         let mut iter = args.into_iter();
         let command = iter.next().ok_or(ArgError::MissingCommand)?;
         let mut options = BTreeMap::new();
+        let mut positionals = Vec::new();
         while let Some(tok) = iter.next() {
-            let flag = tok
-                .strip_prefix("--")
-                .ok_or_else(|| ArgError::UnexpectedToken(tok.clone()))?
-                .to_string();
-            let value = iter.next().ok_or_else(|| ArgError::MissingValue(flag.clone()))?;
-            options.insert(flag, value);
+            match tok.strip_prefix("--") {
+                Some(flag) => {
+                    let value =
+                        iter.next().ok_or_else(|| ArgError::MissingValue(flag.to_string()))?;
+                    options.insert(flag.to_string(), value);
+                }
+                None => positionals.push(tok),
+            }
         }
-        Ok(ParsedArgs { command, options })
+        Ok(ParsedArgs {
+            command,
+            options,
+            positionals,
+        })
+    }
+
+    /// Bare (non-flag) arguments after the subcommand, in order.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// Rejects stray positionals — commands that take only `--key value`
+    /// options call this to keep typos like `plateau train oops` fatal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::UnexpectedToken`] naming the first stray token.
+    pub fn expect_no_positionals(&self) -> Result<(), ArgError> {
+        match self.positionals.first() {
+            None => Ok(()),
+            Some(tok) => Err(ArgError::UnexpectedToken(tok.clone())),
+        }
     }
 
     /// Fetches a typed option, falling back to `default` when absent.
@@ -144,9 +172,11 @@ mod tests {
             parse(&["train", "--lr"]).unwrap_err(),
             ArgError::MissingValue("lr".into())
         );
+        // A stray positional parses, but commands that take none reject it.
+        let stray = parse(&["train", "oops"]).unwrap();
         assert!(matches!(
-            parse(&["train", "oops"]).unwrap_err(),
-            ArgError::UnexpectedToken(_)
+            stray.expect_no_positionals().unwrap_err(),
+            ArgError::UnexpectedToken(tok) if tok == "oops"
         ));
         let p = parse(&["train", "--lr", "abc"]).unwrap();
         assert!(matches!(
@@ -162,6 +192,16 @@ mod tests {
         assert_eq!(p.opt_str("log"), None);
         let opts: Vec<(&str, &str)> = p.options().collect();
         assert_eq!(opts, vec![("metrics-out", "run.jsonl")]);
+    }
+
+    #[test]
+    fn positionals_are_collected_in_order() {
+        let p = parse(&["obs", "diff", "a.jsonl", "b.jsonl", "--threshold", "0.2"]).unwrap();
+        assert_eq!(p.command, "obs");
+        assert_eq!(p.positionals(), ["diff", "a.jsonl", "b.jsonl"]);
+        assert_eq!(p.get_str("threshold", "0.5"), "0.2");
+        assert!(parse(&["obs", "report"]).unwrap().expect_no_positionals().is_err());
+        assert!(parse(&["variance"]).unwrap().expect_no_positionals().is_ok());
     }
 
     #[test]

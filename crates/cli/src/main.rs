@@ -13,6 +13,10 @@
 //! plateau diagram   [--qubits 4] [--layers 1]
 //! plateau vqe       [--qubits 6] [--layers 4] [--iterations 120] [--strategy S] [--j 1] [--h 1]
 //! plateau classify  [--qubits 3] [--layers 3] [--samples 120] [--epochs 60] [--strategy S]
+//! plateau obs report --trace run.jsonl [--top N]
+//! plateau obs flame  --trace run.jsonl --out flame.svg [--collapsed stacks.txt]
+//! plateau obs diff   <base> <new> [--threshold 0.2]   (sides: traces or baselines)
+//! plateau obs baseline --trace run.jsonl [--out baseline.json]
 //! plateau help
 //! ```
 
@@ -76,8 +80,14 @@ fn run(argv: Vec<String>) -> Result<(), Box<dyn Error>> {
         other => other?,
     };
     init_observability(&parsed, &argv)?;
+    // Only the `obs` family takes positional arguments; everywhere else a
+    // bare token is a typo and must stay fatal.
+    if parsed.command != "obs" {
+        parsed.expect_no_positionals()?;
+    }
     let result = match parsed.command.as_str() {
         "variance" => cmd_variance(&parsed),
+        "obs" => cmd_obs(&parsed),
         "train" => cmd_train(&parsed),
         "landscape" => cmd_landscape(&parsed),
         "analyze" => cmd_analyze(&parsed),
@@ -110,6 +120,11 @@ fn print_help() {
          \x20 diagram    ASCII wire diagram of the training ansatz\n\
          \x20 vqe        ground-state search on the transverse-field Ising chain\n\
          \x20 classify   two-moons classification with the re-uploading model\n\
+         \x20 obs        trace profiler: report | flame | diff | baseline\n\
+         \x20            report   --trace run.jsonl [--top N]      self-time ranking\n\
+         \x20            flame    --trace run.jsonl --out f.svg    SVG flamegraph\n\
+         \x20            diff     BASE NEW [--threshold 0.2]       regression gate\n\
+         \x20            baseline --trace run.jsonl [--out b.json] committable baseline\n\
          \x20 help       this message\n\
          \n\
          run `plateau <subcommand> --flag value …`; see crate docs for flags.\n\
@@ -354,6 +369,94 @@ fn cmd_classify(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
     println!("# train accuracy = {:.1}%", 100.0 * model.accuracy(&fit.weights, &train_set)?);
     println!("# test accuracy  = {:.1}%", 100.0 * model.accuracy(&fit.weights, &test_set)?);
     Ok(())
+}
+
+/// The `plateau obs` family: the read side of the observability stack.
+/// `report` ranks span names by self time, `flame` renders an SVG
+/// flamegraph (and optionally collapsed stacks), `diff` compares two
+/// traces/baselines and fails on regressions, `baseline` freezes a trace's
+/// aggregation into a committable document.
+fn cmd_obs(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
+    use plateau_obs::analyze::{Analysis, Trace};
+
+    let required_trace = || -> Result<Trace, Box<dyn Error>> {
+        let path = parsed
+            .opt_str("trace")
+            .ok_or("missing --trace PATH (a JSONL file from --metrics-out)")?;
+        let trace = Trace::read(std::path::Path::new(&path))?;
+        for w in &trace.warnings {
+            plateau_obs::warn!("{path}: {w}");
+        }
+        Ok(trace)
+    };
+
+    let sub = parsed
+        .positionals()
+        .first()
+        .ok_or("obs needs a subcommand: report|flame|diff|baseline")?;
+    match sub.as_str() {
+        "report" => {
+            check_flags(parsed, &["trace", "top"])?;
+            let top = parsed.get("top", 20usize)?;
+            let analysis = Analysis::of(&required_trace()?);
+            print!("{}", analysis.render_report(top));
+            Ok(())
+        }
+        "flame" => {
+            check_flags(parsed, &["trace", "out", "collapsed"])?;
+            let out = parsed.get_str("out", "flame.svg");
+            let trace = required_trace()?;
+            let title = trace.command.clone().unwrap_or_else(|| "plateau trace".into());
+            std::fs::write(&out, plateau_obs::flame::flamegraph_svg(&trace, &title))
+                .map_err(|e| format!("cannot write {out}: {e}"))?;
+            println!(
+                "# wrote {out}: {} spans, {} roots, max depth {}",
+                trace.spans.len(),
+                trace.roots.len(),
+                trace.max_depth()
+            );
+            if let Some(collapsed) = parsed.opt_str("collapsed") {
+                std::fs::write(&collapsed, plateau_obs::flame::collapsed_stacks(&trace))
+                    .map_err(|e| format!("cannot write {collapsed}: {e}"))?;
+                println!("# wrote {collapsed} (collapsed stacks)");
+            }
+            Ok(())
+        }
+        "diff" => {
+            check_flags(parsed, &["threshold"])?;
+            let [_, base, new] = parsed.positionals() else {
+                return Err("obs diff needs two paths: <base> <new> (traces or baselines)".into());
+            };
+            let threshold = parsed.get("threshold", 0.2f64)?;
+            if threshold <= 0.0 {
+                return Err("--threshold must be positive".into());
+            }
+            let base_side = plateau_obs::diff::load_side(std::path::Path::new(base))
+                .map_err(|e| format!("{base}: {e}"))?;
+            let new_side = plateau_obs::diff::load_side(std::path::Path::new(new))
+                .map_err(|e| format!("{new}: {e}"))?;
+            let report = plateau_obs::diff::diff_entries(&base_side, &new_side, threshold);
+            print!("{}", report.render());
+            match report.regressions() {
+                0 => Ok(()),
+                n => Err(format!("{n} span regression(s) beyond +{:.0}%", 100.0 * threshold).into()),
+            }
+        }
+        "baseline" => {
+            check_flags(parsed, &["trace", "out"])?;
+            let analysis = Analysis::of(&required_trace()?);
+            let doc = analysis.to_baseline_json().to_pretty_string();
+            match parsed.opt_str("out") {
+                Some(out) => {
+                    std::fs::write(&out, doc).map_err(|e| format!("cannot write {out}: {e}"))?;
+                    println!("# wrote {out} ({} span names)", analysis.stats.len());
+                }
+                None => print!("{doc}"),
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown obs subcommand {other:?} (report|flame|diff|baseline)").into()),
+    }
 }
 
 fn cmd_analyze(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {

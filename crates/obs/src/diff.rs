@@ -1,0 +1,296 @@
+//! Structural run-to-run trace diff: compare two traces (or a trace
+//! against a committed `trace_baseline` document) per span name, with a
+//! configurable relative threshold on total wall time.
+//!
+//! The diff is *structural first*: span names that appear only on one
+//! side are reported as new/vanished (instrumentation drift is itself a
+//! finding), then shared names are compared on total time. A name whose
+//! relative slowdown exceeds the threshold is a regression; the CI gate
+//! (`plateau obs diff`, wired into `scripts/ci.sh`) turns any regression
+//! into a nonzero exit.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::analyze::{baseline_entries, Analysis, BaselineEntry, Trace, TraceError};
+use crate::json::Json;
+use crate::span::fmt_duration;
+
+/// How one span name changed between the two sides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffKind {
+    /// Present only in the new trace.
+    New,
+    /// Present only in the baseline.
+    Vanished,
+    /// Slower by more than the threshold — a regression.
+    Slower,
+    /// Faster by more than the threshold.
+    Faster,
+    /// Within the threshold either way.
+    Unchanged,
+}
+
+/// Per-name comparison result.
+#[derive(Debug, Clone)]
+pub struct DiffEntry {
+    /// The span name.
+    pub name: String,
+    /// Classification (regressions are `Slower`).
+    pub kind: DiffKind,
+    /// Baseline side, when present.
+    pub base: Option<BaselineEntry>,
+    /// New side, when present.
+    pub new: Option<BaselineEntry>,
+    /// `(new_total − base_total) / base_total`, when both sides exist.
+    pub rel_delta: Option<f64>,
+}
+
+impl DiffEntry {
+    /// Whether this entry fails the gate.
+    pub fn is_regression(&self) -> bool {
+        self.kind == DiffKind::Slower
+    }
+}
+
+/// The full comparison of two aggregated traces.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// One entry per span name seen on either side, regressions first,
+    /// then by descending absolute relative change.
+    pub entries: Vec<DiffEntry>,
+    /// The relative threshold the report was computed with.
+    pub threshold: f64,
+}
+
+impl DiffReport {
+    /// Number of names classified as regressions.
+    pub fn regressions(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_regression()).count()
+    }
+
+    /// Renders the comparison as an aligned text table plus a verdict
+    /// line (`# PASS` / `# FAIL: N regression(s)`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let name_w = self
+            .entries
+            .iter()
+            .map(|e| e.name.len())
+            .chain(["name".len()])
+            .max()
+            .unwrap_or(4);
+        let _ = writeln!(
+            out,
+            "{:<name_w$}  {:>10}  {:>10}  {:>8}  {:>12}",
+            "name", "base", "new", "delta", "verdict"
+        );
+        for e in &self.entries {
+            let base = e.base.map_or_else(|| "-".into(), |b| fmt_duration(b.total_ns));
+            let new = e.new.map_or_else(|| "-".into(), |n| fmt_duration(n.total_ns));
+            let delta = e
+                .rel_delta
+                .map_or_else(|| "-".into(), |d| format!("{:+.1}%", 100.0 * d));
+            let verdict = match e.kind {
+                DiffKind::New => "new",
+                DiffKind::Vanished => "vanished",
+                DiffKind::Slower => "REGRESSION",
+                DiffKind::Faster => "faster",
+                DiffKind::Unchanged => "ok",
+            };
+            let _ = writeln!(
+                out,
+                "{:<name_w$}  {:>10}  {:>10}  {:>8}  {:>12}",
+                e.name, base, new, delta, verdict
+            );
+        }
+        let regressions = self.regressions();
+        if regressions == 0 {
+            let _ = writeln!(
+                out,
+                "# PASS: no span slower than {:.0}% of baseline",
+                100.0 * (1.0 + self.threshold)
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "# FAIL: {regressions} regression(s) beyond +{:.0}% threshold",
+                100.0 * self.threshold
+            );
+        }
+        out
+    }
+}
+
+/// Compares per-name aggregates with a relative `threshold` on total
+/// time: `new > base × (1 + threshold)` is a regression.
+pub fn diff_entries(
+    base: &BTreeMap<String, BaselineEntry>,
+    new: &BTreeMap<String, BaselineEntry>,
+    threshold: f64,
+) -> DiffReport {
+    let mut entries = Vec::new();
+    for (name, b) in base {
+        match new.get(name) {
+            None => entries.push(DiffEntry {
+                name: name.clone(),
+                kind: DiffKind::Vanished,
+                base: Some(*b),
+                new: None,
+                rel_delta: None,
+            }),
+            Some(n) => {
+                // A zero-duration baseline cannot express a ratio; treat
+                // its floor as one nanosecond.
+                let base_ns = b.total_ns.max(1) as f64;
+                let rel = (n.total_ns as f64 - base_ns) / base_ns;
+                let kind = if rel > threshold {
+                    DiffKind::Slower
+                } else if rel < -threshold {
+                    DiffKind::Faster
+                } else {
+                    DiffKind::Unchanged
+                };
+                entries.push(DiffEntry {
+                    name: name.clone(),
+                    kind,
+                    base: Some(*b),
+                    new: Some(*n),
+                    rel_delta: Some(rel),
+                });
+            }
+        }
+    }
+    for (name, n) in new {
+        if !base.contains_key(name) {
+            entries.push(DiffEntry {
+                name: name.clone(),
+                kind: DiffKind::New,
+                base: None,
+                new: Some(*n),
+                rel_delta: None,
+            });
+        }
+    }
+    entries.sort_by(|a, b| {
+        let sev = |e: &DiffEntry| match e.kind {
+            DiffKind::Slower => 0,
+            DiffKind::Vanished => 1,
+            DiffKind::New => 2,
+            DiffKind::Faster => 3,
+            DiffKind::Unchanged => 4,
+        };
+        sev(a)
+            .cmp(&sev(b))
+            .then_with(|| {
+                let mag = |e: &DiffEntry| e.rel_delta.map_or(0.0, f64::abs);
+                mag(b).partial_cmp(&mag(a)).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    DiffReport { entries, threshold }
+}
+
+/// Loads one side of a diff from disk: either a committed
+/// `trace_baseline` JSON document or a raw JSONL trace (detected by
+/// content, not extension — a baseline parses as a single JSON object).
+///
+/// # Errors
+///
+/// Propagates [`TraceError`] from whichever interpretation applies.
+pub fn load_side(path: &Path) -> Result<BTreeMap<String, BaselineEntry>, TraceError> {
+    let text = std::fs::read_to_string(path)?;
+    if let Ok(doc) = Json::parse(&text) {
+        if doc.get("type").and_then(Json::as_str) == Some("trace_baseline") {
+            return baseline_entries(&doc);
+        }
+        // A single-record trace also parses whole; fall through.
+    }
+    let trace = Trace::parse(&text)?;
+    Ok((&Analysis::of(&trace)).into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(count: u64, total_ns: u64) -> BaselineEntry {
+        BaselineEntry {
+            count,
+            total_ns,
+            self_ns: total_ns,
+        }
+    }
+
+    fn side(pairs: &[(&str, u64)]) -> BTreeMap<String, BaselineEntry> {
+        pairs
+            .iter()
+            .map(|&(n, t)| (n.to_string(), entry(1, t)))
+            .collect()
+    }
+
+    #[test]
+    fn identical_sides_pass() {
+        let a = side(&[("scan", 1000), ("cell", 400)]);
+        let report = diff_entries(&a, &a, 0.2);
+        assert_eq!(report.regressions(), 0);
+        assert!(report.entries.iter().all(|e| e.kind == DiffKind::Unchanged));
+        assert!(report.render().contains("# PASS"));
+    }
+
+    #[test]
+    fn slowdown_beyond_threshold_is_a_regression() {
+        let base = side(&[("scan", 1000), ("cell", 400)]);
+        let new = side(&[("scan", 1300), ("cell", 430)]);
+        let report = diff_entries(&base, &new, 0.2);
+        assert_eq!(report.regressions(), 1);
+        // Regressions sort first.
+        assert_eq!(report.entries[0].name, "scan");
+        assert_eq!(report.entries[0].kind, DiffKind::Slower);
+        assert!((report.entries[0].rel_delta.unwrap() - 0.3).abs() < 1e-9);
+        assert!(report.render().contains("REGRESSION"));
+        assert!(report.render().contains("# FAIL"));
+        // The +30% slowdown passes a looser gate.
+        assert_eq!(diff_entries(&base, &new, 0.5).regressions(), 0);
+    }
+
+    #[test]
+    fn speedups_are_reported_but_never_fail() {
+        let base = side(&[("scan", 1000)]);
+        let new = side(&[("scan", 500)]);
+        let report = diff_entries(&base, &new, 0.2);
+        assert_eq!(report.regressions(), 0);
+        assert_eq!(report.entries[0].kind, DiffKind::Faster);
+    }
+
+    #[test]
+    fn structural_changes_are_surfaced() {
+        let base = side(&[("scan", 1000), ("old_span", 10)]);
+        let new = side(&[("scan", 1000), ("new_span", 10)]);
+        let report = diff_entries(&base, &new, 0.2);
+        assert_eq!(report.regressions(), 0);
+        let kind_of = |n: &str| {
+            report
+                .entries
+                .iter()
+                .find(|e| e.name == n)
+                .map(|e| e.kind)
+                .unwrap()
+        };
+        assert_eq!(kind_of("old_span"), DiffKind::Vanished);
+        assert_eq!(kind_of("new_span"), DiffKind::New);
+        let rendered = report.render();
+        assert!(rendered.contains("vanished"));
+        assert!(rendered.contains("new"));
+    }
+
+    #[test]
+    fn zero_baseline_does_not_divide_by_zero() {
+        let base = side(&[("burst", 0)]);
+        let new = side(&[("burst", 100)]);
+        let report = diff_entries(&base, &new, 0.2);
+        assert_eq!(report.regressions(), 1);
+        assert!(report.entries[0].rel_delta.unwrap().is_finite());
+    }
+}

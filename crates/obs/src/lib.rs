@@ -14,8 +14,20 @@
 //!    record when a metrics file is configured. `error!`…`trace!` macros are
 //!    gated by the global level.
 //! 3. **Run manifests** ([`manifest`]): stamp an invocation with its
-//!    command, config, seed, and `git describe`, and close the run with a
-//!    final metrics snapshot — so every JSONL file is self-describing.
+//!    command, config, seed, tracked environment, core count, and
+//!    `git describe`, and close the run with a final metrics snapshot — so
+//!    every JSONL file is self-describing.
+//!
+//! On top of the write side sits the **read side** — the trace profiler:
+//!
+//! 4. **Analysis** ([`analyze`]): stream-parse a JSONL trace, rebuild the
+//!    span forest from span/parent ids, and aggregate per span name
+//!    (count, total and self wall time, min/mean and exact percentiles).
+//! 5. **Flamegraphs** ([`flame`]): collapsed-stack export and a
+//!    self-contained SVG flamegraph writer.
+//! 6. **Regression diff** ([`diff`]): compare two traces, or a trace
+//!    against a committed baseline, per span name with a relative
+//!    threshold — the `plateau obs diff` CI gate.
 //!
 //! # Configuration
 //!
@@ -28,6 +40,9 @@
 //! Programmatic overrides ([`set_log_level`], [`set_metrics_enabled`],
 //! [`init`]) always win over the environment.
 
+pub mod analyze;
+pub mod diff;
+pub mod flame;
 pub mod json;
 pub mod manifest;
 pub mod metrics;

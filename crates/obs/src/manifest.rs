@@ -24,6 +24,33 @@ pub fn git_describe() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
+/// The observability-relevant environment variables stamped into every
+/// manifest, so a trace stays interpretable after the fact (was the run
+/// pinned to one thread? was a log level forcing extra stderr work?).
+const TRACKED_ENV: &[&str] = &[
+    "PLATEAU_THREADS",
+    "PLATEAU_LOG",
+    "PLATEAU_METRICS",
+    "PLATEAU_METRICS_OUT",
+];
+
+/// The `{"env":{...},"cores":N}` fragment of the manifest: tracked env
+/// vars (unset → `null`) plus the detected core count.
+fn environment_json() -> (Json, Json) {
+    let env = Json::Obj(
+        TRACKED_ENV
+            .iter()
+            .map(|&k| {
+                let v = std::env::var(k).map_or(Json::Null, Json::str);
+                (k.to_string(), v)
+            })
+            .collect(),
+    );
+    let cores = std::thread::available_parallelism()
+        .map_or(Json::Null, |n| Json::from(n.get()));
+    (env, cores)
+}
+
 /// Builds a `{"type":"manifest",...}` record for `command` (e.g.
 /// `"plateau variance"`) with arbitrary config pairs and an optional RNG
 /// seed. Exposed separately from [`emit_manifest`] for tests.
@@ -36,6 +63,7 @@ pub fn build_manifest(
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_secs() as f64)
         .unwrap_or(0.0);
+    let (env, cores) = environment_json();
     Json::Obj(vec![
         ("type".to_string(), Json::str("manifest")),
         ("command".to_string(), Json::str(command)),
@@ -46,6 +74,8 @@ pub fn build_manifest(
             seed.map_or(Json::Null, |s| Json::Num(s as f64)),
         ),
         ("config".to_string(), Json::Obj(config)),
+        ("env".to_string(), env),
+        ("cores".to_string(), cores),
     ])
 }
 
@@ -106,6 +136,27 @@ mod tests {
         let git = parsed.get("git").unwrap().as_str().unwrap();
         assert!(!git.is_empty());
         assert!(parsed.get("ts_unix").unwrap().as_f64().unwrap() > 0.0);
+        // Environment capture: every tracked variable has a key (string or
+        // null), and the detected core count is a positive number.
+        let env = parsed.get("env").expect("env object");
+        for key in ["PLATEAU_THREADS", "PLATEAU_LOG", "PLATEAU_METRICS_OUT"] {
+            assert!(env.get(key).is_some(), "manifest env missing {key}");
+        }
+        assert!(parsed.get("cores").unwrap().as_f64().unwrap_or(0.0) >= 1.0);
+    }
+
+    #[test]
+    fn manifest_env_reflects_set_variables() {
+        let _guard = test_lock();
+        std::env::set_var("PLATEAU_THREADS", "3");
+        let m = build_manifest("test env", vec![], None);
+        std::env::remove_var("PLATEAU_THREADS");
+        assert_eq!(
+            m.get("env").unwrap().get("PLATEAU_THREADS").unwrap().as_str(),
+            Some("3")
+        );
+        let m2 = build_manifest("test env", vec![], None);
+        assert_eq!(m2.get("env").unwrap().get("PLATEAU_THREADS"), Some(&Json::Null));
     }
 
     #[test]

@@ -157,6 +157,18 @@ impl Histogram {
         std::array::from_fn(|i| self.buckets[i].load(Relaxed))
     }
 
+    /// Estimates the `q`-quantile (`0.0 ≤ q ≤ 1.0`) by locating the bucket
+    /// holding the nearest-rank sample and interpolating linearly inside
+    /// its `[lo, hi]` bounds. Exact to within one bucket (a factor of 2 on
+    /// a log₂ scale); `None` with no samples or a `q` outside `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        let count = self.count();
+        if count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        Some(percentile_from_buckets(&self.bucket_counts(), count, q))
+    }
+
     /// Aggregates the current state; `None` if no samples were recorded.
     pub fn summary(&self) -> Option<HistogramSummary> {
         let count = self.count();
@@ -165,27 +177,15 @@ impl Histogram {
         }
         let sum = self.sum.load(Relaxed);
         let buckets = self.bucket_counts();
-        // Approximate median: the midpoint of the bucket containing the
-        // ceil(count/2)-th sample. Good to within a factor of two, which
-        // is all a log-scale latency histogram promises.
-        let target = count.div_ceil(2);
-        let mut seen = 0u64;
-        let mut p50 = 0u64;
-        for (i, &c) in buckets.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                let (lo, hi) = bucket_bounds(i);
-                p50 = lo / 2 + hi / 2 + (lo & hi & 1);
-                break;
-            }
-        }
         Some(HistogramSummary {
             count,
             sum,
             min: self.min.load(Relaxed),
             max: self.max.load(Relaxed),
             mean: sum as f64 / count as f64,
-            approx_p50: p50,
+            approx_p50: percentile_from_buckets(&buckets, count, 0.5),
+            approx_p90: percentile_from_buckets(&buckets, count, 0.9),
+            approx_p99: percentile_from_buckets(&buckets, count, 0.99),
         })
     }
 
@@ -198,6 +198,29 @@ impl Histogram {
         self.min.store(u64::MAX, Relaxed);
         self.max.store(0, Relaxed);
     }
+}
+
+/// Shared quantile kernel: nearest-rank bucket location plus linear
+/// interpolation between that bucket's bounds. `count` must be the total
+/// across `buckets` and nonzero.
+fn percentile_from_buckets(buckets: &[u64; HISTOGRAM_BUCKETS], count: u64, q: f64) -> u64 {
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut seen = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if seen + c >= rank {
+            let (lo, hi) = bucket_bounds(i);
+            // Position of the ranked sample among this bucket's c samples,
+            // spread evenly across the bucket's value range.
+            let pos = rank - seen - 1;
+            let frac = if c == 1 { 0.5 } else { pos as f64 / (c - 1) as f64 };
+            return lo + ((hi - lo) as f64 * frac).round() as u64;
+        }
+        seen += c;
+    }
+    bucket_bounds(HISTOGRAM_BUCKETS - 1).1
 }
 
 /// Point-in-time aggregate of one histogram.
@@ -213,8 +236,12 @@ pub struct HistogramSummary {
     pub max: u64,
     /// `sum / count`.
     pub mean: f64,
-    /// Median estimate from the bucket boundaries (± a factor of 2).
+    /// Median estimate via bucket interpolation (± a factor of 2).
     pub approx_p50: u64,
+    /// 90th-percentile estimate via bucket interpolation (± a factor of 2).
+    pub approx_p90: u64,
+    /// 99th-percentile estimate via bucket interpolation (± a factor of 2).
+    pub approx_p99: u64,
 }
 
 struct Registry {
@@ -342,6 +369,8 @@ impl MetricsSnapshot {
                             ("max", Json::Num(s.max as f64)),
                             ("mean", Json::Num(s.mean)),
                             ("approx_p50", Json::Num(s.approx_p50 as f64)),
+                            ("approx_p90", Json::Num(s.approx_p90 as f64)),
+                            ("approx_p99", Json::Num(s.approx_p99 as f64)),
                         ]),
                     )
                 })
@@ -460,8 +489,47 @@ mod tests {
         assert_eq!(s.sum, 1035);
         assert_eq!(s.min, 0);
         assert_eq!(s.max, 1024);
-        // 4th of 7 samples is the value 2, in bucket 2 → midpoint of [2,3].
+        // 4th of 7 samples is the first of bucket 2's two samples → its
+        // interpolated position is the bucket's lower bound, 2.
         assert_eq!(s.approx_p50, 2);
+        // 7th of 7 samples sits alone in bucket 11 → midpoint of [1024, 2047].
+        assert_eq!(s.approx_p90, 1536);
+        assert_eq!(s.approx_p99, 1536);
+        set_metrics_enabled(false);
+    }
+
+    #[test]
+    fn percentiles_track_exact_quantiles_on_synthetic_data() {
+        let _guard = test_lock();
+        set_metrics_enabled(true);
+        let h = histogram("test.metrics.hist_percentiles");
+        h.reset();
+        // 1..=1000 uniformly: exact p50 = 500, p90 = 900, p99 = 990.
+        let mut exact: Vec<u64> = (1..=1000u64).collect();
+        for &v in &exact {
+            h.record(v);
+        }
+        exact.sort_unstable();
+        for (q, exact_v) in [(0.5, 500u64), (0.9, 900), (0.99, 990)] {
+            let approx = h.percentile(q).unwrap();
+            // A log₂ histogram promises the true quantile to within its
+            // bucket, i.e. a factor of two either way.
+            assert!(
+                approx >= exact_v / 2 && approx <= exact_v * 2,
+                "q={q}: approx {approx} vs exact {exact_v}"
+            );
+        }
+        // Degenerate inputs.
+        assert_eq!(h.percentile(-0.1), None);
+        assert_eq!(h.percentile(1.5), None);
+        assert_eq!(h.percentile(0.0), Some(1), "rank clamps to the minimum sample's bucket");
+        h.reset();
+        assert_eq!(h.percentile(0.5), None, "empty histogram has no quantiles");
+        // A single sample lands every quantile in its own bucket.
+        h.record(700);
+        let p = h.percentile(0.99).unwrap();
+        assert!(p >= 512 && p <= 1023, "single sample bucket [512,1023], got {p}");
+        h.reset();
         set_metrics_enabled(false);
     }
 

@@ -12,14 +12,21 @@
 //! Span nesting depth is tracked per-thread (for stderr indentation and
 //! the `depth` field of JSONL records); a span moved across threads will
 //! report the depth of the thread it drops on.
+//!
+//! Active spans additionally carry a process-wide monotonic `id` and the
+//! `id` of their innermost active ancestor on the same thread (`parent`,
+//! tracked by a thread-local current-span stack). Both land in the JSONL
+//! record, so a trace is a reconstructible forest — see [`crate::analyze`].
+//! Disabled spans skip id assignment entirely; the disabled path stays at
+//! two relaxed atomic loads.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::fs::File;
 use std::io::{self, BufWriter, Write as _};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::{Mutex, Once};
 use std::time::Instant;
 
 use crate::json::Json;
@@ -131,7 +138,14 @@ impl Field {
 
 thread_local! {
     static DEPTH: Cell<usize> = const { Cell::new(0) };
+    /// Ids of the active spans enclosing the current point of execution,
+    /// innermost last. Only *active* spans are pushed, so id assignment
+    /// costs nothing on the disabled path.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
 }
+
+/// Monotonic span id source; 0 is reserved for "no span".
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 
 fn indent(depth: usize) -> String {
     "  ".repeat(depth)
@@ -151,7 +165,7 @@ fn fmt_fields(fields: &[Field]) -> String {
     out
 }
 
-fn fmt_duration(ns: u64) -> String {
+pub(crate) fn fmt_duration(ns: u64) -> String {
     match ns {
         0..=9_999 => format!("{ns}ns"),
         10_000..=9_999_999 => format!("{:.1}us", ns as f64 / 1e3),
@@ -173,6 +187,8 @@ pub struct Span {
     name: &'static str,
     start: Option<Instant>,
     fields: Vec<Field>,
+    id: u64,
+    parent: Option<u64>,
     stderr: bool,
     jsonl: bool,
     metrics: bool,
@@ -190,6 +206,8 @@ impl Span {
                 name,
                 start: None,
                 fields: Vec::new(),
+                id: 0,
+                parent: None,
                 stderr: false,
                 jsonl: false,
                 metrics: false,
@@ -200,6 +218,13 @@ impl Span {
             let v = d.get();
             d.set(v + 1);
             v
+        });
+        let id = NEXT_SPAN_ID.fetch_add(1, Relaxed);
+        let parent = SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let parent = s.last().copied();
+            s.push(id);
+            parent
         });
         if stderr {
             eprintln!(
@@ -214,10 +239,22 @@ impl Span {
             name,
             start: Some(Instant::now()),
             fields,
+            id,
+            parent,
             stderr,
             jsonl,
             metrics,
         }
+    }
+
+    /// The monotonic id assigned at entry (0 for inactive spans).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The id of the enclosing active span at entry, if any.
+    pub fn parent_id(&self) -> Option<u64> {
+        self.parent
     }
 
     /// Whether any subscriber accepted this span.
@@ -243,6 +280,18 @@ impl Drop for Span {
             d.set(v);
             v
         });
+        SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // The common case is LIFO drop on the entering thread; a span
+            // dropped out of order (or on another thread) is removed from
+            // wherever it sits so the stack cannot leak entries.
+            match s.last() {
+                Some(&top) if top == self.id => {
+                    s.pop();
+                }
+                _ => s.retain(|&id| id != self.id),
+            }
+        });
         if self.stderr {
             eprintln!(
                 "[plateau {:>5}] {}< {} {}{}",
@@ -263,6 +312,11 @@ impl Drop for Span {
             write_jsonl_record(&Json::Obj(vec![
                 ("type".to_string(), Json::str("span")),
                 ("name".to_string(), Json::str(self.name)),
+                ("id".to_string(), Json::Num(self.id as f64)),
+                (
+                    "parent".to_string(),
+                    self.parent.map_or(Json::Null, |p| Json::Num(p as f64)),
+                ),
                 ("duration_ns".to_string(), Json::Num(dur_ns as f64)),
                 ("depth".to_string(), Json::from(depth)),
                 ("fields".to_string(), fields),
@@ -316,11 +370,33 @@ pub fn jsonl_active() -> bool {
 
 /// Opens (truncating) a JSONL sink at `path`. Subsequent spans, events,
 /// manifests, and metric snapshots append one JSON object per line.
+///
+/// The first call also chains a panic hook that flushes the sink, so a
+/// panicking run still leaves a usable (at worst truncated-by-one-line)
+/// trace on disk — the analyzer tolerates a torn final line.
 pub fn set_jsonl_path(path: &Path) -> io::Result<()> {
+    static PANIC_FLUSH: Once = Once::new();
+    PANIC_FLUSH.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            prev(info);
+            flush_jsonl();
+        }));
+    });
     let file = File::create(path)?;
     *lock_sink() = Some(BufWriter::new(file));
     JSONL_ON.store(true, Relaxed);
     Ok(())
+}
+
+/// Flushes the sink without closing it. Uses `try_lock` so it is safe to
+/// call from a panic hook even if the panic unwound out of a write.
+pub fn flush_jsonl() {
+    if let Ok(mut guard) = JSONL_SINK.try_lock() {
+        if let Some(w) = guard.as_mut() {
+            let _ = w.flush();
+        }
+    }
 }
 
 /// Appends one record to the sink, if open. Write errors are swallowed —
@@ -419,6 +495,13 @@ mod tests {
         let outer = &records[2];
         assert_eq!(outer.get("type").unwrap().as_str(), Some("span"));
         assert_eq!(outer.get("depth").unwrap().as_f64(), Some(0.0));
+        // The inner span's parent is the outer span's id; ids are
+        // monotonically increasing in entry order.
+        let outer_id = outer.get("id").unwrap().as_f64().unwrap();
+        let inner_id = records[1].get("id").unwrap().as_f64().unwrap();
+        assert!(inner_id > outer_id, "inner entered after outer");
+        assert_eq!(records[1].get("parent").unwrap().as_f64(), Some(outer_id));
+        assert_eq!(outer.get("parent"), Some(&Json::Null));
         assert!(outer.get("duration_ns").unwrap().as_f64().unwrap() >= 0.0);
         let fields = outer.get("fields").unwrap();
         assert_eq!(fields.get("strategy").unwrap().as_str(), Some("gaussian"));
@@ -438,6 +521,40 @@ mod tests {
             vec![]
         });
         assert!(!built);
+    }
+
+    #[test]
+    fn span_stack_survives_out_of_order_drops() {
+        let _guard = test_lock();
+        set_log_level(Level::Error);
+        set_metrics_enabled(true);
+        let a = Span::enter_with("ooo_a", Vec::new);
+        let b = Span::enter_with("ooo_b", Vec::new);
+        let c = Span::enter_with("ooo_c", Vec::new);
+        assert_eq!(b.parent_id(), Some(a.id()));
+        assert_eq!(c.parent_id(), Some(b.id()));
+        // Drop b before c: c's entry must be removed correctly anyway and
+        // a fresh span must again parent on `a` once b and c are gone.
+        drop(b);
+        drop(c);
+        let d = Span::enter_with("ooo_d", Vec::new);
+        assert_eq!(d.parent_id(), Some(a.id()));
+        drop(d);
+        drop(a);
+        let root = Span::enter_with("ooo_root", Vec::new);
+        assert_eq!(root.parent_id(), None);
+        set_metrics_enabled(false);
+    }
+
+    #[test]
+    fn inactive_spans_get_no_ids() {
+        let _guard = test_lock();
+        set_log_level(Level::Error);
+        set_metrics_enabled(false);
+        close_jsonl();
+        let s = Span::enter_with("inactive", Vec::new);
+        assert_eq!(s.id(), 0);
+        assert_eq!(s.parent_id(), None);
     }
 
     #[test]

@@ -30,4 +30,20 @@ echo "=== observability overhead gate ==="
 # envelope (benchmarks/BENCH_variance_harness.json).
 cargo run -q --release --offline -p plateau-bench --bin obs_overhead_gate
 
+echo "=== obs trace regression gate ==="
+# Record a fresh trace of the canonical gate workload (kept in lock-step
+# with crates/bench/src/bin/obs_trace_baseline.rs) and diff it against the
+# committed baseline. Structure (new/vanished spans, call counts) compares
+# exactly; wall time uses a generous relative threshold because the
+# baseline was recorded on a different machine. Re-record with
+# `cargo run -p plateau-bench --bin obs_trace_baseline` after intentional
+# changes to the workload or the span instrumentation.
+trace="$(mktemp -u).jsonl"
+cargo run -q --release --offline -p plateau-cli -- variance \
+    --qubits 2,3 --circuits 8 --layers 10 --metrics-out "${trace}" > /dev/null
+cargo run -q --release --offline -p plateau-cli -- obs diff \
+    benchmarks/OBS_trace_baseline.json "${trace}" \
+    --threshold "${PLATEAU_TRACE_THRESHOLD:-4.0}"
+rm -f "${trace}"
+
 echo "CI gate passed."

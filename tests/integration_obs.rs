@@ -1,13 +1,21 @@
 //! Cross-crate observability integration: exact counter totals through the
 //! thread pool, analytic gate-count verification around a variance scan,
-//! and a JSONL round-trip through the in-repo JSON parser.
+//! a JSONL round-trip through the in-repo JSON parser, and the trace
+//! profiler pipeline (record → reconstruct → aggregate → diff) against
+//! both a live run and the committed golden fixture.
 //!
 //! The obs registry is process-global, so every test serializes on
 //! [`plateau_obs::test_lock`] and works with snapshot *deltas*.
 
 use plateau_core::init::InitStrategy;
 use plateau_core::variance::{variance_scan, VarianceConfig};
+use plateau_obs::analyze::{Analysis, Trace, TraceError};
 use plateau_obs::json::Json;
+
+/// Path of the committed golden trace (relative to this crate's manifest,
+/// which lives in `crates/core`).
+const GOLDEN_TRACE: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/fixtures/golden_trace.jsonl");
 
 fn counter_value(name: &str) -> u64 {
     plateau_obs::snapshot().counter(name).unwrap_or(0)
@@ -172,4 +180,146 @@ fn jsonl_records_round_trip_through_the_parser() {
             .and_then(|v| v.as_f64()),
         Some(7.0)
     );
+}
+
+#[test]
+fn live_trace_carries_span_ids_and_reconstructs_exactly() {
+    let _guard = plateau_obs::test_lock();
+    plateau_obs::metrics::reset();
+    let path = std::env::temp_dir().join(format!(
+        "plateau-obs-profile-{}.jsonl",
+        std::process::id()
+    ));
+    plateau_obs::init(None, Some(&path)).unwrap();
+
+    let qubits = [2usize, 3];
+    let cfg = VarianceConfig {
+        qubit_counts: qubits.to_vec(),
+        layers: 4,
+        n_circuits: 3,
+        ..VarianceConfig::default()
+    };
+    let strategies = [InitStrategy::Random, InitStrategy::He];
+    variance_scan(&cfg, &strategies).unwrap();
+    plateau_obs::finish_run();
+    plateau_obs::set_metrics_enabled(false);
+
+    let trace = Trace::read(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert!(trace.warnings.is_empty(), "{:?}", trace.warnings);
+
+    // Every span got a nonzero monotonic id, and every cell's parent link
+    // points at the enclosing scan span.
+    assert!(trace.spans.iter().all(|s| s.id != 0));
+    let scan = trace
+        .spans
+        .iter()
+        .position(|s| s.name == "variance_scan")
+        .expect("scan span recorded");
+    let cells: Vec<_> = trace
+        .spans
+        .iter()
+        .filter(|s| s.name == "variance_cell")
+        .collect();
+    assert_eq!(cells.len(), qubits.len() * strategies.len());
+    assert!(cells.iter().all(|c| c.parent == Some(trace.spans[scan].id)));
+    assert_eq!(trace.roots, vec![scan]);
+    assert_eq!(trace.spans[scan].children.len(), cells.len());
+
+    // Aggregation: the scan's wall time is the whole trace; its self time
+    // excludes every cell.
+    let a = Analysis::of(&trace);
+    assert_eq!(a.span_count, 1 + cells.len() as u64);
+    let scan_stats = a.stats.iter().find(|s| s.name == "variance_scan").unwrap();
+    assert_eq!(scan_stats.total_ns, trace.total_wall_ns());
+    let cell_total: u64 = cells.iter().map(|c| c.duration_ns).sum();
+    assert_eq!(
+        scan_stats.self_ns,
+        scan_stats.total_ns.saturating_sub(cell_total)
+    );
+    let report = a.render_report(0);
+    for needle in ["variance_cell", "p50", "p90", "p99", "self%"] {
+        assert!(report.contains(needle), "missing {needle:?} in:\n{report}");
+    }
+}
+
+#[test]
+fn golden_fixture_analysis_is_pinned() {
+    let trace = Trace::read(std::path::Path::new(GOLDEN_TRACE)).unwrap();
+    assert!(trace.warnings.is_empty());
+    assert_eq!(
+        trace.command.as_deref(),
+        Some("plateau variance --qubits 2 --circuits 2 --layers 3")
+    );
+    assert_eq!(trace.git.as_deref(), Some("golden00"));
+    assert_eq!(trace.events, 1);
+    assert_eq!(trace.total_wall_ns(), 5000);
+    assert_eq!(trace.max_depth(), 2);
+
+    let a = Analysis::of(&trace);
+    // Ranked by self time: the four cells (4700 ns) beat the scan (300 ns).
+    assert_eq!(a.stats[0].name, "variance_cell");
+    assert_eq!(a.stats[0].count, 4);
+    assert_eq!(a.stats[0].self_ns, 4700);
+    assert_eq!((a.stats[0].min_ns, a.stats[0].max_ns), (1000, 1400));
+    assert_eq!(a.stats[0].mean_ns, 1175.0);
+    assert_eq!(
+        (a.stats[0].p50_ns, a.stats[0].p90_ns, a.stats[0].p99_ns),
+        (1100, 1400, 1400)
+    );
+    assert_eq!(a.stats[1].name, "variance_scan");
+    assert_eq!(a.stats[1].self_ns, 300);
+
+    // Collapsed stacks and the flamegraph agree with the pinned tree.
+    assert_eq!(
+        plateau_obs::flame::collapsed_stacks(&trace),
+        "variance_scan 300\nvariance_scan;variance_cell 4700\n"
+    );
+    let svg = plateau_obs::flame::flamegraph_svg(&trace, "golden");
+    assert!(svg.starts_with("<?xml"));
+    assert!(svg.trim_end().ends_with("</svg>"));
+    // Synthetic all + scan + 4 cells.
+    assert_eq!(svg.matches("<g>").count(), 6);
+
+    // A trace diffed against its own baseline passes at any threshold.
+    let doc = a.to_baseline_json();
+    let base = plateau_obs::analyze::baseline_entries(&doc).unwrap();
+    let report = plateau_obs::diff::diff_entries(&base, &(&a).into(), 0.01);
+    assert_eq!(report.regressions(), 0);
+    assert!(report.render().contains("# PASS"));
+}
+
+#[test]
+fn malformed_trace_files_fail_loudly_but_tolerate_crash_truncation() {
+    let dir = std::env::temp_dir();
+    let write = |tag: &str, body: &str| {
+        let p = dir.join(format!("plateau-obs-bad-{}-{tag}.jsonl", std::process::id()));
+        std::fs::write(&p, body).unwrap();
+        p
+    };
+    let ok_line =
+        r#"{"type":"span","name":"ok","id":1,"parent":null,"duration_ns":10,"depth":0,"fields":{}}"#;
+
+    // Corruption mid-file is a hard error naming the line.
+    let corrupt = write("corrupt", &format!("{ok_line}\nnot json\n{ok_line}\n"));
+    match Trace::read(&corrupt) {
+        Err(TraceError::Malformed { line, .. }) => assert_eq!(line, 2),
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+
+    // A torn final line (crash mid-write) degrades to a warning.
+    let torn = write("torn", &format!("{ok_line}\n{{\"type\":\"span\",\"na"));
+    let trace = Trace::read(&torn).unwrap();
+    assert_eq!(trace.spans.len(), 1);
+    assert!(trace.warnings.iter().any(|w| w.contains("truncated final line")));
+
+    // Empty and span-free traces are distinct, graceful errors.
+    let empty = write("empty", "");
+    assert!(matches!(Trace::read(&empty), Err(TraceError::Empty(_))));
+    let spanless = write("spanless", "{\"type\":\"metrics\",\"counters\":{}}\n");
+    assert!(matches!(Trace::read(&spanless), Err(TraceError::Empty(_))));
+
+    for p in [corrupt, torn, empty, spanless] {
+        std::fs::remove_file(p).ok();
+    }
 }
