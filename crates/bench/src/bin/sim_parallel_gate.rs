@@ -1,0 +1,101 @@
+//! CI gate for the parallel execution layer: the multi-threaded
+//! parameter-shift training step must not be slower than the serial one.
+//!
+//! The workload is the paper's training configuration — a 10-qubit,
+//! 5-layer RX·RY + CZ-chain ansatz (100 parameters), whose full
+//! parameter-shift gradient costs 200 independent shifted-circuit
+//! evaluations. Those evaluations are exactly what
+//! `plateau_grad::expectation_many` fans across the `plateau_par` pool,
+//! so this one number captures the gradient-level parallel speedup.
+//!
+//! Both variants are measured by the shared harness: `serial` pins
+//! `PLATEAU_THREADS=1`, `parallel` lets the pool size itself from the
+//! machine. On a multi-core machine the gate fails (exit 1) when the
+//! parallel median exceeds `serial × PLATEAU_SIM_PAR_TOL` (default 1.10
+//! — parallel must at least break even, with a 10% jitter allowance).
+//! On a single-core machine the comparison is vacuous and the gate
+//! passes with a note.
+//!
+//! Run with `--record` to also write the measurement to
+//! `benchmarks/BENCH_sim_parallel.json` (the committed baseline).
+
+use plateau_bench::harness::{black_box, Harness};
+use plateau_core::ansatz::training_ansatz;
+use plateau_core::cost::CostKind;
+use plateau_grad::{GradientEngine, ParameterShift};
+
+fn main() {
+    if std::env::args().any(|a| a == "--record") {
+        std::env::set_var("PLATEAU_BENCH_JSON", "benchmarks/BENCH_sim_parallel.json");
+    }
+
+    let (n_qubits, layers) = (10usize, 5usize);
+    let ansatz = training_ansatz(n_qubits, layers).expect("training ansatz");
+    let obs = CostKind::Global.observable(n_qubits);
+    // Fixed, structured parameters: values only move the amplitudes, not
+    // the work, so any deterministic vector measures the same thing.
+    let params: Vec<f64> = (0..ansatz.circuit.n_params())
+        .map(|i| 0.1 + 0.01 * i as f64)
+        .collect();
+
+    println!(
+        "# workload: {n_qubits} qubits, {layers} layers, {} params -> {} shifted evaluations",
+        ansatz.circuit.n_params(),
+        2 * ansatz.circuit.n_params()
+    );
+
+    let prior_threads = std::env::var("PLATEAU_THREADS").ok();
+    let mut h = Harness::new("sim_parallel_gate");
+    let mut group = h.group("training_step");
+    group.sample_size(10);
+    std::env::set_var("PLATEAU_THREADS", "1");
+    group.bench("serial", || {
+        ParameterShift
+            .gradient(black_box(&ansatz.circuit), black_box(&params), &obs)
+            .expect("gradient")
+    });
+    match &prior_threads {
+        Some(v) => std::env::set_var("PLATEAU_THREADS", v),
+        None => std::env::remove_var("PLATEAU_THREADS"),
+    }
+    group.bench("parallel", || {
+        ParameterShift
+            .gradient(black_box(&ansatz.circuit), black_box(&params), &obs)
+            .expect("gradient")
+    });
+    let reports = h.finish();
+
+    let median_of = |id: &str| {
+        reports
+            .iter()
+            .find(|r| r.name == format!("training_step/{id}"))
+            .unwrap_or_else(|| panic!("missing report {id}"))
+            .median_ns
+    };
+    let serial = median_of("serial");
+    let parallel = median_of("parallel");
+    let workers = plateau_par::worker_count(usize::MAX);
+    println!(
+        "# serial {:.0} ns vs parallel {:.0} ns on {workers} worker(s): speedup x{:.2}",
+        serial,
+        parallel,
+        serial / parallel
+    );
+
+    if workers < 2 {
+        println!("# sim parallel gate skipped: single worker, nothing to compare");
+        return;
+    }
+    let tol: f64 = std::env::var("PLATEAU_SIM_PAR_TOL")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.10);
+    if parallel > serial * tol {
+        eprintln!(
+            "sim parallel gate FAILED: parallel median {parallel:.0} ns exceeds \
+             serial {serial:.0} ns x tolerance {tol}"
+        );
+        std::process::exit(1);
+    }
+    println!("# sim parallel gate passed");
+}

@@ -30,7 +30,7 @@ use plateau_core::init::{FanMode, InitStrategy};
 use plateau_core::landscape::{landscape_grid, LandscapeConfig};
 use plateau_core::optim::{Adam, AdaGrad, GradientDescent, Momentum, Optimizer, RmsProp};
 use plateau_core::train::train;
-use plateau_core::variance::{variance_scan, VarianceConfig};
+use plateau_core::variance::{variance_scan, GradEngineKind, VarianceConfig};
 use std::error::Error;
 use std::process::ExitCode;
 
@@ -165,6 +165,14 @@ fn parse_strategy(raw: &str) -> Result<InitStrategy, Box<dyn Error>> {
         })
 }
 
+fn parse_engine(raw: &str) -> Result<GradEngineKind, Box<dyn Error>> {
+    match raw {
+        "adjoint" => Ok(GradEngineKind::Adjoint),
+        "parameter-shift" => Ok(GradEngineKind::ParameterShift),
+        other => Err(format!("unknown engine {other:?} (adjoint|parameter-shift)").into()),
+    }
+}
+
 fn check_flags(parsed: &ParsedArgs, known: &[&str]) -> Result<(), Box<dyn Error>> {
     let mut known: Vec<&str> = known.to_vec();
     known.extend_from_slice(GLOBAL_FLAGS);
@@ -177,7 +185,7 @@ fn check_flags(parsed: &ParsedArgs, known: &[&str]) -> Result<(), Box<dyn Error>
 }
 
 fn cmd_variance(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
-    check_flags(parsed, &["qubits", "layers", "circuits", "cost", "fan", "seed"])?;
+    check_flags(parsed, &["qubits", "layers", "circuits", "cost", "fan", "engine", "seed"])?;
     let qubits_raw = parsed.get_str("qubits", "2,4,6,8,10");
     let qubit_counts: Vec<usize> = qubits_raw
         .split(',')
@@ -190,6 +198,7 @@ fn cmd_variance(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
         n_circuits: parsed.get("circuits", 200usize)?,
         cost: parse_cost(&parsed.get_str("cost", "global"))?,
         fan_mode: parse_fan(&parsed.get_str("fan", "tensor"))?,
+        engine: parse_engine(&parsed.get_str("engine", "adjoint"))?,
         seed: parsed.get("seed", 0x706c6174u64)?,
         ..VarianceConfig::default()
     };

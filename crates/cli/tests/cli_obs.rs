@@ -28,6 +28,11 @@ fn variance_run_emits_manifest_spans_and_exact_gate_counts() {
             "8",
             "--layers",
             "10",
+            // Pin the paper's differentiation method: the analytic
+            // execution counts below assume two-term parameter shift,
+            // and this exercises the --engine flag end to end.
+            "--engine",
+            "parameter-shift",
             "--log",
             "info",
             "--metrics-out",

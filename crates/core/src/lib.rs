@@ -72,6 +72,6 @@ pub use spsa::{train_spsa, SpsaConfig};
 pub use theory::{is_two_design_rate, near_identity_gradient_variance, two_design_decay_rate};
 pub use train::{train, train_with_engine, TrainingHistory};
 pub use variance::{
-    variance_scan, AnsatzKind, Improvement, StrategyCurve, VarianceConfig, VariancePoint,
-    VarianceScan,
+    variance_scan, AnsatzKind, GradEngineKind, Improvement, StrategyCurve, VarianceConfig,
+    VariancePoint, VarianceScan,
 };

@@ -30,6 +30,67 @@ pub fn expectation(circuit: &Circuit, params: &[f64], obs: &Observable) -> Resul
     obs.expectation(&state)
 }
 
+/// Minimum batch size before [`expectation_many`] fans out across the
+/// thread pool; below this the per-batch thread-spawn overhead dominates
+/// the circuit simulations themselves. Two- and four-point parameter-shift
+/// partials (the variance scan's inner loop, which already runs inside a
+/// `plateau_par` fan-out over circuits) therefore always stay serial and
+/// never nest pools.
+pub(crate) const MIN_PAR_EVALS: usize = 8;
+
+/// Evaluates the cost for many parameter sets against one circuit —
+/// the batched entry point behind [`crate::ParameterShift`]'s parallel
+/// gradient and available to harnesses that sweep parameter ensembles.
+///
+/// Batches of at least 8 evaluations fan out across the [`plateau_par`]
+/// scoped pool (respecting `PLATEAU_THREADS`); smaller batches run
+/// serially. Results come back in input order and each evaluation is the
+/// same computation as [`expectation`], so the output is identical
+/// whichever path runs.
+///
+/// # Errors
+///
+/// Propagates parameter-count and observable-size mismatches; every
+/// parameter set is validated up front, before any circuit runs.
+///
+/// # Examples
+///
+/// ```
+/// use plateau_grad::{expectation, expectation_many};
+/// use plateau_sim::{Circuit, Observable};
+///
+/// let mut c = Circuit::new(1)?;
+/// c.ry(0)?;
+/// let obs = Observable::global_cost(1);
+/// let sets = vec![vec![0.1], vec![0.2], vec![0.3]];
+/// let batch = expectation_many(&c, &sets, &obs)?;
+/// for (set, e) in sets.iter().zip(&batch) {
+///     assert_eq!(*e, expectation(&c, set, &obs)?);
+/// }
+/// # Ok::<(), plateau_sim::SimError>(())
+/// ```
+pub fn expectation_many(
+    circuit: &Circuit,
+    param_sets: &[Vec<f64>],
+    obs: &Observable,
+) -> Result<Vec<f64>, SimError> {
+    for set in param_sets {
+        circuit.check_params(set)?;
+    }
+    plateau_obs::counter!("grad.expectation_batches").inc();
+    plateau_obs::histogram!("grad.batch_size").record(param_sets.len() as u64);
+    if param_sets.len() >= MIN_PAR_EVALS && plateau_par::worker_count(param_sets.len()) > 1 {
+        plateau_par::par_map_collect(param_sets, |set| expectation(circuit, set, obs))
+            .into_iter()
+            .collect()
+    } else {
+        param_sets
+            .iter()
+            .map(|set| expectation(circuit, set, obs))
+            .collect()
+    }
+}
+
 /// A strategy for computing `∂E/∂θ` of a parameterized circuit against a
 /// Hermitian observable.
 ///

@@ -7,7 +7,9 @@
 //!
 //! - [`ParameterShift`] — exact; 2 circuit evaluations per single-qubit
 //!   rotation parameter (4 for controlled rotations). The method the
-//!   paper's PennyLane pipeline exposes.
+//!   paper's PennyLane pipeline exposes. Full gradients fan the
+//!   independent shifted evaluations across the `plateau_par` pool via
+//!   [`expectation_many`].
 //! - [`Adjoint`] — exact; one forward pass plus one backward sweep yields
 //!   **all** parameters. The workhorse for the 200-circuit ensembles.
 //! - [`FiniteDifference`] — approximate oracle used to validate the other
@@ -47,7 +49,7 @@ mod metric;
 mod shift;
 
 pub use adjoint::Adjoint;
-pub use engine::{expectation, GradientEngine};
+pub use engine::{expectation, expectation_many, GradientEngine};
 pub use finite_diff::FiniteDifference;
 pub use fisher::{classical_fisher_information, quantum_fisher_information};
 pub use hessian::{hessian, spectral_norm};

@@ -65,19 +65,60 @@ fn rule_for_param(circuit: &Circuit, index: usize) -> Result<ShiftRule, SimError
     })
 }
 
-fn eval_shifted(
+/// One shifted-circuit evaluation of the parameter-shift sum:
+/// contributes `coeff · E(θ with θ[param] += shift)` to `∂E/∂θ[param]`.
+#[derive(Debug, Clone, Copy)]
+struct ShiftJob {
+    param: usize,
+    shift: f64,
+    coeff: f64,
+}
+
+/// Appends the shift jobs for one parameter and bumps the execution
+/// counter by the number of circuit evaluations they will cost.
+fn push_jobs(circuit: &Circuit, index: usize, jobs: &mut Vec<ShiftJob>) -> Result<(), SimError> {
+    match rule_for_param(circuit, index)? {
+        ShiftRule::TwoTerm => {
+            plateau_obs::counter!("grad.executions.parameter_shift").add(2);
+            jobs.push(ShiftJob { param: index, shift: FRAC_PI_2, coeff: 0.5 });
+            jobs.push(ShiftJob { param: index, shift: -FRAC_PI_2, coeff: -0.5 });
+        }
+        ShiftRule::FourTerm => {
+            plateau_obs::counter!("grad.executions.parameter_shift").add(4);
+            // PennyLane's four-term rule for controlled rotations:
+            // c± = (√2 ± 1) / (4√2), shifts π/2 and 3π/2.
+            let c1 = (SQRT_2 + 1.0) / (4.0 * SQRT_2);
+            let c2 = (SQRT_2 - 1.0) / (4.0 * SQRT_2);
+            jobs.push(ShiftJob { param: index, shift: FRAC_PI_2, coeff: c1 });
+            jobs.push(ShiftJob { param: index, shift: -FRAC_PI_2, coeff: -c1 });
+            jobs.push(ShiftJob { param: index, shift: 3.0 * FRAC_PI_2, coeff: -c2 });
+            jobs.push(ShiftJob { param: index, shift: -3.0 * FRAC_PI_2, coeff: c2 });
+        }
+    }
+    Ok(())
+}
+
+/// Runs the jobs serially through one reusable scratch buffer (no per-
+/// evaluation clone of the parameter vector) and returns the expectation
+/// values in job order. Callers have already validated `params`.
+fn eval_jobs_serial(
     circuit: &Circuit,
     params: &[f64],
     obs: &Observable,
-    index: usize,
-    shift: f64,
-) -> Result<f64, SimError> {
-    let mut shifted = params.to_vec();
-    shifted[index] += shift;
-    crate::engine::expectation(circuit, &shifted, obs)
+    jobs: &[ShiftJob],
+) -> Result<Vec<f64>, SimError> {
+    let mut scratch = params.to_vec();
+    let mut evals = Vec::with_capacity(jobs.len());
+    for j in jobs {
+        scratch[j.param] = params[j.param] + j.shift;
+        evals.push(crate::engine::expectation(circuit, &scratch, obs)?);
+        scratch[j.param] = params[j.param];
+    }
+    Ok(evals)
 }
 
 impl ParameterShift {
+    /// Computes one partial from a pre-validated parameter vector.
     fn partial_impl(
         &self,
         circuit: &Circuit,
@@ -85,27 +126,14 @@ impl ParameterShift {
         obs: &Observable,
         index: usize,
     ) -> Result<f64, SimError> {
-        circuit.check_params(params)?;
-        match rule_for_param(circuit, index)? {
-            ShiftRule::TwoTerm => {
-                plateau_obs::counter!("grad.executions.parameter_shift").add(2);
-                let plus = eval_shifted(circuit, params, obs, index, FRAC_PI_2)?;
-                let minus = eval_shifted(circuit, params, obs, index, -FRAC_PI_2)?;
-                Ok((plus - minus) / 2.0)
-            }
-            ShiftRule::FourTerm => {
-                plateau_obs::counter!("grad.executions.parameter_shift").add(4);
-                // PennyLane's four-term rule for controlled rotations:
-                // c± = (√2 ± 1) / (4√2), shifts π/2 and 3π/2.
-                let c1 = (SQRT_2 + 1.0) / (4.0 * SQRT_2);
-                let c2 = (SQRT_2 - 1.0) / (4.0 * SQRT_2);
-                let p1 = eval_shifted(circuit, params, obs, index, FRAC_PI_2)?;
-                let m1 = eval_shifted(circuit, params, obs, index, -FRAC_PI_2)?;
-                let p2 = eval_shifted(circuit, params, obs, index, 3.0 * FRAC_PI_2)?;
-                let m2 = eval_shifted(circuit, params, obs, index, -3.0 * FRAC_PI_2)?;
-                Ok(c1 * (p1 - m1) - c2 * (p2 - m2))
-            }
-        }
+        let mut jobs = Vec::with_capacity(4);
+        push_jobs(circuit, index, &mut jobs)?;
+        let evals = eval_jobs_serial(circuit, params, obs, &jobs)?;
+        Ok(jobs
+            .iter()
+            .zip(&evals)
+            .map(|(j, e)| j.coeff * e)
+            .sum())
     }
 }
 
@@ -118,9 +146,37 @@ impl GradientEngine for ParameterShift {
     ) -> Result<Vec<f64>, SimError> {
         circuit.check_params(params)?;
         plateau_obs::counter!("grad.gradients.parameter_shift").inc();
-        (0..circuit.n_params())
-            .map(|i| self.partial_impl(circuit, params, obs, i))
-            .collect()
+        let n = circuit.n_params();
+        let mut jobs = Vec::with_capacity(2 * n);
+        for i in 0..n {
+            push_jobs(circuit, i, &mut jobs)?;
+        }
+        // Every job is an independent circuit evaluation, so a gradient
+        // with k parameters exposes 2k (4k for controlled rotations)
+        // units of work. Large batches fan out through the batched
+        // engine entry point; small ones use the serial scratch buffer.
+        // Both paths evaluate identical parameter vectors and fold in
+        // job order, so the result does not depend on which path ran.
+        let evals = if jobs.len() >= crate::engine::MIN_PAR_EVALS
+            && plateau_par::worker_count(jobs.len()) > 1
+        {
+            let sets: Vec<Vec<f64>> = jobs
+                .iter()
+                .map(|j| {
+                    let mut s = params.to_vec();
+                    s[j.param] += j.shift;
+                    s
+                })
+                .collect();
+            crate::engine::expectation_many(circuit, &sets, obs)?
+        } else {
+            eval_jobs_serial(circuit, params, obs, &jobs)?
+        };
+        let mut grad = vec![0.0; n];
+        for (j, e) in jobs.iter().zip(&evals) {
+            grad[j.param] += j.coeff * e;
+        }
+        Ok(grad)
     }
 
     fn partial(
@@ -136,6 +192,7 @@ impl GradientEngine for ParameterShift {
                 n_params: circuit.n_params(),
             });
         }
+        circuit.check_params(params)?;
         self.partial_impl(circuit, params, obs, index)
     }
 }

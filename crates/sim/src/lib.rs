@@ -19,6 +19,9 @@
 //! - [`unitary`]: an independent full-matrix oracle ([`circuit_unitary`])
 //!   for cross-validating the kernels.
 //! - [`sampling`]: finite-shot measurement for the shot-noise ablation.
+//! - [`parallel`]: chunked multi-threaded kernel variants engaged above
+//!   the `PLATEAU_SIM_PAR_THRESHOLD` qubit count (default 14), bitwise
+//!   identical to the serial loops regardless of worker count.
 //!
 //! Qubit ordering is little-endian throughout: qubit `k` is bit `k` of the
 //! amplitude index.
@@ -62,6 +65,7 @@ pub mod gate;
 pub mod mixed;
 pub mod noise;
 pub mod observable;
+pub mod parallel;
 pub mod passes;
 pub mod qasm;
 pub mod sampling;
@@ -75,6 +79,9 @@ pub use gate::{FixedGate, RotationGate, TwoQubitRotationGate};
 pub use mixed::{amplitude_damping_kraus, depolarizing_kraus, phase_flip_kraus, DensityMatrix};
 pub use noise::NoiseModel;
 pub use observable::{Observable, Pauli, PauliString};
+pub use parallel::{
+    par_threshold, reset_par_threshold, set_par_threshold, DEFAULT_PAR_THRESHOLD,
+};
 pub use sampling::{estimate_expectation, estimate_probability, sample_counts, sample_index};
 pub use state::{State, MAX_QUBITS};
 pub use unitary::{circuit_unitary, op_matrix};

@@ -61,14 +61,23 @@ pub fn sample_counts<R: Rng + ?Sized>(
         acc += p;
         cdf.push(acc);
     }
+    // Clamp the floating-point-slack fallback to the last outcome with
+    // nonzero probability, so it can never tally an impossible state.
+    let last_positive = probs
+        .iter()
+        .rposition(|&p| p > 0.0)
+        .unwrap_or(probs.len() - 1);
     let mut counts = BTreeMap::new();
     for _ in 0..shots {
         let u: f64 = rng.gen::<f64>() * acc.min(1.0);
-        let idx = match cdf.binary_search_by(|c| c.partial_cmp(&u).expect("finite cdf")) {
-            Ok(i) => i + 1,
-            Err(i) => i,
-        }
-        .min(probs.len() - 1);
+        // First index with cdf[i] > u — the same strict `u < acc` rule as
+        // `sample_index`. Zero-probability states duplicate their
+        // predecessor's CDF entry, so a draw landing exactly on that value
+        // (the RNG emits exact dyadics) must resolve *past* the ties to
+        // the next state that actually carries probability; the old
+        // `binary_search_by` tie-break could land on any duplicate and
+        // tally an outcome whose Born probability is exactly zero.
+        let idx = cdf.partition_point(|&c| c <= u).min(last_positive);
         *counts.entry(idx).or_insert(0) += 1;
     }
     counts
@@ -193,6 +202,49 @@ mod tests {
         assert!(counts.keys().all(|k| *k == 0 || *k == 3));
         let p0 = counts[&0] as f64 / 20_000.0;
         assert!((p0 - 0.5).abs() < 0.02);
+    }
+
+    /// An [`plateau_rng::RngCore`] whose `gen::<f64>()` is exactly the
+    /// given draw, by inverting the standard sampler's
+    /// `(next_u64 ≫ 11)·2⁻⁵³` map. The draw must be a dyadic rational on
+    /// that 2⁻⁵³ grid (every `f64` in `[0.5, 1)` is).
+    struct ExactDraw(f64);
+    impl plateau_rng::RngCore for ExactDraw {
+        fn next_u64(&mut self) -> u64 {
+            ((self.0 * (1u64 << 53) as f64) as u64) << 11
+        }
+    }
+
+    #[test]
+    fn tie_draw_never_tallies_a_zero_probability_outcome() {
+        // GHZ state: probability p = |1/√2|² at |000⟩ and |111⟩ and zero
+        // elsewhere, so the running CDF is [p, p, p, p, p, p, p, 2p] —
+        // six duplicated entries. (Note p is not exactly ½: squaring the
+        // rounded 1/√2 gives ½ + 2⁻⁵³.) Force the RNG onto u = p so
+        // every shot lands exactly on the tie.
+        let mut ghz = State::zero(3);
+        ghz.apply_fixed(FixedGate::H, &[0]).unwrap();
+        ghz.apply_fixed(FixedGate::Cx, &[0, 1]).unwrap();
+        ghz.apply_fixed(FixedGate::Cx, &[0, 2]).unwrap();
+        let p = ghz.probabilities()[0];
+        let mut rng = ExactDraw(p);
+        assert_eq!(rng.gen::<f64>(), p, "draw must hit the tie exactly");
+
+        // The tie must resolve past every zero-probability state to
+        // |111⟩, the first index whose CDF strictly exceeds u — the same
+        // rule as `sample_index`. The old `binary_search_by` tie-break
+        // probed mid-run and tallied the impossible |101⟩.
+        let counts = sample_counts(&ghz, 1_000, &mut rng);
+        assert_eq!(counts.keys().collect::<Vec<_>>(), vec![&7]);
+        assert_eq!(counts[&7], 1_000);
+        assert_eq!(sample_index(&ghz, &mut rng), 7);
+
+        // Bell state under the same forced tie draw: only the physical
+        // outcomes |00⟩/|11⟩ may ever appear.
+        let s = bell();
+        let mut rng = ExactDraw(s.probabilities()[0]);
+        let counts = sample_counts(&s, 200, &mut rng);
+        assert!(counts.keys().all(|k| *k == 0 || *k == 3), "{counts:?}");
     }
 
     #[test]

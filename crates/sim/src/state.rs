@@ -252,6 +252,10 @@ impl State {
     pub fn apply_single(&mut self, qubit: usize, m: &[C64; 4]) -> Result<(), SimError> {
         self.check_qubit(qubit)?;
         let stride = 1usize << qubit;
+        if crate::parallel::enabled(self.n_qubits) {
+            crate::parallel::apply_single(&mut self.amps, stride, m);
+            return Ok(());
+        }
         let block = stride << 1;
         let dim = self.amps.len();
         let mut base = 0;
@@ -284,6 +288,10 @@ impl State {
         self.check_distinct(control, target)?;
         let cmask = 1usize << control;
         let stride = 1usize << target;
+        if crate::parallel::enabled(self.n_qubits) {
+            crate::parallel::apply_controlled_single(&mut self.amps, cmask, stride, m);
+            return Ok(());
+        }
         let block = stride << 1;
         let dim = self.amps.len();
         let mut base = 0;
@@ -317,6 +325,10 @@ impl State {
         self.check_qubit(qubit)?;
         let mask = 1usize << qubit;
         let want = if value { mask } else { 0 };
+        if crate::parallel::enabled(self.n_qubits) {
+            crate::parallel::project(&mut self.amps, mask, want);
+            return Ok(());
+        }
         for (i, amp) in self.amps.iter_mut().enumerate() {
             if i & mask != want {
                 *amp = C64::ZERO;
@@ -339,25 +351,15 @@ impl State {
         m: &[C64; 16],
     ) -> Result<(), SimError> {
         self.check_distinct(first, second)?;
-        let m_first = 1usize << first;
-        let m_second = 1usize << second;
-        for i in 0..self.amps.len() {
-            // Visit each 4-amplitude block once, from its |00⟩ member.
-            if i & (m_first | m_second) != 0 {
-                continue;
-            }
-            let i00 = i;
-            let i01 = i | m_second;
-            let i10 = i | m_first;
-            let i11 = i | m_first | m_second;
-            let a = [self.amps[i00], self.amps[i01], self.amps[i10], self.amps[i11]];
-            for (row, &idx) in [i00, i01, i10, i11].iter().enumerate() {
-                let mut acc = C64::ZERO;
-                for col in 0..4 {
-                    acc = m[row * 4 + col].mul_add(a[col], acc);
-                }
-                self.amps[idx] = acc;
-            }
+        let s_lo = 1usize << first.min(second);
+        let s_hi = 1usize << first.max(second);
+        let perm = crate::parallel::quad_perm(first > second);
+        if crate::parallel::enabled(self.n_qubits) {
+            crate::parallel::apply_two(&mut self.amps, s_lo, s_hi, &perm, m);
+        } else {
+            // Iterate only the quarter of indices with both operand bits
+            // clear — each is the |00⟩ member of one amplitude quad.
+            crate::parallel::apply_two_window(&mut self.amps, s_lo, s_hi, &perm, m);
         }
         Ok(())
     }
@@ -387,11 +389,13 @@ impl State {
     /// for invalid operands.
     pub fn apply_cz(&mut self, a: usize, b: usize) -> Result<(), SimError> {
         self.check_distinct(a, b)?;
-        let mask = (1usize << a) | (1usize << b);
-        for (i, amp) in self.amps.iter_mut().enumerate() {
-            if i & mask == mask {
-                *amp = -*amp;
-            }
+        let s_lo = 1usize << a.min(b);
+        let s_hi = 1usize << a.max(b);
+        if crate::parallel::enabled(self.n_qubits) {
+            crate::parallel::apply_cz(&mut self.amps, s_lo, s_hi);
+        } else {
+            // Touch only the quarter of amplitudes with both bits set.
+            crate::parallel::cz_window(&mut self.amps, s_lo, s_hi);
         }
         Ok(())
     }

@@ -14,6 +14,12 @@ cargo build --release --workspace --offline
 echo "=== cargo test -q --offline ==="
 cargo test -q --workspace --offline
 
+echo "=== cargo test with forced-parallel sim kernels ==="
+# Drive the statevector kernels down their chunked multi-threaded paths on
+# every test, whatever the qubit count; results must be bit-identical to
+# the serial run above (DESIGN.md §9).
+PLATEAU_SIM_PAR_THRESHOLD=0 cargo test -q --workspace --offline
+
 echo "=== zero-dependency policy check ==="
 violations=$(cargo tree --workspace --offline --prefix none \
     | awk '{print $1}' | sort -u | grep -v '^plateau-' || true)
@@ -45,5 +51,12 @@ cargo run -q --release --offline -p plateau-cli -- obs diff \
     benchmarks/OBS_trace_baseline.json "${trace}" \
     --threshold "${PLATEAU_TRACE_THRESHOLD:-4.0}"
 rm -f "${trace}"
+
+echo "=== sim parallel speedup gate ==="
+# The 10-qubit 5-layer parameter-shift training step, serial vs pooled:
+# on multi-core machines the parallel median must at least break even
+# (tolerance PLATEAU_SIM_PAR_TOL, default 1.10). Recorded baseline lives
+# in benchmarks/BENCH_sim_parallel.json (re-record with --record).
+cargo run -q --release --offline -p plateau-bench --bin sim_parallel_gate
 
 echo "CI gate passed."

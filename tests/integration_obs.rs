@@ -8,7 +8,7 @@
 //! [`plateau_obs::test_lock`] and works with snapshot *deltas*.
 
 use plateau_core::init::InitStrategy;
-use plateau_core::variance::{variance_scan, VarianceConfig};
+use plateau_core::variance::{variance_scan, GradEngineKind, VarianceConfig};
 use plateau_obs::analyze::{Analysis, Trace, TraceError};
 use plateau_obs::json::Json;
 
@@ -57,6 +57,9 @@ fn variance_scan_gate_counters_match_analytic_counts() {
         qubit_counts: qubits.to_vec(),
         layers,
         n_circuits: circuits,
+        // The analytic counts below assume the parameter-shift rule; the
+        // scan's default engine is Adjoint.
+        engine: GradEngineKind::ParameterShift,
         ..VarianceConfig::default()
     };
     variance_scan(&cfg, &[InitStrategy::Random]).unwrap();
@@ -79,6 +82,36 @@ fn variance_scan_gate_counters_match_analytic_counts() {
     // One statevector allocation per circuit execution.
     assert_eq!(snap.counter("sim.state.allocations"), Some(evals));
 
+    plateau_obs::metrics::reset();
+    plateau_obs::set_metrics_enabled(false);
+}
+
+#[test]
+fn sim_parallel_counters_are_exact() {
+    let _guard = plateau_obs::test_lock();
+    plateau_obs::set_metrics_enabled(true);
+    plateau_obs::metrics::reset();
+    std::env::set_var("PLATEAU_THREADS", "2");
+    plateau_sim::set_par_threshold(0);
+
+    // On a 6-qubit state every kernel family has plenty of whole blocks,
+    // so each parallel dispatch splits into exactly `t` contiguous chunks
+    // where `t = worker_count` (1 on a single-core machine, else 2 under
+    // the PLATEAU_THREADS=2 cap above).
+    let t = plateau_par::worker_count(usize::MAX) as u64;
+    use plateau_sim::{RotationGate, State, TwoQubitRotationGate};
+    let mut s = State::zero(6);
+    s.apply_rotation(RotationGate::Rx, 0, 0.3).unwrap();
+    s.apply_cz(0, 1).unwrap();
+    s.apply_controlled_rotation(RotationGate::Rz, 1, 0, 0.7).unwrap();
+    s.apply_two_qubit_rotation(TwoQubitRotationGate::Rxx, 1, 0, 0.2).unwrap();
+
+    let snap = plateau_obs::snapshot();
+    assert_eq!(snap.counter("sim.par.kernels"), Some(4));
+    assert_eq!(snap.counter("sim.par.chunks"), Some(4 * t));
+
+    plateau_sim::reset_par_threshold();
+    std::env::remove_var("PLATEAU_THREADS");
     plateau_obs::metrics::reset();
     plateau_obs::set_metrics_enabled(false);
 }
