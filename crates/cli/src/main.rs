@@ -13,6 +13,8 @@
 //! plateau diagram   [--qubits 4] [--layers 1]
 //! plateau vqe       [--qubits 6] [--layers 4] [--iterations 120] [--strategy S] [--j 1] [--h 1]
 //! plateau classify  [--qubits 3] [--layers 3] [--samples 120] [--epochs 60] [--strategy S]
+//! plateau fuzz      [--cases 200] [--seed 0xfeed] [--max-qubits 8]
+//!                   [--artifacts target/fuzz] [--mutate true] [--replay PATH]
 //! plateau obs report --trace run.jsonl [--top N]
 //! plateau obs flame  --trace run.jsonl --out flame.svg [--collapsed stacks.txt]
 //! plateau obs diff   <base> <new> [--threshold 0.2]   (sides: traces or baselines)
@@ -95,6 +97,7 @@ fn run(argv: Vec<String>) -> Result<(), Box<dyn Error>> {
         "diagram" => cmd_diagram(&parsed),
         "vqe" => cmd_vqe(&parsed),
         "classify" => cmd_classify(&parsed),
+        "fuzz" => cmd_fuzz(&parsed),
         "help" | "--help" | "-h" => {
             print_help();
             Ok(())
@@ -120,6 +123,11 @@ fn print_help() {
          \x20 diagram    ASCII wire diagram of the training ansatz\n\
          \x20 vqe        ground-state search on the transverse-field Ising chain\n\
          \x20 classify   two-moons classification with the re-uploading model\n\
+         \x20 fuzz       differential fuzzing: cross-check every engine pair on\n\
+         \x20            random circuits; mismatches are shrunk and written as\n\
+         \x20            replayable reproducers under target/fuzz/\n\
+         \x20            [--cases N] [--seed S (hex ok)] [--max-qubits N]\n\
+         \x20            [--artifacts DIR] [--mutate true] [--replay PATH]\n\
          \x20 obs        trace profiler: report | flame | diff | baseline\n\
          \x20            report   --trace run.jsonl [--top N]      self-time ranking\n\
          \x20            flame    --trace run.jsonl --out f.svg    SVG flamegraph\n\
@@ -378,6 +386,126 @@ fn cmd_classify(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
     println!("# train accuracy = {:.1}%", 100.0 * model.accuracy(&fit.weights, &train_set)?);
     println!("# test accuracy  = {:.1}%", 100.0 * model.accuracy(&fit.weights, &test_set)?);
     Ok(())
+}
+
+/// The `plateau fuzz` subcommand: differential fuzzing across the engine
+/// matrix (see `plateau-fuzz` crate docs and DESIGN.md §10). Without
+/// `--replay` it runs a seeded campaign and fails on any divergence;
+/// `--mutate true` flips into the mutation self-test, which *succeeds*
+/// only when the deliberately broken kernel is caught and shrunk to a
+/// small reproducer; `--replay PATH` re-runs a written artifact and
+/// fails while the recorded divergence still reproduces.
+fn cmd_fuzz(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
+    check_flags(parsed, &["cases", "seed", "max-qubits", "artifacts", "mutate", "replay"])?;
+    if let Some(path) = parsed.opt_str("replay") {
+        let outcome = plateau_fuzz::replay(std::path::Path::new(&path))?;
+        let a = &outcome.artifact;
+        println!(
+            "# replaying {path}: pair {}, seed {:#x} case {}, {} gate(s), recorded delta {:e}",
+            a.pair,
+            a.seed,
+            a.case_index,
+            a.case.gate_count(),
+            a.delta
+        );
+        return match outcome.mismatch {
+            Some(m) => Err(format!(
+                "mismatch still reproduces: {} (delta {:e}, tolerance {:e})",
+                m.detail,
+                m.delta,
+                a.pair.tolerance()
+            )
+            .into()),
+            None => {
+                println!("# pair agrees within tolerance {:e} — divergence no longer reproduces", a.pair.tolerance());
+                Ok(())
+            }
+        };
+    }
+
+    let seed_raw = parsed.get_str("seed", "0xfeed");
+    let config = plateau_fuzz::FuzzConfig {
+        cases: parsed.get("cases", 200usize)?,
+        seed: plateau_fuzz::parse_seed(&seed_raw)?,
+        max_qubits: parsed.get("max-qubits", 8usize)?,
+        artifact_dir: Some(std::path::PathBuf::from(
+            parsed.get_str("artifacts", "target/fuzz"),
+        )),
+        mutate: parsed.get("mutate", false)?,
+    };
+    let report = plateau_fuzz::run(&config);
+    println!(
+        "# plateau fuzz: {} cases, seed {}, max {} qubits{}",
+        report.cases,
+        seed_raw,
+        config.max_qubits,
+        if config.mutate { " (mutation self-test)" } else { "" }
+    );
+    println!("pair,comparisons,max_delta,tolerance");
+    for (name, stats) in &report.stats {
+        let pair = plateau_fuzz::EnginePair::parse(name).expect("stats keys are pair names");
+        println!(
+            "{name},{},{:e},{:e}",
+            stats.comparisons,
+            stats.max_delta,
+            pair.tolerance()
+        );
+    }
+    for m in &report.mismatches {
+        println!(
+            "# MISMATCH case {}: {} — {} (shrunk {} -> {} gate(s)){}",
+            m.case_index,
+            m.pair,
+            m.detail,
+            m.original_gates,
+            m.shrunk.gate_count(),
+            match &m.artifact {
+                Some(p) => format!(", reproducer: {}", p.display()),
+                None => String::new(),
+            }
+        );
+    }
+
+    if config.mutate {
+        // Self-test semantics: the injected bug MUST be found and MUST
+        // shrink small, or the harness itself is broken.
+        let smallest = report
+            .mismatches
+            .iter()
+            .map(|m| m.shrunk.gate_count())
+            .min();
+        return match smallest {
+            None => Err("mutation self-test FAILED: injected kernel bug was never detected".into()),
+            Some(gates) if gates > 8 => Err(format!(
+                "mutation self-test FAILED: smallest reproducer has {gates} gates (want ≤ 8)"
+            )
+            .into()),
+            Some(gates) => {
+                println!(
+                    "# mutation self-test passed: {} detection(s), smallest reproducer {} gate(s)",
+                    report.mismatches.len(),
+                    gates
+                );
+                Ok(())
+            }
+        };
+    }
+    if report.clean() {
+        println!("# {} comparisons, all clean", report.comparisons());
+        Ok(())
+    } else {
+        Err(format!(
+            "{} mismatch(es) across {} comparisons — reproducers under {}",
+            report.mismatches.len(),
+            report.comparisons(),
+            config
+                .artifact_dir
+                .as_deref()
+                .map(|p| p.display().to_string())
+                .unwrap_or_else(|| "<disabled>".into())
+        )
+        .into())
+    }
 }
 
 /// The `plateau obs` family: the read side of the observability stack.

@@ -1,0 +1,325 @@
+//! Replayable reproducer artifacts.
+//!
+//! A mismatch is written under `target/fuzz/` as a self-contained text
+//! file: a `key: value` header (seed, case index, engine pair, delta,
+//! observable, which ops were trainable) followed by the shrunk circuit
+//! as OpenQASM 2.0. QASM is the circuit payload so a human can read the
+//! reproducer or feed it to any other toolchain; the `free-ops` line
+//! restores the trainable-parameter structure QASM cannot express, which
+//! the gradient-engine pairs need.
+//!
+//! `plateau fuzz --replay PATH` parses the artifact back into a
+//! [`FuzzCase`] and re-runs exactly the engine pair that diverged.
+
+use crate::engines::EnginePair;
+use crate::gen::{FuzzCase, GenOp, ObsSpec};
+use plateau_sim::qasm::{from_qasm, to_qasm};
+use plateau_sim::{Op, Param};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Marker separating the header from the QASM payload.
+const QASM_MARKER: &str = "--- qasm ---";
+
+/// One reproducer: the minimal failing case plus enough metadata to
+/// re-run and to trace it back to the originating fuzz run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Artifact {
+    /// Master seed of the run that found the mismatch.
+    pub seed: u64,
+    /// Case index within that run.
+    pub case_index: usize,
+    /// The engine pair that diverged.
+    pub pair: EnginePair,
+    /// Observed delta at the original (pre-shrink) case.
+    pub delta: f64,
+    /// The minimized case.
+    pub case: FuzzCase,
+}
+
+impl Artifact {
+    /// Renders the artifact text.
+    ///
+    /// # Errors
+    ///
+    /// Propagates QASM emission errors (a buildable case never fails).
+    pub fn render(&self) -> Result<String, String> {
+        let (circuit, params) = self.case.build().map_err(|e| e.to_string())?;
+        let qasm = to_qasm(&circuit, &params).map_err(|e| e.to_string())?;
+        let free_ops: Vec<String> = self
+            .case
+            .ops
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| op.is_free())
+            .map(|(i, _)| i.to_string())
+            .collect();
+        let params_line: Vec<String> = params.iter().map(|p| p.to_string()).collect();
+        Ok(format!(
+            "# plateau-fuzz reproducer — replay with `plateau fuzz --replay <this file>`\n\
+             version: 1\n\
+             seed: {seed:#x}\n\
+             case: {index}\n\
+             pair: {pair}\n\
+             delta: {delta:e}\n\
+             tolerance: {tol:e}\n\
+             observable: {obs}\n\
+             free-ops: {free}\n\
+             params: {params}\n\
+             {marker}\n\
+             {qasm}",
+            seed = self.seed,
+            index = self.case_index,
+            pair = self.pair,
+            delta = self.delta,
+            tol = self.pair.tolerance(),
+            obs = self.case.obs.render(),
+            free = free_ops.join(","),
+            params = params_line.join(","),
+            marker = QASM_MARKER,
+        ))
+    }
+
+    /// Parses an artifact file's text back into an [`Artifact`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn parse(text: &str) -> Result<Artifact, String> {
+        let (header, qasm) = text
+            .split_once(QASM_MARKER)
+            .ok_or_else(|| format!("missing {QASM_MARKER:?} marker"))?;
+        let mut seed = None;
+        let mut case_index = None;
+        let mut pair = None;
+        let mut delta = None;
+        let mut obs = None;
+        let mut free_ops: Vec<usize> = Vec::new();
+        for line in header.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once(':')
+                .ok_or_else(|| format!("malformed header line {line:?}"))?;
+            let value = value.trim();
+            match key.trim() {
+                "seed" => seed = Some(parse_seed(value)?),
+                "case" => {
+                    case_index =
+                        Some(value.parse().map_err(|_| format!("bad case index {value:?}"))?)
+                }
+                "pair" => {
+                    pair = Some(
+                        EnginePair::parse(value)
+                            .ok_or_else(|| format!("unknown engine pair {value:?}"))?,
+                    )
+                }
+                "delta" => {
+                    delta = Some(value.parse().map_err(|_| format!("bad delta {value:?}"))?)
+                }
+                "observable" => obs = Some(ObsSpec::parse(value)?),
+                "free-ops" => {
+                    free_ops = value
+                        .split(',')
+                        .filter(|s| !s.trim().is_empty())
+                        .map(|s| s.trim().parse().map_err(|_| format!("bad free-op index {s:?}")))
+                        .collect::<Result<_, _>>()?;
+                }
+                // Informational keys carried for humans.
+                "version" | "tolerance" | "params" => {}
+                other => return Err(format!("unknown header key {other:?}")),
+            }
+        }
+        let circuit = from_qasm(qasm.trim_start())
+            .map_err(|e| format!("artifact QASM failed to parse: {e}"))?;
+        let obs = obs.ok_or("missing observable header")?;
+        let case = case_from_circuit(&circuit, &free_ops, obs)?;
+        Ok(Artifact {
+            seed: seed.ok_or("missing seed header")?,
+            case_index: case_index.ok_or("missing case header")?,
+            pair: pair.ok_or("missing pair header")?,
+            delta: delta.ok_or("missing delta header")?,
+            case,
+        })
+    }
+
+    /// Writes the artifact under `dir` with a deterministic name, creating
+    /// the directory if needed. Returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates rendering and filesystem errors.
+    pub fn write_to(&self, dir: &Path) -> Result<PathBuf, String> {
+        let text = self.render()?;
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        let path = dir.join(format!(
+            "{}-seed{:x}-case{}.repro",
+            self.pair,
+            self.seed,
+            self.case_index
+        ));
+        let mut f = std::fs::File::create(&path)
+            .map_err(|e| format!("create {}: {e}", path.display()))?;
+        f.write_all(text.as_bytes())
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        Ok(path)
+    }
+}
+
+/// Parses a decimal or `0x`-prefixed hex seed.
+pub fn parse_seed(raw: &str) -> Result<u64, String> {
+    let raw = raw.trim();
+    if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).map_err(|_| format!("bad hex seed {raw:?}"))
+    } else {
+        raw.parse().map_err(|_| format!("bad seed {raw:?}"))
+    }
+}
+
+/// Reconstructs a [`FuzzCase`] from a parsed (all-bound) circuit, marking
+/// the ops listed in `free_ops` as trainable again.
+fn case_from_circuit(
+    circuit: &plateau_sim::Circuit,
+    free_ops: &[usize],
+    obs: ObsSpec,
+) -> Result<FuzzCase, String> {
+    let mut ops = Vec::with_capacity(circuit.ops().len());
+    for (i, op) in circuit.ops().iter().enumerate() {
+        let free = free_ops.contains(&i);
+        let angle_of = |param: &Param| match param {
+            Param::Bound(v) => Ok(*v),
+            Param::Free(_) => Err("artifact circuit must be fully bound".to_string()),
+        };
+        let gen_op = match op {
+            Op::Fixed { gate, qubits } => {
+                if free {
+                    return Err(format!("free-ops lists parameter-free op {i}"));
+                }
+                GenOp::Fixed {
+                    gate: *gate,
+                    qubits: qubits.clone(),
+                }
+            }
+            Op::Rotation { gate, qubit, param } => GenOp::Rotation {
+                gate: *gate,
+                qubit: *qubit,
+                angle: angle_of(param)?,
+                free,
+            },
+            Op::ControlledRotation {
+                gate,
+                control,
+                target,
+                param,
+            } => GenOp::Controlled {
+                gate: *gate,
+                control: *control,
+                target: *target,
+                angle: angle_of(param)?,
+                free,
+            },
+            Op::TwoQubitRotation {
+                gate,
+                first,
+                second,
+                param,
+            } => GenOp::TwoQubit {
+                gate: *gate,
+                first: *first,
+                second: *second,
+                angle: angle_of(param)?,
+                free,
+            },
+        };
+        ops.push(gen_op);
+    }
+    if let Some(&bad) = free_ops.iter().find(|&&i| i >= ops.len()) {
+        return Err(format!("free-op index {bad} out of range"));
+    }
+    Ok(FuzzCase {
+        n_qubits: circuit.n_qubits(),
+        ops,
+        obs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::random_case;
+    use plateau_rng::{SeedableRng, StdRng};
+
+    #[test]
+    fn artifact_text_round_trips_random_cases() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for i in 0..100 {
+            let case = random_case(&mut rng, 8);
+            let artifact = Artifact {
+                seed: 0xfeed,
+                case_index: i,
+                pair: EnginePair::AdjointVsShift,
+                delta: 0.125,
+                case,
+            };
+            let text = artifact.render().expect("render");
+            let parsed = Artifact::parse(&text).expect("parse");
+            assert_eq!(parsed.pair, artifact.pair);
+            assert_eq!(parsed.seed, artifact.seed);
+            assert_eq!(parsed.case_index, artifact.case_index);
+            assert_eq!(parsed.case.n_qubits, artifact.case.n_qubits);
+            assert_eq!(parsed.case.obs, artifact.case.obs);
+            assert_eq!(parsed.case.free_param_count(), artifact.case.free_param_count());
+            // The reconstructed case must execute identically: compare
+            // final states of both builds.
+            let (c1, p1) = artifact.case.build().unwrap();
+            let (c2, p2) = parsed.case.build().unwrap();
+            assert_eq!(p1, p2, "parameter vectors must survive the text form");
+            assert_eq!(c1.run(&p1).unwrap(), c2.run(&p2).unwrap());
+        }
+    }
+
+    #[test]
+    fn seed_parsing_accepts_hex_and_decimal() {
+        assert_eq!(parse_seed("0xfeed").unwrap(), 0xfeed);
+        assert_eq!(parse_seed("0XFEED").unwrap(), 0xfeed);
+        assert_eq!(parse_seed("42").unwrap(), 42);
+        assert!(parse_seed("0xzz").is_err());
+        assert!(parse_seed("feed").is_err());
+    }
+
+    #[test]
+    fn malformed_artifacts_are_rejected_with_context() {
+        assert!(Artifact::parse("no marker here").unwrap_err().contains("marker"));
+        let text = "pair: not-a-pair\n--- qasm ---\nOPENQASM 2.0;\nqreg q[1];\n";
+        assert!(Artifact::parse(text).unwrap_err().contains("unknown engine pair"));
+    }
+
+    #[test]
+    fn write_to_creates_deterministic_path() {
+        let case = FuzzCase {
+            n_qubits: 1,
+            ops: vec![GenOp::Rotation {
+                gate: plateau_sim::RotationGate::Ry,
+                qubit: 0,
+                angle: 0.5,
+                free: true,
+            }],
+            obs: ObsSpec::GlobalCost,
+        };
+        let artifact = Artifact {
+            seed: 0xabc,
+            case_index: 7,
+            pair: EnginePair::QasmRoundTrip,
+            delta: 1.0,
+            case,
+        };
+        let dir = std::env::temp_dir().join(format!("plateau-fuzz-test-{}", std::process::id()));
+        let path = artifact.write_to(&dir).expect("write");
+        assert!(path.ends_with("qasm-roundtrip-seedabc-case7.repro"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(Artifact::parse(&text).unwrap(), artifact);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,467 @@
+//! The engine matrix: every redundant way the workspace can execute a
+//! case, paired up into cross-checks with per-pair tolerances.
+//!
+//! Each pair compares two implementations that share as little code as
+//! possible:
+//!
+//! | pair | oracle principle | tolerance |
+//! |------|------------------|-----------|
+//! | `serial-vs-parallel` | chunked threaded kernels are spec'd bitwise-identical to the serial loops | exact (`0`) |
+//! | `state-vs-unitary` | dense `unitary.rs` matrix product, no shared kernel code | `1e-10` |
+//! | `state-vs-density` | `tr(ρO)` from `mixed.rs` vs `⟨ψ\|O\|ψ⟩` | `1e-9` |
+//! | `raw-vs-optimized` | `passes::simplify` must preserve semantics (states always, full unitary at small n) | `1e-9` |
+//! | `qasm-roundtrip` | emit→parse→re-simulate, plus emit fixed-point | `1e-12` |
+//! | `adjoint-vs-shift` | two exact gradient algorithms | `1e-8` |
+//! | `adjoint-vs-finite-diff` | exact vs `O(ε²)` central differences | `5e-6` |
+//! | `mutated-vs-serial` | deliberately broken kernel (self-test only) | `1e-9` |
+//!
+//! An engine error (`Err` from any simulator/gradient call) on a
+//! generator-valid case is itself a divergence: it is reported as a
+//! mismatch with infinite delta rather than swallowed.
+
+use crate::gen::{FuzzCase, SMALL_ORACLE_QUBITS};
+use plateau_grad::{Adjoint, FiniteDifference, GradientEngine, ParameterShift};
+use plateau_sim::passes::simplify;
+use plateau_sim::qasm::{from_qasm, to_qasm};
+use plateau_sim::{
+    circuit_unitary, par_threshold, set_par_threshold, Circuit, DensityMatrix, Op, Param, State,
+};
+use std::sync::Mutex;
+
+/// One cross-check of the engine matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EnginePair {
+    /// Serial amplitude kernels vs the chunked multi-threaded variants
+    /// (par threshold forced to 0).
+    SerialVsParallel,
+    /// Statevector run vs the dense full-circuit unitary applied to
+    /// `|0…0⟩` (small registers only).
+    StateVsUnitary,
+    /// `⟨ψ|O|ψ⟩` vs `tr(ρO)` from the density-matrix engine on the same
+    /// noiseless circuit (small registers only).
+    StateVsDensity,
+    /// The raw circuit vs its `passes::simplify` form.
+    RawVsOptimized,
+    /// QASM emit→parse→re-simulate, plus the emit fixed-point check.
+    QasmRoundTrip,
+    /// Adjoint vs two/four-term parameter-shift gradients.
+    AdjointVsShift,
+    /// Adjoint vs central finite-difference gradients.
+    AdjointVsFiniteDiff,
+    /// The deliberately broken off-by-one kernel vs the serial engine —
+    /// only scheduled by the mutation self-test, never in normal runs.
+    MutatedVsSerial,
+}
+
+impl EnginePair {
+    /// The pairs a normal fuzz run schedules (everything except the
+    /// self-test mutant).
+    pub const ALL: [EnginePair; 7] = [
+        EnginePair::SerialVsParallel,
+        EnginePair::StateVsUnitary,
+        EnginePair::StateVsDensity,
+        EnginePair::RawVsOptimized,
+        EnginePair::QasmRoundTrip,
+        EnginePair::AdjointVsShift,
+        EnginePair::AdjointVsFiniteDiff,
+    ];
+
+    /// Stable name used in reports and artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            EnginePair::SerialVsParallel => "serial-vs-parallel",
+            EnginePair::StateVsUnitary => "state-vs-unitary",
+            EnginePair::StateVsDensity => "state-vs-density",
+            EnginePair::RawVsOptimized => "raw-vs-optimized",
+            EnginePair::QasmRoundTrip => "qasm-roundtrip",
+            EnginePair::AdjointVsShift => "adjoint-vs-shift",
+            EnginePair::AdjointVsFiniteDiff => "adjoint-vs-finite-diff",
+            EnginePair::MutatedVsSerial => "mutated-vs-serial",
+        }
+    }
+
+    /// Inverse of [`EnginePair::name`].
+    pub fn parse(s: &str) -> Option<EnginePair> {
+        [
+            EnginePair::SerialVsParallel,
+            EnginePair::StateVsUnitary,
+            EnginePair::StateVsDensity,
+            EnginePair::RawVsOptimized,
+            EnginePair::QasmRoundTrip,
+            EnginePair::AdjointVsShift,
+            EnginePair::AdjointVsFiniteDiff,
+            EnginePair::MutatedVsSerial,
+        ]
+        .into_iter()
+        .find(|p| p.name() == s)
+    }
+
+    /// Largest acceptable delta for this pair.
+    ///
+    /// Rationale: the threaded kernels are *specified* bitwise-identical,
+    /// so their budget is zero. Exact-vs-exact comparisons (unitary
+    /// oracle, density matrix, optimizer passes, the two analytic
+    /// gradient engines) only accumulate `f64` rounding across at most a
+    /// few dozen gates, so `1e-8`…`1e-10` is generous. Central
+    /// differences at `ε = 1e-6` carry `O(ε²)` truncation plus `O(u/ε)`
+    /// cancellation noise (~1e-10 each); `5e-6` leaves three orders of
+    /// margin while still catching any real sign/index bug, which shows
+    /// up at `O(1)`. QASM round-trips re-execute the identical op
+    /// sequence, so they must agree to the last bit of the printed
+    /// angles.
+    pub fn tolerance(self) -> f64 {
+        match self {
+            EnginePair::SerialVsParallel => 0.0,
+            EnginePair::StateVsUnitary => 1e-10,
+            EnginePair::StateVsDensity => 1e-9,
+            EnginePair::RawVsOptimized => 1e-9,
+            EnginePair::QasmRoundTrip => 1e-12,
+            EnginePair::AdjointVsShift => 1e-8,
+            EnginePair::AdjointVsFiniteDiff => 5e-6,
+            EnginePair::MutatedVsSerial => 1e-9,
+        }
+    }
+
+    /// Whether this pair can run on `case` (oracle cost gates on the
+    /// register size; gradient pairs need at least one trainable
+    /// parameter).
+    pub fn applies(self, case: &FuzzCase) -> bool {
+        match self {
+            EnginePair::SerialVsParallel
+            | EnginePair::RawVsOptimized
+            | EnginePair::QasmRoundTrip
+            | EnginePair::MutatedVsSerial => true,
+            EnginePair::StateVsUnitary | EnginePair::StateVsDensity => {
+                case.n_qubits <= SMALL_ORACLE_QUBITS
+            }
+            EnginePair::AdjointVsShift | EnginePair::AdjointVsFiniteDiff => {
+                case.free_param_count() > 0
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for EnginePair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A divergence between the two sides of a pair.
+#[derive(Debug, Clone)]
+pub struct Mismatch {
+    /// The pair that diverged.
+    pub pair: EnginePair,
+    /// Observed delta (infinite when one side errored out).
+    pub delta: f64,
+    /// Human-readable description of what differed.
+    pub detail: String,
+}
+
+/// Guards the process-global parallel threshold while the
+/// serial-vs-parallel pair toggles it, so concurrent harness invocations
+/// in one test binary each get a genuine serial-vs-parallel comparison.
+static THRESHOLD_LOCK: Mutex<()> = Mutex::new(());
+
+/// Largest `|aᵢ − bᵢ|` over the amplitude vectors, or `∞` on dimension
+/// mismatch.
+fn state_delta(a: &State, b: &State) -> f64 {
+    if a.n_qubits() != b.n_qubits() {
+        return f64::INFINITY;
+    }
+    a.amplitudes()
+        .iter()
+        .zip(b.amplitudes())
+        .map(|(x, y)| (*x - *y).norm())
+        .fold(0.0, f64::max)
+}
+
+/// Largest `|gᵢ − hᵢ|` over two gradient vectors, or `∞` on length
+/// mismatch.
+fn grad_delta(a: &[f64], b: &[f64]) -> f64 {
+    if a.len() != b.len() {
+        return f64::INFINITY;
+    }
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+fn verdict(pair: EnginePair, delta: f64, detail: String) -> Result<f64, Mismatch> {
+    if delta > pair.tolerance() {
+        Err(Mismatch {
+            pair,
+            delta,
+            detail,
+        })
+    } else {
+        Ok(delta)
+    }
+}
+
+/// Converts an engine error into a reported divergence: the generator
+/// only emits valid cases, so a refusal is a bug on par with a wrong
+/// number.
+macro_rules! engine_try {
+    ($pair:expr, $side:literal, $expr:expr) => {
+        match $expr {
+            Ok(v) => v,
+            Err(e) => {
+                return Err(Mismatch {
+                    pair: $pair,
+                    delta: f64::INFINITY,
+                    detail: format!(concat!($side, " errored: {}"), e),
+                })
+            }
+        }
+    };
+}
+
+/// Runs one pair of the engine matrix on `case`: `Ok(delta)` when the
+/// two sides agreed within tolerance (the delta shows the headroom),
+/// `Err` on divergence.
+///
+/// # Errors
+///
+/// Returns the [`Mismatch`] describing the divergence.
+pub fn check_pair(pair: EnginePair, case: &FuzzCase) -> Result<f64, Mismatch> {
+    plateau_obs::counter!("fuzz.comparisons").inc();
+    let (circuit, params) = engine_try!(pair, "case build", case.build());
+    match pair {
+        EnginePair::SerialVsParallel => {
+            let _guard = THRESHOLD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+            let saved = par_threshold();
+            set_par_threshold(usize::MAX);
+            let serial = circuit.run(&params);
+            set_par_threshold(0);
+            let parallel = circuit.run(&params);
+            set_par_threshold(saved);
+            let serial = engine_try!(pair, "serial kernels", serial);
+            let parallel = engine_try!(pair, "parallel kernels", parallel);
+            let delta = state_delta(&serial, &parallel);
+            verdict(
+                pair,
+                delta,
+                format!("parallel kernels diverged from serial (max amplitude delta {delta:e})"),
+            )
+        }
+        EnginePair::StateVsUnitary => {
+            let state = engine_try!(pair, "statevector", circuit.run(&params));
+            let u = engine_try!(pair, "unitary oracle", circuit_unitary(&circuit, &params));
+            let mut oracle = State::zero(case.n_qubits);
+            engine_try!(pair, "unitary apply", oracle.apply_matrix(&u));
+            let delta = state_delta(&state, &oracle);
+            verdict(
+                pair,
+                delta,
+                format!("kernel state diverged from full-unitary oracle (max amplitude delta {delta:e})"),
+            )
+        }
+        EnginePair::StateVsDensity => {
+            let obs = engine_try!(pair, "observable build", case.observable());
+            let state = engine_try!(pair, "statevector", circuit.run(&params));
+            let pure = engine_try!(pair, "pure expectation", obs.expectation(&state));
+            let mut rho = DensityMatrix::zero(case.n_qubits);
+            engine_try!(pair, "density evolution", rho.apply_circuit(&circuit, &params));
+            let mixed = engine_try!(pair, "density expectation", rho.expectation(&obs));
+            let delta = (pure - mixed).abs();
+            let trace_err = (rho.trace() - 1.0).abs().max((rho.purity() - 1.0).abs());
+            let delta = delta.max(trace_err);
+            verdict(
+                pair,
+                delta,
+                format!(
+                    "tr(ρO) = {mixed} vs ⟨ψ|O|ψ⟩ = {pure} (delta {delta:e}, trace/purity err {trace_err:e})"
+                ),
+            )
+        }
+        EnginePair::RawVsOptimized => {
+            let optimized = simplify(&circuit);
+            let raw_state = engine_try!(pair, "raw circuit", circuit.run(&params));
+            let opt_state = engine_try!(pair, "optimized circuit", optimized.run(&params));
+            let mut delta = state_delta(&raw_state, &opt_state);
+            if case.n_qubits <= SMALL_ORACLE_QUBITS {
+                let u_raw = engine_try!(pair, "raw unitary", circuit_unitary(&circuit, &params));
+                let u_opt =
+                    engine_try!(pair, "optimized unitary", circuit_unitary(&optimized, &params));
+                delta = delta.max(u_raw.max_abs_diff(&u_opt));
+            }
+            verdict(
+                pair,
+                delta,
+                format!(
+                    "passes::simplify changed semantics ({} -> {} ops, max delta {delta:e})",
+                    circuit.ops().len(),
+                    optimized.ops().len()
+                ),
+            )
+        }
+        EnginePair::QasmRoundTrip => {
+            let text = engine_try!(pair, "qasm emit", to_qasm(&circuit, &params));
+            let parsed = engine_try!(pair, "qasm parse", from_qasm(&text));
+            let re_emitted = engine_try!(pair, "qasm re-emit", to_qasm(&parsed, &[]));
+            if re_emitted != text {
+                return Err(Mismatch {
+                    pair,
+                    delta: f64::INFINITY,
+                    detail: "parse→emit is not a fixed point".into(),
+                });
+            }
+            let original = engine_try!(pair, "original circuit", circuit.run(&params));
+            let replayed = engine_try!(pair, "parsed circuit", parsed.run(&[]));
+            let delta = state_delta(&original, &replayed);
+            verdict(
+                pair,
+                delta,
+                format!("re-simulated QASM diverged (max amplitude delta {delta:e})"),
+            )
+        }
+        EnginePair::AdjointVsShift => {
+            let obs = engine_try!(pair, "observable build", case.observable());
+            let g_adj = engine_try!(pair, "adjoint", Adjoint.gradient(&circuit, &params, &obs));
+            let g_shift = engine_try!(
+                pair,
+                "parameter shift",
+                ParameterShift.gradient(&circuit, &params, &obs)
+            );
+            let delta = grad_delta(&g_adj, &g_shift);
+            verdict(
+                pair,
+                delta,
+                format!("adjoint and parameter-shift gradients diverged (max delta {delta:e})"),
+            )
+        }
+        EnginePair::AdjointVsFiniteDiff => {
+            let obs = engine_try!(pair, "observable build", case.observable());
+            let g_adj = engine_try!(pair, "adjoint", Adjoint.gradient(&circuit, &params, &obs));
+            let g_fd = engine_try!(
+                pair,
+                "finite differences",
+                FiniteDifference::default().gradient(&circuit, &params, &obs)
+            );
+            let delta = grad_delta(&g_adj, &g_fd);
+            verdict(
+                pair,
+                delta,
+                format!("adjoint and finite-difference gradients diverged (max delta {delta:e})"),
+            )
+        }
+        EnginePair::MutatedVsSerial => {
+            let reference = engine_try!(pair, "serial kernels", circuit.run(&params));
+            let mutated = engine_try!(pair, "mutated kernel", mutated_run(&circuit, &params));
+            let delta = state_delta(&reference, &mutated);
+            verdict(
+                pair,
+                delta,
+                format!("injected off-by-one kernel detected (max amplitude delta {delta:e})"),
+            )
+        }
+    }
+}
+
+/// A deliberately broken statevector engine for the mutation self-test:
+/// single-qubit rotations go through a hand-rolled kernel whose loop
+/// bound is off by one, silently skipping the **last amplitude pair** of
+/// the register. Every other op kind delegates to the real kernels. A
+/// harness that cannot catch and shrink this bug cannot be trusted to
+/// catch a real one.
+pub fn mutated_run(circuit: &Circuit, params: &[f64]) -> Result<State, plateau_sim::SimError> {
+    let mut state = State::zero(circuit.n_qubits());
+    for op in circuit.ops() {
+        match op {
+            Op::Rotation { gate, qubit, param } => {
+                let theta = match param {
+                    Param::Free(i) => params[*i],
+                    Param::Bound(v) => *v,
+                };
+                let [m00, m01, m10, m11] = gate.entries(theta);
+                let mut amps = state.into_amplitudes();
+                let dim = amps.len();
+                let stride = 1usize << qubit;
+                let last_pair = dim / 2 - 1; // the pair the bug drops
+                let mut pair = 0;
+                let mut base = 0;
+                while base < dim {
+                    for off in base..base + stride {
+                        if pair < last_pair {
+                            let a = amps[off];
+                            let b = amps[off + stride];
+                            amps[off] = m00 * a + m01 * b;
+                            amps[off + stride] = m10 * a + m11 * b;
+                        }
+                        pair += 1;
+                    }
+                    base += stride << 1;
+                }
+                state = State::from_amplitudes_unnormalized(amps)?;
+            }
+            other => other.apply(&mut state, params)?,
+        }
+    }
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::random_case;
+    use plateau_rng::{SeedableRng, StdRng};
+
+    #[test]
+    fn pair_names_round_trip() {
+        for pair in EnginePair::ALL
+            .into_iter()
+            .chain([EnginePair::MutatedVsSerial])
+        {
+            assert_eq!(EnginePair::parse(pair.name()), Some(pair));
+        }
+        assert_eq!(EnginePair::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn matrix_is_clean_on_random_cases() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..60 {
+            let case = random_case(&mut rng, 6);
+            for pair in EnginePair::ALL {
+                if !pair.applies(&case) {
+                    continue;
+                }
+                if let Err(m) = check_pair(pair, &case) {
+                    panic!("{}: {} on case {case:#?}", m.pair, m.detail);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mutated_kernel_is_caught() {
+        // A single RX on the top pair of a 1-qubit register is the
+        // smallest trigger: the broken kernel skips its only pair.
+        let case = FuzzCase {
+            n_qubits: 1,
+            ops: vec![crate::gen::GenOp::Rotation {
+                gate: plateau_sim::RotationGate::Rx,
+                qubit: 0,
+                angle: 1.0,
+                free: false,
+            }],
+            obs: crate::gen::ObsSpec::GlobalCost,
+        };
+        let m = check_pair(EnginePair::MutatedVsSerial, &case).expect_err("bug must be detected");
+        assert!(m.delta > 0.1, "delta was {}", m.delta);
+    }
+
+    #[test]
+    fn gradient_pairs_skip_parameterless_cases() {
+        let case = FuzzCase {
+            n_qubits: 2,
+            ops: vec![crate::gen::GenOp::Fixed {
+                gate: plateau_sim::FixedGate::H,
+                qubits: vec![0],
+            }],
+            obs: crate::gen::ObsSpec::GlobalCost,
+        };
+        assert!(!EnginePair::AdjointVsShift.applies(&case));
+        assert!(!EnginePair::AdjointVsFiniteDiff.applies(&case));
+        assert!(EnginePair::SerialVsParallel.applies(&case));
+    }
+}

@@ -1,0 +1,507 @@
+//! Random-case generation for the differential fuzzer.
+//!
+//! A [`FuzzCase`] is the fuzzer's own circuit representation: a qubit
+//! count, an op list where every parameterized gate carries its concrete
+//! angle plus a free/bound flag, and an observable spec. Keeping the
+//! angles inside the ops (instead of a detached parameter vector) makes
+//! shrinking trivial — dropping an op or merging qubits can never
+//! misalign parameter indices — and [`FuzzCase::build`] reconstructs the
+//! `(Circuit, Vec<f64>)` pair the engines need, allocating free-parameter
+//! slots in op order.
+
+use plateau_rng::{Rng, StdRng};
+use plateau_sim::{
+    Circuit, FixedGate, Observable, PauliString, RotationGate, SimError, TwoQubitRotationGate,
+};
+
+/// Largest circuit the generator emits (the engine matrix stays cheap —
+/// `2^8` amplitudes — while still exercising multi-block kernel paths).
+pub const MAX_FUZZ_QUBITS: usize = 8;
+
+/// Qubit count at or below which the `O(4^n)`/`O(8^n)` oracles (density
+/// matrix, full unitary) join the engine matrix.
+pub const SMALL_ORACLE_QUBITS: usize = 5;
+
+/// Cap on trainable parameters per case, bounding the cost of the
+/// parameter-shift and finite-difference sweeps.
+pub const MAX_FREE_PARAMS: usize = 10;
+
+/// One generated operation. Parameterized variants store the concrete
+/// angle and whether the engines should see it as a trainable parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GenOp {
+    /// A parameter-free gate (arity 1 or 2).
+    Fixed {
+        /// The gate.
+        gate: FixedGate,
+        /// Operand qubits, `gate.arity()` of them.
+        qubits: Vec<usize>,
+    },
+    /// A single-qubit rotation.
+    Rotation {
+        /// The rotation family.
+        gate: RotationGate,
+        /// Target qubit.
+        qubit: usize,
+        /// Concrete angle.
+        angle: f64,
+        /// Trainable (free parameter) vs baked-in constant.
+        free: bool,
+    },
+    /// A controlled single-qubit rotation.
+    Controlled {
+        /// The rotation family.
+        gate: RotationGate,
+        /// Control qubit.
+        control: usize,
+        /// Target qubit.
+        target: usize,
+        /// Concrete angle.
+        angle: f64,
+        /// Trainable (free parameter) vs baked-in constant.
+        free: bool,
+    },
+    /// A two-qubit Pauli-product rotation.
+    TwoQubit {
+        /// The rotation family.
+        gate: TwoQubitRotationGate,
+        /// First operand.
+        first: usize,
+        /// Second operand.
+        second: usize,
+        /// Concrete angle.
+        angle: f64,
+        /// Trainable (free parameter) vs baked-in constant.
+        free: bool,
+    },
+}
+
+impl GenOp {
+    /// Whether this op consumes a free-parameter slot.
+    pub fn is_free(&self) -> bool {
+        matches!(
+            self,
+            GenOp::Rotation { free: true, .. }
+                | GenOp::Controlled { free: true, .. }
+                | GenOp::TwoQubit { free: true, .. }
+        )
+    }
+
+    /// The operand qubits, in op order.
+    pub fn qubits(&self) -> Vec<usize> {
+        match self {
+            GenOp::Fixed { qubits, .. } => qubits.clone(),
+            GenOp::Rotation { qubit, .. } => vec![*qubit],
+            GenOp::Controlled {
+                control, target, ..
+            } => vec![*control, *target],
+            GenOp::TwoQubit { first, second, .. } => vec![*first, *second],
+        }
+    }
+
+    /// Rewrites every operand through `map`. Returns `None` when the
+    /// remapped op would act twice on the same qubit (the caller drops
+    /// it — used by the qubit-merge shrink).
+    pub fn map_qubits(&self, map: impl Fn(usize) -> usize) -> Option<GenOp> {
+        let op = match self {
+            GenOp::Fixed { gate, qubits } => GenOp::Fixed {
+                gate: *gate,
+                qubits: qubits.iter().map(|&q| map(q)).collect(),
+            },
+            GenOp::Rotation {
+                gate,
+                qubit,
+                angle,
+                free,
+            } => GenOp::Rotation {
+                gate: *gate,
+                qubit: map(*qubit),
+                angle: *angle,
+                free: *free,
+            },
+            GenOp::Controlled {
+                gate,
+                control,
+                target,
+                angle,
+                free,
+            } => GenOp::Controlled {
+                gate: *gate,
+                control: map(*control),
+                target: map(*target),
+                angle: *angle,
+                free: *free,
+            },
+            GenOp::TwoQubit {
+                gate,
+                first,
+                second,
+                angle,
+                free,
+            } => GenOp::TwoQubit {
+                gate: *gate,
+                first: map(*first),
+                second: map(*second),
+                angle: *angle,
+                free: *free,
+            },
+        };
+        let qs = op.qubits();
+        if qs.len() == 2 && qs[0] == qs[1] {
+            None
+        } else {
+            Some(op)
+        }
+    }
+}
+
+/// Observable specification, rebuilt against the case's qubit count.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObsSpec {
+    /// The paper's global cost `I − |0…0⟩⟨0…0|`.
+    GlobalCost,
+    /// The local cost of Cerezo et al.
+    LocalCost,
+    /// The bare projector `|0…0⟩⟨0…0|`.
+    ZeroProjector,
+    /// A weighted Pauli sum; strings are ket-ordered (leftmost char =
+    /// highest qubit), each of length `n_qubits`.
+    PauliSum(Vec<(f64, String)>),
+}
+
+impl ObsSpec {
+    /// Canonical text form for artifacts: `global_cost`, `local_cost`,
+    /// `zero_projector`, or `pauli:<coeff>*<string>;…`.
+    pub fn render(&self) -> String {
+        match self {
+            ObsSpec::GlobalCost => "global_cost".into(),
+            ObsSpec::LocalCost => "local_cost".into(),
+            ObsSpec::ZeroProjector => "zero_projector".into(),
+            ObsSpec::PauliSum(terms) => {
+                let body: Vec<String> =
+                    terms.iter().map(|(c, s)| format!("{c}*{s}")).collect();
+                format!("pauli:{}", body.join(";"))
+            }
+        }
+    }
+
+    /// Parses the [`ObsSpec::render`] form.
+    pub fn parse(s: &str) -> Result<ObsSpec, String> {
+        match s {
+            "global_cost" => Ok(ObsSpec::GlobalCost),
+            "local_cost" => Ok(ObsSpec::LocalCost),
+            "zero_projector" => Ok(ObsSpec::ZeroProjector),
+            _ => {
+                let body = s
+                    .strip_prefix("pauli:")
+                    .ok_or_else(|| format!("unknown observable spec {s:?}"))?;
+                let mut terms = Vec::new();
+                for term in body.split(';') {
+                    let (coeff, string) = term
+                        .split_once('*')
+                        .ok_or_else(|| format!("bad pauli term {term:?}"))?;
+                    let coeff: f64 = coeff
+                        .parse()
+                        .map_err(|_| format!("bad pauli coefficient {coeff:?}"))?;
+                    terms.push((coeff, string.to_string()));
+                }
+                Ok(ObsSpec::PauliSum(terms))
+            }
+        }
+    }
+}
+
+/// One complete fuzz case: circuit spec plus observable spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzCase {
+    /// Qubit count of the circuit and observable.
+    pub n_qubits: usize,
+    /// The op list; see [`GenOp`].
+    pub ops: Vec<GenOp>,
+    /// The observable.
+    pub obs: ObsSpec,
+}
+
+impl FuzzCase {
+    /// Number of ops (the "size" the shrinker minimizes).
+    pub fn gate_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of trainable parameters the built circuit will have.
+    pub fn free_param_count(&self) -> usize {
+        self.ops.iter().filter(|op| op.is_free()).count()
+    }
+
+    /// Reconstructs the executable form: a [`Circuit`] whose free
+    /// parameters are allocated in op order, and the matching parameter
+    /// vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates builder validation errors (a correctly generated or
+    /// shrunk case never triggers them).
+    pub fn build(&self) -> Result<(Circuit, Vec<f64>), SimError> {
+        let mut c = Circuit::new(self.n_qubits)?;
+        let mut params = Vec::new();
+        for op in &self.ops {
+            match op {
+                GenOp::Fixed { gate, qubits } => {
+                    c.push_fixed(*gate, qubits)?;
+                }
+                GenOp::Rotation {
+                    gate,
+                    qubit,
+                    angle,
+                    free,
+                } => {
+                    if *free {
+                        c.push_rotation(*gate, *qubit)?;
+                        params.push(*angle);
+                    } else {
+                        c.push_rotation_const(*gate, *qubit, *angle)?;
+                    }
+                }
+                GenOp::Controlled {
+                    gate,
+                    control,
+                    target,
+                    angle,
+                    free,
+                } => {
+                    c.push_controlled_rotation(*gate, *control, *target)?;
+                    if *free {
+                        params.push(*angle);
+                    } else {
+                        c.bind_last_param(*angle)?;
+                    }
+                }
+                GenOp::TwoQubit {
+                    gate,
+                    first,
+                    second,
+                    angle,
+                    free,
+                } => {
+                    c.push_two_qubit_rotation(*gate, *first, *second)?;
+                    if *free {
+                        params.push(*angle);
+                    } else {
+                        c.bind_last_param(*angle)?;
+                    }
+                }
+            }
+        }
+        Ok((c, params))
+    }
+
+    /// Rebuilds the observable for this case's qubit count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension errors from malformed Pauli strings.
+    pub fn observable(&self) -> Result<Observable, SimError> {
+        match &self.obs {
+            ObsSpec::GlobalCost => Ok(Observable::global_cost(self.n_qubits)),
+            ObsSpec::LocalCost => Ok(Observable::local_cost(self.n_qubits)),
+            ObsSpec::ZeroProjector => Ok(Observable::zero_projector(self.n_qubits)),
+            ObsSpec::PauliSum(terms) => {
+                let mut parsed = Vec::with_capacity(terms.len());
+                for (coeff, s) in terms {
+                    parsed.push((*coeff, PauliString::parse(s)?));
+                }
+                Observable::pauli_sum(parsed)
+            }
+        }
+    }
+}
+
+/// All single-qubit fixed gates the generator draws from.
+const FIXED_1Q: [FixedGate; 9] = [
+    FixedGate::X,
+    FixedGate::Y,
+    FixedGate::Z,
+    FixedGate::H,
+    FixedGate::S,
+    FixedGate::Sdg,
+    FixedGate::T,
+    FixedGate::Tdg,
+    FixedGate::Sx,
+];
+
+/// All two-qubit fixed gates the generator draws from.
+const FIXED_2Q: [FixedGate; 4] = [FixedGate::Cz, FixedGate::Cx, FixedGate::Cy, FixedGate::Swap];
+
+/// All rotation families (also used for controlled rotations).
+const ROTATIONS: [RotationGate; 4] = [
+    RotationGate::Rx,
+    RotationGate::Ry,
+    RotationGate::Rz,
+    RotationGate::Phase,
+];
+
+/// All two-qubit rotation families.
+const TWO_ROTATIONS: [TwoQubitRotationGate; 3] = [
+    TwoQubitRotationGate::Rxx,
+    TwoQubitRotationGate::Ryy,
+    TwoQubitRotationGate::Rzz,
+];
+
+fn random_pair(rng: &mut StdRng, n: usize) -> (usize, usize) {
+    let a = rng.gen_range(0..n);
+    let b = (a + 1 + rng.gen_range(0..n - 1)) % n;
+    (a, b)
+}
+
+/// One random op on an `n`-qubit register. `allow_free` gates whether a
+/// parameterized draw may claim a trainable slot.
+fn random_op(rng: &mut StdRng, n: usize, allow_free: bool) -> GenOp {
+    let angle = rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+    let free = allow_free && rng.gen_bool(0.5);
+    // Single-qubit-only register: restrict to the 1q families.
+    let kind = if n == 1 {
+        rng.gen_range(0..2usize)
+    } else {
+        rng.gen_range(0..5usize)
+    };
+    match kind {
+        0 => GenOp::Fixed {
+            gate: FIXED_1Q[rng.gen_range(0..FIXED_1Q.len())],
+            qubits: vec![rng.gen_range(0..n)],
+        },
+        1 => GenOp::Rotation {
+            gate: ROTATIONS[rng.gen_range(0..ROTATIONS.len())],
+            qubit: rng.gen_range(0..n),
+            angle,
+            free,
+        },
+        2 => {
+            let (a, b) = random_pair(rng, n);
+            GenOp::Fixed {
+                gate: FIXED_2Q[rng.gen_range(0..FIXED_2Q.len())],
+                qubits: vec![a, b],
+            }
+        }
+        3 => {
+            let (control, target) = random_pair(rng, n);
+            GenOp::Controlled {
+                gate: ROTATIONS[rng.gen_range(0..ROTATIONS.len())],
+                control,
+                target,
+                angle,
+                free,
+            }
+        }
+        _ => {
+            let (first, second) = random_pair(rng, n);
+            GenOp::TwoQubit {
+                gate: TWO_ROTATIONS[rng.gen_range(0..TWO_ROTATIONS.len())],
+                first,
+                second,
+                angle,
+                free,
+            }
+        }
+    }
+}
+
+fn random_obs(rng: &mut StdRng, n: usize) -> ObsSpec {
+    match rng.gen_range(0..4usize) {
+        0 => ObsSpec::GlobalCost,
+        1 => ObsSpec::LocalCost,
+        2 => ObsSpec::ZeroProjector,
+        _ => {
+            let n_terms = 1 + rng.gen_range(0..3usize);
+            let terms = (0..n_terms)
+                .map(|_| {
+                    let coeff = rng.gen_range(-1.5..1.5);
+                    let string: String = (0..n)
+                        .map(|_| ['I', 'X', 'Y', 'Z'][rng.gen_range(0..4usize)])
+                        .collect();
+                    (coeff, string)
+                })
+                .collect();
+            ObsSpec::PauliSum(terms)
+        }
+    }
+}
+
+/// Draws one random case: 1–`max_qubits` qubits, depth scaled to the
+/// register size, a mixed free/bound parameterization capped at
+/// [`MAX_FREE_PARAMS`] trainable angles, and a random observable.
+pub fn random_case(rng: &mut StdRng, max_qubits: usize) -> FuzzCase {
+    let max_qubits = max_qubits.clamp(1, MAX_FUZZ_QUBITS);
+    let n_qubits = 1 + rng.gen_range(0..max_qubits);
+    let n_ops = 1 + rng.gen_range(0..(3 * n_qubits + 8));
+    let mut ops = Vec::with_capacity(n_ops);
+    let mut free = 0;
+    for _ in 0..n_ops {
+        let op = random_op(rng, n_qubits, free < MAX_FREE_PARAMS);
+        if op.is_free() {
+            free += 1;
+        }
+        ops.push(op);
+    }
+    FuzzCase {
+        n_qubits,
+        ops,
+        obs: random_obs(rng, n_qubits),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plateau_rng::SeedableRng;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let draw = || {
+            let mut rng = StdRng::seed_from_u64(11);
+            (0..50).map(|_| random_case(&mut rng, 8)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(), draw());
+    }
+
+    #[test]
+    fn generated_cases_build_and_run() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..200 {
+            let case = random_case(&mut rng, MAX_FUZZ_QUBITS);
+            assert!(case.free_param_count() <= MAX_FREE_PARAMS);
+            let (circuit, params) = case.build().expect("case builds");
+            assert_eq!(circuit.n_params(), params.len());
+            assert_eq!(circuit.n_qubits(), case.n_qubits);
+            let state = circuit.run(&params).expect("case runs");
+            let obs = case.observable().expect("observable builds");
+            let e = obs.expectation(&state).expect("expectation evaluates");
+            assert!(e.is_finite());
+        }
+    }
+
+    #[test]
+    fn obs_spec_text_round_trips() {
+        let specs = [
+            ObsSpec::GlobalCost,
+            ObsSpec::LocalCost,
+            ObsSpec::ZeroProjector,
+            ObsSpec::PauliSum(vec![(0.5, "ZIX".into()), (-1.25, "YYI".into())]),
+        ];
+        for spec in specs {
+            assert_eq!(ObsSpec::parse(&spec.render()).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn map_qubits_drops_degenerate_two_qubit_ops() {
+        let op = GenOp::TwoQubit {
+            gate: TwoQubitRotationGate::Rxx,
+            first: 2,
+            second: 1,
+            angle: 0.3,
+            free: false,
+        };
+        assert!(op.map_qubits(|q| q.min(1)).is_none());
+        assert!(op.map_qubits(|q| q).is_some());
+    }
+}

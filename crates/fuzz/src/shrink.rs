@@ -1,0 +1,190 @@
+//! Greedy counterexample shrinking for [`FuzzCase`]s.
+//!
+//! Three reduction families, tried most-aggressive first:
+//!
+//! 1. **Drop gates** — remove one op (front to back). Because a
+//!    [`FuzzCase`] keeps each angle inside its op, dropping can never
+//!    misalign the parameter vector.
+//! 2. **Merge qubits** — relabel the highest qubit onto each lower one
+//!    and shrink the register; ops left with duplicate operands are
+//!    dropped, observable Pauli strings lose their highest-qubit factor.
+//! 3. **Zero parameters** — replace a nonzero angle with `0.0`,
+//!    preserving the free/bound flag so gradient reproducers stay
+//!    differentiable.
+//!
+//! The driver ([`shrink`]) accepts the first candidate that still fails
+//! the caller's predicate and restarts, stopping at a local minimum. The
+//! result is not globally minimal — greedy never is — but in practice a
+//! kernel-level bug reduces to a handful of gates on a 1–2 qubit
+//! register.
+
+use crate::gen::{FuzzCase, ObsSpec};
+
+/// Upper bound on accepted reductions, a safety net against a predicate
+/// that flickers.
+const MAX_STEPS: usize = 1_000;
+
+/// Relabels the top qubit of `case` onto `target`, compacting the
+/// register by one. Returns `None` when the case has a single qubit.
+fn merge_top_qubit(case: &FuzzCase, target: usize) -> Option<FuzzCase> {
+    let top = case.n_qubits.checked_sub(1).filter(|&t| t > 0)?;
+    debug_assert!(target < top);
+    let ops = case
+        .ops
+        .iter()
+        .filter_map(|op| op.map_qubits(|q| if q == top { target } else { q }))
+        .collect();
+    let obs = match &case.obs {
+        ObsSpec::PauliSum(terms) => ObsSpec::PauliSum(
+            terms
+                .iter()
+                // Leftmost char is the highest qubit (ket order): drop it.
+                .map(|(c, s)| (*c, s.chars().skip(1).collect()))
+                .collect(),
+        ),
+        other => other.clone(),
+    };
+    Some(FuzzCase {
+        n_qubits: top,
+        ops,
+        obs,
+    })
+}
+
+/// All one-step reductions of `case`, most aggressive first.
+pub fn candidates(case: &FuzzCase) -> Vec<FuzzCase> {
+    let mut out = Vec::new();
+    // 1. Drop each op.
+    for i in 0..case.ops.len() {
+        let mut ops = case.ops.clone();
+        ops.remove(i);
+        out.push(FuzzCase {
+            n_qubits: case.n_qubits,
+            ops,
+            obs: case.obs.clone(),
+        });
+    }
+    // 2. Merge the top qubit down.
+    for target in 0..case.n_qubits.saturating_sub(1) {
+        if let Some(merged) = merge_top_qubit(case, target) {
+            out.push(merged);
+        }
+    }
+    // 3. Zero each nonzero angle.
+    for i in 0..case.ops.len() {
+        use crate::gen::GenOp;
+        let mut ops = case.ops.clone();
+        let zeroed = match &mut ops[i] {
+            GenOp::Fixed { .. } => false,
+            GenOp::Rotation { angle, .. }
+            | GenOp::Controlled { angle, .. }
+            | GenOp::TwoQubit { angle, .. } => {
+                if *angle == 0.0 {
+                    false
+                } else {
+                    *angle = 0.0;
+                    true
+                }
+            }
+        };
+        if zeroed {
+            out.push(FuzzCase {
+                n_qubits: case.n_qubits,
+                ops,
+                obs: case.obs.clone(),
+            });
+        }
+    }
+    out
+}
+
+/// Greedily minimizes a failing case. `still_fails` must return `true`
+/// for `case` itself (the caller just observed the failure); the result
+/// is the smallest case reachable by single reductions that still fails,
+/// together with the number of accepted reductions.
+pub fn shrink(case: &FuzzCase, mut still_fails: impl FnMut(&FuzzCase) -> bool) -> (FuzzCase, usize) {
+    let mut current = case.clone();
+    let mut steps = 0;
+    'minimize: while steps < MAX_STEPS {
+        for candidate in candidates(&current) {
+            if still_fails(&candidate) {
+                current = candidate;
+                steps += 1;
+                plateau_obs::counter!("fuzz.shrink.steps").inc();
+                continue 'minimize;
+            }
+        }
+        break;
+    }
+    (current, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{random_case, GenOp};
+    use plateau_rng::{SeedableRng, StdRng};
+
+    #[test]
+    fn candidates_are_strictly_smaller_or_simpler() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..100 {
+            let case = random_case(&mut rng, 8);
+            for cand in candidates(&case) {
+                let fewer_ops = cand.ops.len() < case.ops.len();
+                let fewer_qubits = cand.n_qubits < case.n_qubits;
+                let fewer_nonzero = nonzero_angles(&cand) < nonzero_angles(&case);
+                assert!(
+                    fewer_ops || fewer_qubits || fewer_nonzero,
+                    "candidate not smaller: {cand:?}"
+                );
+                // Every candidate must still be executable.
+                cand.build().expect("candidate builds");
+                cand.observable().expect("candidate observable builds");
+            }
+        }
+    }
+
+    fn nonzero_angles(case: &crate::gen::FuzzCase) -> usize {
+        case.ops
+            .iter()
+            .filter(|op| match op {
+                GenOp::Fixed { .. } => false,
+                GenOp::Rotation { angle, .. }
+                | GenOp::Controlled { angle, .. }
+                | GenOp::TwoQubit { angle, .. } => *angle != 0.0,
+            })
+            .count()
+    }
+
+    #[test]
+    fn shrink_reaches_a_small_reproducer() {
+        // Predicate: "contains at least one RX rotation" — stand-in for
+        // a kernel bug triggered by any RX. The minimum is one op.
+        let mut rng = StdRng::seed_from_u64(32);
+        let mut shrunk_any = false;
+        for _ in 0..50 {
+            let case = random_case(&mut rng, 8);
+            let has_rx = |c: &crate::gen::FuzzCase| {
+                c.ops.iter().any(|op| {
+                    matches!(
+                        op,
+                        GenOp::Rotation {
+                            gate: plateau_sim::RotationGate::Rx,
+                            ..
+                        }
+                    )
+                })
+            };
+            if !has_rx(&case) {
+                continue;
+            }
+            let (minimal, steps) = shrink(&case, has_rx);
+            assert_eq!(minimal.ops.len(), 1, "minimal case: {minimal:?}");
+            assert_eq!(minimal.n_qubits, 1);
+            assert!(steps > 0);
+            shrunk_any = true;
+        }
+        assert!(shrunk_any, "no generated case contained an RX");
+    }
+}

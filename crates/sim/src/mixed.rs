@@ -373,6 +373,34 @@ mod tests {
 
     const TOL: f64 = 1e-10;
 
+    #[test]
+    fn pauli_sum_expectation_on_sparse_density_matrix() {
+        // Regression (found by the differential fuzzer, shrunk to the
+        // empty circuit): ρ = |0⟩⟨0| has zero columns, which the
+        // PauliSum expectation path used to reject as "not normalized"
+        // — `PauliString::apply` must stay linear, not physical.
+        let rho = DensityMatrix::zero(1);
+        let obs = Observable::pauli(crate::observable::PauliString::parse("Z").unwrap()).unwrap();
+        let e = rho.expectation(&obs).expect("tr(Zρ) must evaluate");
+        assert!((e - 1.0).abs() < TOL, "tr(Z|0⟩⟨0|) = {e}, want 1");
+        // Mixed state with every column unnormalized: ½|00⟩⟨00| + ½|11⟩⟨11|.
+        let mut rho = DensityMatrix::from_pure(&{
+            let mut c = Circuit::new(2).unwrap();
+            c.h(0).unwrap().cx(0, 1).unwrap();
+            let s = c.run(&[]).unwrap();
+            s
+        });
+        rho.apply_channel(0, &phase_flip_kraus(0.5)).unwrap();
+        let obs = Observable::pauli_sum(vec![
+            (0.7, crate::observable::PauliString::parse("ZZ").unwrap()),
+            (-0.3, crate::observable::PauliString::parse("XX").unwrap()),
+        ])
+        .unwrap();
+        let e = rho.expectation(&obs).expect("pauli sum on mixed state");
+        // Full dephasing leaves ZZ = 1 intact and kills the XX coherence.
+        assert!((e - 0.7).abs() < TOL, "got {e}");
+    }
+
     fn bell_circuit() -> Circuit {
         let mut c = Circuit::new(2).unwrap();
         c.h(0).unwrap().cx(0, 1).unwrap();

@@ -203,8 +203,12 @@ impl PauliString {
             };
             out[b ^ flip_mask] = *amp * i_pow * sign;
         }
-        // P|ψ⟩ is normalized because P is unitary.
-        State::from_amplitudes(out)
+        // P is a signed permutation, so it preserves the input's norm
+        // exactly — but the input need not be normalized: the density-
+        // matrix engine applies Pauli strings to raw matrix columns and
+        // the adjoint engine to tangent vectors. Skip the normalization
+        // check rather than reject those callers.
+        State::from_amplitudes_unnormalized(out)
     }
 
     /// Expectation value `⟨ψ|P|ψ⟩` (real because P is Hermitian).

@@ -377,7 +377,7 @@ mod tests {
     use super::*;
     use crate::gate::{FixedGate, RotationGate, TwoQubitRotationGate};
     use crate::state::State;
-    use plateau_rng::{check::forall, Rng, StdRng};
+    use plateau_rng::{Rng, StdRng};
     use std::sync::Mutex;
 
     /// Guards the process-global threshold against concurrent mutation by
@@ -452,12 +452,12 @@ mod tests {
 
     #[test]
     fn parallel_and_serial_kernels_are_bit_identical() {
-        use plateau_rng::check::vec_of;
+        use plateau_rng::check::{cases, forall_shrink, vec_of};
         let _guard = THRESHOLD_LOCK.lock().unwrap();
         let sizes = [2usize, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16];
-        forall(
+        forall_shrink(
             0x70617261,
-            22,
+            cases(22),
             |rng| {
                 let n = sizes[rng.gen_range(0..sizes.len())];
                 let mut ops = vec![TOp::Fixed(FixedGate::H, 0)];
@@ -472,6 +472,18 @@ mod tests {
                     ops.push(TOp::CRot(RotationGate::Rz, n - 1, 0, -0.9));
                 }
                 (n, ops)
+            },
+            // On failure, shrink by dropping one op at a time: the
+            // property is per-kernel, so any sub-circuit that still
+            // diverges is a strictly better reproducer.
+            |(n, ops)| {
+                (0..ops.len())
+                    .map(|i| {
+                        let mut fewer = ops.clone();
+                        fewer.remove(i);
+                        (*n, fewer)
+                    })
+                    .collect()
             },
             |(n, ops)| {
                 set_par_threshold(usize::MAX);

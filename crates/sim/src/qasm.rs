@@ -466,6 +466,136 @@ mod tests {
     }
 
     #[test]
+    fn emit_parse_emit_is_a_fixed_point_on_random_circuits() {
+        use crate::gate::TwoQubitRotationGate;
+        use plateau_rng::check::{cases, forall_shrink, vec_of};
+        use plateau_rng::{Rng, StdRng};
+
+        #[derive(Debug, Clone)]
+        enum QOp {
+            Fixed(FixedGate, Vec<usize>),
+            Rot(RotationGate, usize, f64),
+            CRot(RotationGate, usize, usize, f64),
+            TwoRot(TwoQubitRotationGate, usize, usize, f64),
+        }
+
+        fn build(n: usize, ops: &[QOp]) -> Circuit {
+            let mut c = Circuit::new(n).unwrap();
+            for op in ops {
+                match op {
+                    QOp::Fixed(g, qs) => {
+                        c.push_fixed(*g, qs).unwrap();
+                    }
+                    QOp::Rot(g, q, t) => {
+                        c.push_rotation_const(*g, *q, *t).unwrap();
+                    }
+                    QOp::CRot(g, ctl, tgt, t) => {
+                        c.push_controlled_rotation(*g, *ctl, *tgt)
+                            .unwrap()
+                            .bind_last_param(*t)
+                            .unwrap();
+                    }
+                    QOp::TwoRot(g, a, b, t) => {
+                        c.push_two_qubit_rotation(*g, *a, *b)
+                            .unwrap()
+                            .bind_last_param(*t)
+                            .unwrap();
+                    }
+                }
+            }
+            c
+        }
+
+        fn random_qop(rng: &mut StdRng, n: usize) -> QOp {
+            const FIXED_1Q: [FixedGate; 9] = [
+                FixedGate::X,
+                FixedGate::Y,
+                FixedGate::Z,
+                FixedGate::H,
+                FixedGate::S,
+                FixedGate::Sdg,
+                FixedGate::T,
+                FixedGate::Tdg,
+                FixedGate::Sx,
+            ];
+            const FIXED_2Q: [FixedGate; 4] =
+                [FixedGate::Cz, FixedGate::Cx, FixedGate::Cy, FixedGate::Swap];
+            const ROT: [RotationGate; 4] = [
+                RotationGate::Rx,
+                RotationGate::Ry,
+                RotationGate::Rz,
+                RotationGate::Phase,
+            ];
+            const TWO: [TwoQubitRotationGate; 3] = [
+                TwoQubitRotationGate::Rxx,
+                TwoQubitRotationGate::Ryy,
+                TwoQubitRotationGate::Rzz,
+            ];
+            let pair = |rng: &mut StdRng| {
+                let a = rng.gen_range(0..n);
+                (a, (a + 1 + rng.gen_range(0..n - 1)) % n)
+            };
+            let angle = |rng: &mut StdRng| rng.gen_range(-4.0..4.0);
+            match rng.gen_range(0..5usize) {
+                0 => QOp::Fixed(FIXED_1Q[rng.gen_range(0..9usize)], vec![rng.gen_range(0..n)]),
+                1 if n >= 2 => {
+                    let (a, b) = pair(rng);
+                    QOp::Fixed(FIXED_2Q[rng.gen_range(0..4usize)], vec![a, b])
+                }
+                2 => QOp::Rot(ROT[rng.gen_range(0..4usize)], rng.gen_range(0..n), angle(rng)),
+                3 if n >= 2 => {
+                    let (c, t) = pair(rng);
+                    QOp::CRot(ROT[rng.gen_range(0..4usize)], c, t, angle(rng))
+                }
+                4 if n >= 2 => {
+                    let (a, b) = pair(rng);
+                    QOp::TwoRot(TWO[rng.gen_range(0..3usize)], a, b, angle(rng))
+                }
+                _ => QOp::Rot(ROT[rng.gen_range(0..4usize)], rng.gen_range(0..n), angle(rng)),
+            }
+        }
+
+        forall_shrink(
+            0x7161736d,
+            cases(32),
+            |rng| {
+                let n = rng.gen_range(1..6usize);
+                (n, vec_of(rng, 0..12, |rng| random_qop(rng, n)))
+            },
+            |(n, ops)| {
+                (0..ops.len())
+                    .map(|i| {
+                        let mut fewer = ops.clone();
+                        fewer.remove(i);
+                        (*n, fewer)
+                    })
+                    .collect()
+            },
+            |(n, ops)| {
+                let circuit = build(*n, ops);
+                let text = to_qasm(&circuit, &[]).map_err(|e| format!("emit: {e}"))?;
+                let parsed = from_qasm(&text).map_err(|e| format!("parse: {e}"))?;
+                // Emit must be a fixed point of parse∘emit: f64 `Display`
+                // produces the shortest exactly-round-tripping decimal, so
+                // not even the angle text may change.
+                let re_emitted = to_qasm(&parsed, &[]).map_err(|e| format!("re-emit: {e}"))?;
+                plateau_rng::prop_assert!(
+                    re_emitted == text,
+                    "parse∘emit moved the text:\n--- first ---\n{text}\n--- second ---\n{re_emitted}"
+                );
+                // And the parsed circuit must simulate identically.
+                let s1 = circuit.run(&[]).map_err(|e| format!("run original: {e}"))?;
+                let s2 = parsed.run(&[]).map_err(|e| format!("run parsed: {e}"))?;
+                plateau_rng::prop_assert!(
+                    s1 == s2,
+                    "re-simulation diverged after the QASM round trip"
+                );
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
     fn parse_error_cases() {
         assert_eq!(from_qasm("qreg q[2];").unwrap_err(), ParseQasmError::MissingHeader);
         assert_eq!(

@@ -248,6 +248,71 @@ mod tests {
     }
 
     #[test]
+    fn counts_total_shots_and_only_physical_outcomes_appear() {
+        use plateau_linalg::C64;
+        use plateau_rng::check::{cases, forall_shrink};
+
+        // Random sparse states: many exactly-zero amplitudes force the
+        // duplicated-CDF-entry tie-break path on ordinary (not forced)
+        // draws. Shrinking zeroes more amplitudes and cuts shots, so a
+        // failure minimizes toward the sparsest state that still trips it.
+        forall_shrink(
+            0x73616d70,
+            cases(48),
+            |rng| {
+                let n = rng.gen_range(1..5usize);
+                let mut amps: Vec<C64> = (0..1usize << n)
+                    .map(|_| {
+                        if rng.gen::<f64>() < 0.4 {
+                            C64::new(0.0, 0.0)
+                        } else {
+                            C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+                        }
+                    })
+                    .collect();
+                if amps.iter().all(|a| a.norm_sqr() == 0.0) {
+                    amps[0] = C64::new(1.0, 0.0);
+                }
+                (amps, rng.gen_range(1..400usize))
+            },
+            |(amps, shots)| {
+                let mut out = Vec::new();
+                if *shots > 1 {
+                    out.push((amps.clone(), shots / 2));
+                }
+                for i in 0..amps.len() {
+                    if amps[i].norm_sqr() > 0.0
+                        && amps.iter().filter(|a| a.norm_sqr() > 0.0).count() > 1
+                    {
+                        let mut sparser = amps.clone();
+                        sparser[i] = C64::new(0.0, 0.0);
+                        out.push((sparser, *shots));
+                    }
+                }
+                out
+            },
+            |(amps, shots)| {
+                let norm = amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+                let state = State::from_amplitudes(amps.iter().map(|&a| a / norm).collect())
+                    .map_err(|e| format!("state construction: {e}"))?;
+                let probs = state.probabilities();
+                let counts = sample_counts(&state, *shots, &mut StdRng::seed_from_u64(42));
+                plateau_rng::prop_assert!(
+                    counts.values().sum::<usize>() == *shots,
+                    "tallies must account for every shot"
+                );
+                for index in counts.keys() {
+                    plateau_rng::prop_assert!(
+                        probs[*index] > 0.0,
+                        "outcome {index} has zero Born probability"
+                    );
+                }
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
     fn estimate_probability_converges() {
         let mut s = State::zero(1);
         s.apply_rotation(RotationGate::Ry, 0, 1.0).unwrap();

@@ -52,6 +52,19 @@ cargo run -q --release --offline -p plateau-cli -- obs diff \
     --threshold "${PLATEAU_TRACE_THRESHOLD:-4.0}"
 rm -f "${trace}"
 
+echo "=== differential fuzz smoke gate ==="
+# A fixed-seed campaign over the full engine matrix (DESIGN.md §10):
+# serial vs parallel kernels, statevector vs unitary vs density matrix,
+# raw vs pass-optimized, QASM round-trip, and three gradient engines.
+# Any divergence fails the gate and leaves a shrunk reproducer under
+# target/fuzz/ (replay with `plateau fuzz --replay <file>`). The
+# mutation self-test then proves the harness still detects — and shrinks
+# — a deliberately broken kernel.
+cargo run -q --release --offline -p plateau-cli -- fuzz \
+    --cases "${PLATEAU_FUZZ_CASES:-500}" --seed 0xfeed
+cargo run -q --release --offline -p plateau-cli -- fuzz \
+    --cases 40 --seed 0xfeed --mutate true --artifacts "$(mktemp -d)"
+
 echo "=== sim parallel speedup gate ==="
 # The 10-qubit 5-layer parameter-shift training step, serial vs pooled:
 # on multi-core machines the parallel median must at least break even
