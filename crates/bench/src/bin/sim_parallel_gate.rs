@@ -8,13 +8,17 @@
 //! `plateau_grad::expectation_many` fans across the `plateau_par` pool,
 //! so this one number captures the gradient-level parallel speedup.
 //!
-//! Both variants are measured by the shared harness: `serial` pins
+//! Three variants are measured by the shared harness: `serial` pins
 //! `PLATEAU_THREADS=1`, `parallel` lets the pool size itself from the
-//! machine. On a multi-core machine the gate fails (exit 1) when the
+//! machine, and `fused` reruns the serial configuration through the
+//! gate-fusion compiler (`PLATEAU_SIM_FUSE` semantics via `set_fuse`).
+//! On a multi-core machine the parallel gate fails (exit 1) when the
 //! parallel median exceeds `serial × PLATEAU_SIM_PAR_TOL` (default 1.10
 //! — parallel must at least break even, with a 10% jitter allowance).
-//! On a single-core machine the comparison is vacuous and the gate
-//! passes with a note.
+//! On a single-core machine that comparison is vacuous and passes with a
+//! note. The fusion gate runs on any machine: the fused median must beat
+//! `serial / PLATEAU_SIM_FUSE_TOL` (default 2.0 — fused must be at least
+//! twice as fast as raw serial at the paper's own workload).
 //!
 //! Run with `--record` to also write the measurement to
 //! `benchmarks/BENCH_sim_parallel.json` (the committed baseline).
@@ -54,6 +58,16 @@ fn main() {
             .gradient(black_box(&ansatz.circuit), black_box(&params), &obs)
             .expect("gradient")
     });
+    // Fused serial: same one-worker configuration, but the gradient's
+    // shifted evaluations run through the fusion compiler's segments
+    // (compiled once per gradient, reused across all 200 evaluations).
+    plateau_sim::set_fuse(true);
+    group.bench("fused", || {
+        ParameterShift
+            .gradient(black_box(&ansatz.circuit), black_box(&params), &obs)
+            .expect("gradient")
+    });
+    plateau_sim::set_fuse(false);
     match &prior_threads {
         Some(v) => std::env::set_var("PLATEAU_THREADS", v),
         None => std::env::remove_var("PLATEAU_THREADS"),
@@ -73,6 +87,7 @@ fn main() {
             .median_ns
     };
     let serial = median_of("serial");
+    let fused = median_of("fused");
     let parallel = median_of("parallel");
     let workers = plateau_par::worker_count(usize::MAX);
     println!(
@@ -81,6 +96,27 @@ fn main() {
         parallel,
         serial / parallel
     );
+    println!(
+        "# serial {:.0} ns vs fused {:.0} ns (1 worker): speedup x{:.2}",
+        serial,
+        fused,
+        serial / fused
+    );
+
+    // Fusion gate: independent of worker count — both sides run on one
+    // worker, so this measures pure per-gate arithmetic and dispatch.
+    let fuse_tol: f64 = std::env::var("PLATEAU_SIM_FUSE_TOL")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+    if fused * fuse_tol > serial {
+        eprintln!(
+            "sim fusion gate FAILED: fused median {fused:.0} ns is less than \
+             {fuse_tol}x faster than serial {serial:.0} ns"
+        );
+        std::process::exit(1);
+    }
+    println!("# sim fusion gate passed (required x{fuse_tol})");
 
     if workers < 2 {
         println!("# sim parallel gate skipped: single worker, nothing to compare");

@@ -11,7 +11,8 @@ fn plateau() -> Command {
     cmd.env_remove("PLATEAU_LOG")
         .env_remove("PLATEAU_METRICS")
         .env_remove("PLATEAU_METRICS_OUT")
-        .env_remove("PLATEAU_CHECK_CASES");
+        .env_remove("PLATEAU_CHECK_CASES")
+        .env_remove("PLATEAU_SIM_FUSE");
     cmd
 }
 

@@ -12,7 +12,8 @@ fn plateau() -> Command {
     // Isolate from the invoking environment.
     cmd.env_remove("PLATEAU_LOG")
         .env_remove("PLATEAU_METRICS")
-        .env_remove("PLATEAU_METRICS_OUT");
+        .env_remove("PLATEAU_METRICS_OUT")
+        .env_remove("PLATEAU_SIM_FUSE");
     cmd
 }
 
@@ -106,6 +107,50 @@ fn variance_run_emits_manifest_spans_and_exact_gate_counts() {
     assert_eq!(counter("grad.expectation_evals"), executions);
     assert_eq!(counter("core.variance.cells"), 12.0);
     assert!(counter("par.tasks") >= 6.0 * 8.0 * 2.0);
+}
+
+#[test]
+fn variance_with_fuse_flag_emits_compression_counters() {
+    let out_path =
+        std::env::temp_dir().join(format!("plateau-cli-fuse-{}.jsonl", std::process::id()));
+    let output = plateau()
+        .args([
+            "variance",
+            "--qubits",
+            "2,3",
+            "--circuits",
+            "4",
+            "--layers",
+            "5",
+            "--fuse",
+            "true",
+            "--metrics-out",
+        ])
+        .arg(&out_path)
+        .output()
+        .expect("spawn plateau");
+    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+    let raw = std::fs::read_to_string(&out_path).expect("metrics sink written");
+    std::fs::remove_file(&out_path).ok();
+    let metrics = raw
+        .lines()
+        .map(|l| Json::parse(l).expect("valid JSON"))
+        .filter(|r| r.get("type").and_then(|t| t.as_str().map(String::from)).as_deref() == Some("metrics"))
+        .next_back()
+        .expect("metrics snapshot present");
+    let counter = |name: &str| {
+        metrics
+            .get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(|v| v.as_f64())
+            .unwrap_or_else(|| panic!("counter {name} missing"))
+    };
+    // The fusion compiler ran and compressed: fewer segments out than
+    // gates in. (Exact counts are pinned by unit tests; here we assert
+    // the counters are wired end to end through the binary.)
+    assert!(counter("sim.fuse.gates_in") > 0.0);
+    assert!(counter("sim.fuse.gates_out") > 0.0);
+    assert!(counter("sim.fuse.gates_out") < counter("sim.fuse.gates_in"));
 }
 
 #[test]

@@ -13,7 +13,9 @@
 //! | `qasm-roundtrip` | emit→parse→re-simulate, plus emit fixed-point | `1e-12` |
 //! | `adjoint-vs-shift` | two exact gradient algorithms | `1e-8` |
 //! | `adjoint-vs-finite-diff` | exact vs `O(ε²)` central differences | `5e-6` |
+//! | `fused-vs-raw` | gate-fusion compiler output vs the gate-by-gate run | `1e-10` |
 //! | `mutated-vs-serial` | deliberately broken kernel (self-test only) | `1e-9` |
+//! | `fused-mutated-vs-serial` | fusion with reversed merge order (self-test only) | `1e-9` |
 //!
 //! An engine error (`Err` from any simulator/gradient call) on a
 //! generator-valid case is itself a divergence: it is reported as a
@@ -48,15 +50,22 @@ pub enum EnginePair {
     AdjointVsShift,
     /// Adjoint vs central finite-difference gradients.
     AdjointVsFiniteDiff,
+    /// The gate-fusion compiler's segment execution vs the gate-by-gate
+    /// run of the same circuit.
+    FusedVsRaw,
     /// The deliberately broken off-by-one kernel vs the serial engine —
     /// only scheduled by the mutation self-test, never in normal runs.
     MutatedVsSerial,
+    /// A fusion pass that merges rotation runs in the **wrong** matrix
+    /// order vs the serial engine — only scheduled by the mutation
+    /// self-test, never in normal runs.
+    FusedMutatedVsSerial,
 }
 
 impl EnginePair {
     /// The pairs a normal fuzz run schedules (everything except the
     /// self-test mutant).
-    pub const ALL: [EnginePair; 7] = [
+    pub const ALL: [EnginePair; 8] = [
         EnginePair::SerialVsParallel,
         EnginePair::StateVsUnitary,
         EnginePair::StateVsDensity,
@@ -64,6 +73,7 @@ impl EnginePair {
         EnginePair::QasmRoundTrip,
         EnginePair::AdjointVsShift,
         EnginePair::AdjointVsFiniteDiff,
+        EnginePair::FusedVsRaw,
     ];
 
     /// Stable name used in reports and artifacts.
@@ -76,7 +86,9 @@ impl EnginePair {
             EnginePair::QasmRoundTrip => "qasm-roundtrip",
             EnginePair::AdjointVsShift => "adjoint-vs-shift",
             EnginePair::AdjointVsFiniteDiff => "adjoint-vs-finite-diff",
+            EnginePair::FusedVsRaw => "fused-vs-raw",
             EnginePair::MutatedVsSerial => "mutated-vs-serial",
+            EnginePair::FusedMutatedVsSerial => "fused-mutated-vs-serial",
         }
     }
 
@@ -90,7 +102,9 @@ impl EnginePair {
             EnginePair::QasmRoundTrip,
             EnginePair::AdjointVsShift,
             EnginePair::AdjointVsFiniteDiff,
+            EnginePair::FusedVsRaw,
             EnginePair::MutatedVsSerial,
+            EnginePair::FusedMutatedVsSerial,
         ]
         .into_iter()
         .find(|p| p.name() == s)
@@ -108,7 +122,10 @@ impl EnginePair {
     /// margin while still catching any real sign/index bug, which shows
     /// up at `O(1)`. QASM round-trips re-execute the identical op
     /// sequence, so they must agree to the last bit of the printed
-    /// angles.
+    /// angles. Fused execution multiplies gate matrices together before
+    /// touching the state, which reassociates the floating-point work —
+    /// mathematically identical but not bitwise, so unlike
+    /// serial-vs-parallel its budget is `1e-10` rather than zero.
     pub fn tolerance(self) -> f64 {
         match self {
             EnginePair::SerialVsParallel => 0.0,
@@ -118,7 +135,9 @@ impl EnginePair {
             EnginePair::QasmRoundTrip => 1e-12,
             EnginePair::AdjointVsShift => 1e-8,
             EnginePair::AdjointVsFiniteDiff => 5e-6,
+            EnginePair::FusedVsRaw => 1e-10,
             EnginePair::MutatedVsSerial => 1e-9,
+            EnginePair::FusedMutatedVsSerial => 1e-9,
         }
     }
 
@@ -130,7 +149,9 @@ impl EnginePair {
             EnginePair::SerialVsParallel
             | EnginePair::RawVsOptimized
             | EnginePair::QasmRoundTrip
-            | EnginePair::MutatedVsSerial => true,
+            | EnginePair::FusedVsRaw
+            | EnginePair::MutatedVsSerial
+            | EnginePair::FusedMutatedVsSerial => true,
             EnginePair::StateVsUnitary | EnginePair::StateVsDensity => {
                 case.n_qubits <= SMALL_ORACLE_QUBITS
             }
@@ -344,6 +365,23 @@ pub fn check_pair(pair: EnginePair, case: &FuzzCase) -> Result<f64, Mismatch> {
                 format!("adjoint and finite-difference gradients diverged (max delta {delta:e})"),
             )
         }
+        EnginePair::FusedVsRaw => {
+            // Compile directly — no global knob toggling, so this pair
+            // needs no lock and cannot race other pairs in flight.
+            let raw = engine_try!(pair, "gate-by-gate run", circuit.run(&params));
+            let compiled = plateau_sim::compile(&circuit);
+            let fused = engine_try!(pair, "fused kernels", compiled.run(&params));
+            let delta = state_delta(&raw, &fused);
+            verdict(
+                pair,
+                delta,
+                format!(
+                    "fused kernels diverged from gate-by-gate run ({} -> {} segments, max amplitude delta {delta:e})",
+                    compiled.gates_in(),
+                    compiled.gates_out()
+                ),
+            )
+        }
         EnginePair::MutatedVsSerial => {
             let reference = engine_try!(pair, "serial kernels", circuit.run(&params));
             let mutated = engine_try!(pair, "mutated kernel", mutated_run(&circuit, &params));
@@ -352,6 +390,17 @@ pub fn check_pair(pair: EnginePair, case: &FuzzCase) -> Result<f64, Mismatch> {
                 pair,
                 delta,
                 format!("injected off-by-one kernel detected (max amplitude delta {delta:e})"),
+            )
+        }
+        EnginePair::FusedMutatedVsSerial => {
+            let reference = engine_try!(pair, "serial kernels", circuit.run(&params));
+            let mutated =
+                engine_try!(pair, "mutated fusion", fused_mutated_run(&circuit, &params));
+            let delta = state_delta(&reference, &mutated);
+            verdict(
+                pair,
+                delta,
+                format!("injected fusion merge-order bug detected (max amplitude delta {delta:e})"),
             )
         }
     }
@@ -399,6 +448,61 @@ pub fn mutated_run(circuit: &Circuit, params: &[f64]) -> Result<State, plateau_s
     Ok(state)
 }
 
+/// A deliberately broken fusion pass for the mutation self-test: runs of
+/// adjacent single-qubit rotations on the same wire are merged into one
+/// 2×2 matrix — but in the **reversed** product order (`first · second`
+/// instead of `second · first`), the classic gate-fusion mistake. The
+/// merged matrix is correct whenever the run's rotations commute (a run
+/// of length 1, or repeated same-axis gates), so the harness must find a
+/// case with two non-commuting adjacent rotations to expose it — and the
+/// shrinker should reduce any such witness to a two-gate circuit.
+pub fn fused_mutated_run(circuit: &Circuit, params: &[f64]) -> Result<State, plateau_sim::SimError> {
+    // (P·Q) in row-major 2×2 layout.
+    fn mat2_mul(p: &[plateau_linalg::C64; 4], q: &[plateau_linalg::C64; 4]) -> [plateau_linalg::C64; 4] {
+        [
+            p[0] * q[0] + p[1] * q[2],
+            p[0] * q[1] + p[1] * q[3],
+            p[2] * q[0] + p[3] * q[2],
+            p[2] * q[1] + p[3] * q[3],
+        ]
+    }
+
+    let mut state = State::zero(circuit.n_qubits());
+    // (wire, merged matrix) of the currently open rotation run.
+    let mut pending: Option<(usize, [plateau_linalg::C64; 4])> = None;
+    for op in circuit.ops() {
+        match op {
+            Op::Rotation { gate, qubit, param } => {
+                let theta = match param {
+                    Param::Free(i) => params[*i],
+                    Param::Bound(v) => *v,
+                };
+                let m = gate.entries(theta);
+                pending = Some(match pending.take() {
+                    // BUG: the later gate must LEFT-multiply the run
+                    // (`m · acc`); this merges as `acc · m`.
+                    Some((q, acc)) if q == *qubit => (q, mat2_mul(&acc, &m)),
+                    Some((q, acc)) => {
+                        state.apply_fused_single(q, &acc)?;
+                        (*qubit, m)
+                    }
+                    None => (*qubit, m),
+                });
+            }
+            other => {
+                if let Some((q, acc)) = pending.take() {
+                    state.apply_fused_single(q, &acc)?;
+                }
+                other.apply(&mut state, params)?;
+            }
+        }
+    }
+    if let Some((q, acc)) = pending {
+        state.apply_fused_single(q, &acc)?;
+    }
+    Ok(state)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -409,7 +513,7 @@ mod tests {
     fn pair_names_round_trip() {
         for pair in EnginePair::ALL
             .into_iter()
-            .chain([EnginePair::MutatedVsSerial])
+            .chain([EnginePair::MutatedVsSerial, EnginePair::FusedMutatedVsSerial])
         {
             assert_eq!(EnginePair::parse(pair.name()), Some(pair));
         }
@@ -448,6 +552,57 @@ mod tests {
         };
         let m = check_pair(EnginePair::MutatedVsSerial, &case).expect_err("bug must be detected");
         assert!(m.delta > 0.1, "delta was {}", m.delta);
+    }
+
+    #[test]
+    fn fused_merge_order_bug_is_caught() {
+        // RX then RY on one wire: non-commuting, so reversing the merge
+        // order produces a visibly different state. This is also the
+        // shape the shrinker should reduce any larger witness to.
+        let case = FuzzCase {
+            n_qubits: 1,
+            ops: vec![
+                crate::gen::GenOp::Rotation {
+                    gate: plateau_sim::RotationGate::Rx,
+                    qubit: 0,
+                    angle: 1.0,
+                    free: false,
+                },
+                crate::gen::GenOp::Rotation {
+                    gate: plateau_sim::RotationGate::Ry,
+                    qubit: 0,
+                    angle: 0.7,
+                    free: false,
+                },
+            ],
+            obs: crate::gen::ObsSpec::GlobalCost,
+        };
+        let m = check_pair(EnginePair::FusedMutatedVsSerial, &case)
+            .expect_err("merge-order bug must be detected");
+        assert!(m.delta > 0.01, "delta was {}", m.delta);
+
+        // Commuting runs hide the bug: same-axis rotations merge
+        // identically in either order.
+        let commuting = FuzzCase {
+            n_qubits: 1,
+            ops: vec![
+                crate::gen::GenOp::Rotation {
+                    gate: plateau_sim::RotationGate::Rz,
+                    qubit: 0,
+                    angle: 1.0,
+                    free: false,
+                },
+                crate::gen::GenOp::Rotation {
+                    gate: plateau_sim::RotationGate::Rz,
+                    qubit: 0,
+                    angle: 0.7,
+                    free: false,
+                },
+            ],
+            obs: crate::gen::ObsSpec::GlobalCost,
+        };
+        check_pair(EnginePair::FusedMutatedVsSerial, &commuting)
+            .expect("commuting run must not trigger the mutant");
     }
 
     #[test]

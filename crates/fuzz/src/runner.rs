@@ -22,7 +22,8 @@ pub struct FuzzConfig {
     /// Where reproducers are written; `None` disables artifact output.
     pub artifact_dir: Option<PathBuf>,
     /// Mutation self-test mode: run **only** the deliberately broken
-    /// kernel against the serial engine and expect it to be caught.
+    /// engines (the off-by-one kernel and the wrong-order fusion pass)
+    /// against the serial engine and expect both to be caught.
     pub mutate: bool,
 }
 
@@ -97,7 +98,7 @@ impl FuzzReport {
 /// run — the artifact records both numbers.
 pub fn run(config: &FuzzConfig) -> FuzzReport {
     let pairs: &[EnginePair] = if config.mutate {
-        &[EnginePair::MutatedVsSerial]
+        &[EnginePair::MutatedVsSerial, EnginePair::FusedMutatedVsSerial]
     } else {
         &EnginePair::ALL
     };
@@ -198,7 +199,12 @@ mod tests {
         );
         assert_eq!(report.cases, 50);
         // Every always-on pair must have run on every case.
-        for pair in ["serial-vs-parallel", "raw-vs-optimized", "qasm-roundtrip"] {
+        for pair in [
+            "serial-vs-parallel",
+            "raw-vs-optimized",
+            "qasm-roundtrip",
+            "fused-vs-raw",
+        ] {
             assert_eq!(report.stats[pair].comparisons, 50, "{pair}");
         }
         // The gated pairs must have run on a nontrivial subset.
@@ -226,17 +232,25 @@ mod tests {
         let report = run(&no_artifacts(40, 0xfeed, true));
         assert!(
             !report.mismatches.is_empty(),
-            "the injected off-by-one was never caught"
+            "the injected bugs were never caught"
         );
-        let best = report
-            .mismatches
-            .iter()
-            .map(|m| m.shrunk.gate_count())
-            .min()
-            .unwrap();
-        assert!(best <= 8, "smallest reproducer had {best} gates");
+        // Both injected bugs must fire, and each must shrink to a small
+        // reproducer.
+        for pair in [EnginePair::MutatedVsSerial, EnginePair::FusedMutatedVsSerial] {
+            let best = report
+                .mismatches
+                .iter()
+                .filter(|m| m.pair == pair)
+                .map(|m| m.shrunk.gate_count())
+                .min()
+                .unwrap_or_else(|| panic!("{pair} was never caught"));
+            assert!(best <= 8, "{pair}: smallest reproducer had {best} gates");
+        }
         for m in &report.mismatches {
-            assert_eq!(m.pair, EnginePair::MutatedVsSerial);
+            assert!(matches!(
+                m.pair,
+                EnginePair::MutatedVsSerial | EnginePair::FusedMutatedVsSerial
+            ));
             assert!(m.shrunk.gate_count() <= m.original_gates);
             // The shrunk case must itself still fail.
             assert!(crate::engines::check_pair(m.pair, &m.shrunk).is_err());
@@ -257,7 +271,7 @@ mod tests {
         let with_artifact = report
             .mismatches
             .iter()
-            .find(|m| m.artifact.is_some())
+            .find(|m| m.artifact.is_some() && m.pair == EnginePair::MutatedVsSerial)
             .expect("self-test must write at least one artifact");
         let outcome = replay(with_artifact.artifact.as_deref().unwrap()).expect("replay parses");
         assert_eq!(outcome.artifact.pair, EnginePair::MutatedVsSerial);

@@ -1,7 +1,42 @@
 //! The [`GradientEngine`] trait: a uniform interface over the three
 //! differentiation strategies so harnesses can swap engines freely.
 
-use plateau_sim::{Circuit, Observable, SimError};
+use plateau_sim::{Circuit, CompiledCircuit, Observable, SimError};
+
+/// A circuit prepared for repeated evaluation: either the raw op list or,
+/// when the `PLATEAU_SIM_FUSE` knob is on, the gate-fusion compiler's
+/// output. Building one hoists the compile out of evaluation loops — the
+/// compile-once/run-many contract that parameter-shift sweeps and batched
+/// expectation rely on.
+pub(crate) enum Evaluator<'c> {
+    /// Gate-by-gate execution of the original circuit.
+    Raw(&'c Circuit),
+    /// Fused-segment execution of the compiled circuit.
+    Fused(CompiledCircuit),
+}
+
+impl<'c> Evaluator<'c> {
+    /// Prepares `circuit` for evaluation, compiling it when fusion is on.
+    pub(crate) fn new(circuit: &'c Circuit) -> Self {
+        if plateau_sim::fuse_enabled() {
+            Evaluator::Fused(plateau_sim::compile(circuit))
+        } else {
+            Evaluator::Raw(circuit)
+        }
+    }
+
+    /// One cost evaluation `E(θ)`; the same computation (and the same
+    /// `grad.expectation_evals` accounting) as [`expectation`], minus the
+    /// per-call compile.
+    pub(crate) fn expectation(&self, params: &[f64], obs: &Observable) -> Result<f64, SimError> {
+        plateau_obs::counter!("grad.expectation_evals").inc();
+        let state = match self {
+            Evaluator::Raw(circuit) => circuit.run(params)?,
+            Evaluator::Fused(compiled) => compiled.run(params)?,
+        };
+        obs.expectation(&state)
+    }
+}
 
 /// Evaluates the cost `E(θ) = ⟨0|U†(θ) H U(θ)|0⟩`.
 ///
@@ -25,9 +60,7 @@ use plateau_sim::{Circuit, Observable, SimError};
 /// # Ok::<(), plateau_sim::SimError>(())
 /// ```
 pub fn expectation(circuit: &Circuit, params: &[f64], obs: &Observable) -> Result<f64, SimError> {
-    plateau_obs::counter!("grad.expectation_evals").inc();
-    let state = circuit.run(params)?;
-    obs.expectation(&state)
+    Evaluator::new(circuit).expectation(params, obs)
 }
 
 /// Minimum batch size before [`expectation_many`] fans out across the
@@ -79,14 +112,17 @@ pub fn expectation_many(
     }
     plateau_obs::counter!("grad.expectation_batches").inc();
     plateau_obs::histogram!("grad.batch_size").record(param_sets.len() as u64);
+    // Compile once per batch (a no-op when fusion is off) — every
+    // evaluation then reuses the same fused segments.
+    let ev = Evaluator::new(circuit);
     if param_sets.len() >= MIN_PAR_EVALS && plateau_par::worker_count(param_sets.len()) > 1 {
-        plateau_par::par_map_collect(param_sets, |set| expectation(circuit, set, obs))
+        plateau_par::par_map_collect(param_sets, |set| ev.expectation(set, obs))
             .into_iter()
             .collect()
     } else {
         param_sets
             .iter()
-            .map(|set| expectation(circuit, set, obs))
+            .map(|set| ev.expectation(set, obs))
             .collect()
     }
 }

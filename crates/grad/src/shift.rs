@@ -100,18 +100,22 @@ fn push_jobs(circuit: &Circuit, index: usize, jobs: &mut Vec<ShiftJob>) -> Resul
 
 /// Runs the jobs serially through one reusable scratch buffer (no per-
 /// evaluation clone of the parameter vector) and returns the expectation
-/// values in job order. Callers have already validated `params`.
+/// values in job order. Compiles the circuit once up front when fusion is
+/// on — the shift sum re-evaluates one circuit 2k times, so a per-job
+/// compile would hand back most of the fused kernels' win. Callers have
+/// already validated `params`.
 fn eval_jobs_serial(
     circuit: &Circuit,
     params: &[f64],
     obs: &Observable,
     jobs: &[ShiftJob],
 ) -> Result<Vec<f64>, SimError> {
+    let ev = crate::engine::Evaluator::new(circuit);
     let mut scratch = params.to_vec();
     let mut evals = Vec::with_capacity(jobs.len());
     for j in jobs {
         scratch[j.param] = params[j.param] + j.shift;
-        evals.push(crate::engine::expectation(circuit, &scratch, obs)?);
+        evals.push(ev.expectation(&scratch, obs)?);
         scratch[j.param] = params[j.param];
     }
     Ok(evals)

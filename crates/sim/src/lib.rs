@@ -22,6 +22,10 @@
 //! - [`parallel`]: chunked multi-threaded kernel variants engaged above
 //!   the `PLATEAU_SIM_PAR_THRESHOLD` qubit count (default 14), bitwise
 //!   identical to the serial loops regardless of worker count.
+//! - [`fuse`]: the gate-fusion compiler ([`compile`], [`CompiledCircuit`])
+//!   — merges adjacent-gate runs into 2×2/4×4 blocks and whole-layer
+//!   diagonal superkernels, gated by the `PLATEAU_SIM_FUSE` knob
+//!   ([`fuse_enabled`]).
 //!
 //! Qubit ordering is little-endian throughout: qubit `k` is bit `k` of the
 //! amplitude index.
@@ -61,6 +65,7 @@ pub mod circuit;
 pub mod density;
 pub mod diagram;
 pub mod error;
+pub mod fuse;
 pub mod gate;
 pub mod mixed;
 pub mod noise;
@@ -75,6 +80,10 @@ pub mod unitary;
 pub use circuit::{Circuit, Op, Param};
 pub use density::{meyer_wallach, purity, reduced_density_matrix, von_neumann_entropy};
 pub use error::SimError;
+pub use fuse::{
+    compile, fuse_enabled, reset_fuse, set_fuse, CompiledCircuit, Segment,
+    SUPERKERNEL_MAX_QUBITS,
+};
 pub use gate::{FixedGate, RotationGate, TwoQubitRotationGate};
 pub use mixed::{amplitude_damping_kraus, depolarizing_kraus, phase_flip_kraus, DensityMatrix};
 pub use noise::NoiseModel;

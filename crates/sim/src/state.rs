@@ -273,6 +273,193 @@ impl State {
         Ok(())
     }
 
+    /// [`State::apply_single`] variant used by the fusion layer
+    /// ([`crate::fuse`]): same arithmetic per amplitude (so results are
+    /// bit-identical to the plain and parallel kernels), but the serial
+    /// loop is written with stride-1 access ordering and manual 2-way
+    /// unrolling so the compiler can keep two amplitude pairs in flight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::QubitOutOfRange`] for an invalid qubit.
+    pub fn apply_fused_single(&mut self, qubit: usize, m: &[C64; 4]) -> Result<(), SimError> {
+        self.check_qubit(qubit)?;
+        let stride = 1usize << qubit;
+        if crate::parallel::enabled(self.n_qubits) {
+            crate::parallel::apply_single(&mut self.amps, stride, m);
+            return Ok(());
+        }
+        let dim = self.amps.len();
+        if stride == 1 {
+            // Amplitude pairs are adjacent: walk the state front to back,
+            // two pairs (four contiguous amplitudes) per iteration.
+            let mut i = 0;
+            while i + 4 <= dim {
+                let a0 = self.amps[i];
+                let a1 = self.amps[i + 1];
+                let b0 = self.amps[i + 2];
+                let b1 = self.amps[i + 3];
+                self.amps[i] = m[0] * a0 + m[1] * a1;
+                self.amps[i + 1] = m[2] * a0 + m[3] * a1;
+                self.amps[i + 2] = m[0] * b0 + m[1] * b1;
+                self.amps[i + 3] = m[2] * b0 + m[3] * b1;
+                i += 4;
+            }
+            while i < dim {
+                let a0 = self.amps[i];
+                let a1 = self.amps[i + 1];
+                self.amps[i] = m[0] * a0 + m[1] * a1;
+                self.amps[i + 1] = m[2] * a0 + m[3] * a1;
+                i += 2;
+            }
+            return Ok(());
+        }
+        // stride ≥ 2 (always even): both halves of each block are walked
+        // stride-1, two offsets per iteration.
+        let block = stride << 1;
+        let mut base = 0;
+        while base < dim {
+            let mut off = base;
+            while off < base + stride {
+                let i1 = off + stride;
+                let a0 = self.amps[off];
+                let a1 = self.amps[i1];
+                let b0 = self.amps[off + 1];
+                let b1 = self.amps[i1 + 1];
+                self.amps[off] = m[0] * a0 + m[1] * a1;
+                self.amps[i1] = m[2] * a0 + m[3] * a1;
+                self.amps[off + 1] = m[0] * b0 + m[1] * b1;
+                self.amps[i1 + 1] = m[2] * b0 + m[3] * b1;
+                off += 2;
+            }
+            base += block;
+        }
+        Ok(())
+    }
+
+    /// Applies a merged 4×4 in the `|hi, lo⟩` basis (`hi > lo`) — the
+    /// fusion layer's pair sweep. Same quad arithmetic as [`Self::apply_two`]
+    /// with the identity operand permutation, but with the 4×4 product
+    /// fully unrolled on fixed matrix indices so one pass over the state
+    /// replaces two single-qubit sweeps at equal multiply count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::QubitOutOfRange`] / [`SimError::DuplicateQubits`]
+    /// for invalid operands.
+    pub fn apply_fused_pair(
+        &mut self,
+        hi: usize,
+        lo: usize,
+        m: &[C64; 16],
+    ) -> Result<(), SimError> {
+        self.check_distinct(hi, lo)?;
+        debug_assert!(hi > lo, "pair segments store hi > lo");
+        let s_lo = 1usize << lo.min(hi);
+        let s_hi = 1usize << hi.max(lo);
+        if crate::parallel::enabled(self.n_qubits) {
+            crate::parallel::apply_two(&mut self.amps, s_lo, s_hi, &[0, 1, 2, 3], m);
+            return Ok(());
+        }
+        let amps = &mut self.amps;
+        let dim = amps.len();
+        // The mul_add chains below match quad_update's accumulation
+        // exactly, keeping serial and forced-parallel fused runs
+        // bit-identical.
+        macro_rules! quad {
+            ($i:expr, $j:expr, $k:expr, $l:expr) => {{
+                let (i, j, k, l) = ($i, $j, $k, $l);
+                let a = [amps[i], amps[j], amps[k], amps[l]];
+                amps[i] = m[3].mul_add(a[3], m[2].mul_add(a[2], m[1].mul_add(a[1], m[0].mul_add(a[0], C64::ZERO))));
+                amps[j] = m[7].mul_add(a[3], m[6].mul_add(a[2], m[5].mul_add(a[1], m[4].mul_add(a[0], C64::ZERO))));
+                amps[k] = m[11].mul_add(a[3], m[10].mul_add(a[2], m[9].mul_add(a[1], m[8].mul_add(a[0], C64::ZERO))));
+                amps[l] = m[15].mul_add(a[3], m[14].mul_add(a[2], m[13].mul_add(a[1], m[12].mul_add(a[0], C64::ZERO))));
+            }};
+        }
+        if lo == 0 && hi == 1 {
+            // Contiguous quads: one flat front-to-back walk, two quads
+            // (eight amplitudes) per iteration so eight independent
+            // accumulation chains are in flight.
+            let mut i = 0;
+            while i + 8 <= dim {
+                quad!(i, i + 1, i + 2, i + 3);
+                quad!(i + 4, i + 5, i + 6, i + 7);
+                i += 8;
+            }
+            while i + 4 <= dim {
+                quad!(i, i + 1, i + 2, i + 3);
+                i += 4;
+            }
+        } else if hi == lo + 1 {
+            // Adjacent wires: each 4·s block holds s quads at stride s,
+            // walked two offsets per iteration.
+            let s = s_lo;
+            let mut base = 0;
+            while base < dim {
+                let mut i = base;
+                while i + 2 <= base + s {
+                    quad!(i, i + s, i + 2 * s, i + 3 * s);
+                    quad!(i + 1, i + 1 + s, i + 1 + 2 * s, i + 1 + 3 * s);
+                    i += 2;
+                }
+                while i < base + s {
+                    quad!(i, i + s, i + 2 * s, i + 3 * s);
+                    i += 1;
+                }
+                base += s << 2;
+            }
+        } else {
+            let mut base_hi = 0;
+            while base_hi < dim {
+                let mut base_lo = base_hi;
+                while base_lo < base_hi + s_hi {
+                    let mut i = base_lo;
+                    while i + 2 <= base_lo + s_lo {
+                        quad!(i, i + s_lo, i + s_hi, i + s_hi + s_lo);
+                        quad!(i + 1, i + 1 + s_lo, i + 1 + s_hi, i + 1 + s_hi + s_lo);
+                        i += 2;
+                    }
+                    while i < base_lo + s_lo {
+                        quad!(i, i + s_lo, i + s_hi, i + s_hi + s_lo);
+                        i += 1;
+                    }
+                    base_lo += s_lo << 1;
+                }
+                base_hi += s_hi << 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Multiplies the state element-wise by a precomputed full-register
+    /// diagonal — the fusion layer's superkernel sweep (one contiguous
+    /// stride-1 pass, 2-way unrolled).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DimensionMismatch`] if `diag` does not match
+    /// the state dimension.
+    pub fn apply_diagonal(&mut self, diag: &[C64]) -> Result<(), SimError> {
+        let dim = self.amps.len();
+        if diag.len() != dim {
+            return Err(SimError::DimensionMismatch {
+                expected: dim,
+                found: diag.len(),
+            });
+        }
+        let mut i = 0;
+        while i + 2 <= dim {
+            self.amps[i] = self.amps[i] * diag[i];
+            self.amps[i + 1] = self.amps[i + 1] * diag[i + 1];
+            i += 2;
+        }
+        while i < dim {
+            self.amps[i] = self.amps[i] * diag[i];
+            i += 1;
+        }
+        Ok(())
+    }
+
     /// Applies a single-qubit gate controlled on another qubit being `|1⟩`.
     ///
     /// # Errors

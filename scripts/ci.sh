@@ -20,6 +20,13 @@ echo "=== cargo test with forced-parallel sim kernels ==="
 # the serial run above (DESIGN.md §9).
 PLATEAU_SIM_PAR_THRESHOLD=0 cargo test -q --workspace --offline
 
+echo "=== cargo test with gate fusion forced on ==="
+# Run the whole suite through the fusion compiler (DESIGN.md §11): every
+# gradient-layer evaluation compiles circuits into fused segments. Tests
+# that pin exact per-gate counters or span forests opt back out with
+# set_fuse(false).
+PLATEAU_SIM_FUSE=1 cargo test -q --workspace --offline
+
 echo "=== zero-dependency policy check ==="
 violations=$(cargo tree --workspace --offline --prefix none \
     | awk '{print $1}' | sort -u | grep -v '^plateau-' || true)
@@ -55,21 +62,24 @@ rm -f "${trace}"
 echo "=== differential fuzz smoke gate ==="
 # A fixed-seed campaign over the full engine matrix (DESIGN.md §10):
 # serial vs parallel kernels, statevector vs unitary vs density matrix,
-# raw vs pass-optimized, QASM round-trip, and three gradient engines.
-# Any divergence fails the gate and leaves a shrunk reproducer under
-# target/fuzz/ (replay with `plateau fuzz --replay <file>`). The
-# mutation self-test then proves the harness still detects — and shrinks
-# — a deliberately broken kernel.
+# raw vs pass-optimized, fused vs raw, QASM round-trip, and three
+# gradient engines. Any divergence fails the gate and leaves a shrunk
+# reproducer under target/fuzz/ (replay with `plateau fuzz --replay
+# <file>`). The mutation self-test then proves the harness still detects
+# — and shrinks — both deliberately broken engines (the off-by-one
+# kernel and the wrong-order fusion merge).
 cargo run -q --release --offline -p plateau-cli -- fuzz \
     --cases "${PLATEAU_FUZZ_CASES:-500}" --seed 0xfeed
 cargo run -q --release --offline -p plateau-cli -- fuzz \
     --cases 40 --seed 0xfeed --mutate true --artifacts "$(mktemp -d)"
 
-echo "=== sim parallel speedup gate ==="
-# The 10-qubit 5-layer parameter-shift training step, serial vs pooled:
-# on multi-core machines the parallel median must at least break even
-# (tolerance PLATEAU_SIM_PAR_TOL, default 1.10). Recorded baseline lives
-# in benchmarks/BENCH_sim_parallel.json (re-record with --record).
+echo "=== sim parallel + fusion speedup gates ==="
+# The 10-qubit 5-layer parameter-shift training step, serial vs pooled vs
+# fused: on multi-core machines the parallel median must at least break
+# even (tolerance PLATEAU_SIM_PAR_TOL, default 1.10), and on any machine
+# the fused median must beat raw serial by at least PLATEAU_SIM_FUSE_TOL
+# (default 2.0). Recorded baseline lives in
+# benchmarks/BENCH_sim_parallel.json (re-record with --record).
 cargo run -q --release --offline -p plateau-bench --bin sim_parallel_gate
 
 echo "CI gate passed."

@@ -74,12 +74,21 @@ fn mutation_self_test_shrinks_and_replays_from_disk() {
         "shrinking stalled: smallest reproducer has {smallest} gates"
     );
 
+    // Both injected bugs — the off-by-one kernel and the wrong-order
+    // fusion merge — must be caught independently.
+    for pair in [EnginePair::MutatedVsSerial, EnginePair::FusedMutatedVsSerial] {
+        assert!(
+            report.mismatches.iter().any(|m| m.pair == pair),
+            "{pair} was never caught"
+        );
+    }
+
     // Round-trip a reproducer through disk: replay must rebuild the exact
     // engine pair and still observe the divergence.
     let found = report
         .mismatches
         .iter()
-        .find(|m| m.artifact.is_some())
+        .find(|m| m.artifact.is_some() && m.pair == EnginePair::MutatedVsSerial)
         .expect("artifacts enabled, so at least one must be written");
     let outcome = replay(found.artifact.as_deref().unwrap()).expect("artifact parses");
     assert_eq!(outcome.artifact.pair, EnginePair::MutatedVsSerial);

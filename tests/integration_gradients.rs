@@ -95,6 +95,121 @@ fn gradients_agree_for_arbitrary_angles() {
     );
 }
 
+/// Serializes the tests that toggle the process-global fusion knob, so
+/// they cannot race each other (the knob is per-process, the test binary
+/// runs tests on multiple threads).
+static FUSE_GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Regression pin for adjoint differentiation over fused circuits: on
+/// the paper's Fig 5b training configuration (scaled to a debug-build
+/// size), the fused adjoint gradient must match gate-by-gate
+/// parameter-shift values to 1e-10 for both cost functions.
+#[test]
+fn fused_adjoint_matches_parameter_shift_on_fig5b_ansatz() {
+    let _guard = FUSE_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    let ansatz = training_ansatz(6, 4).expect("ansatz");
+    let params: Vec<f64> = (0..ansatz.circuit.n_params())
+        .map(|i| ((i * 41 % 23) as f64) * 0.27 - 2.9)
+        .collect();
+    for cost in [CostKind::Global, CostKind::Local] {
+        let obs = cost.observable(6);
+        // Parameter-shift reference with fusion off.
+        plateau_sim::set_fuse(false);
+        let shift = ParameterShift
+            .gradient(&ansatz.circuit, &params, &obs)
+            .expect("shift");
+        // Adjoint over the compiled circuit with fusion on.
+        plateau_sim::set_fuse(true);
+        let fused = Adjoint.gradient(&ansatz.circuit, &params, &obs).expect("fused adjoint");
+        plateau_sim::reset_fuse();
+        for i in 0..params.len() {
+            assert!(
+                (fused[i] - shift[i]).abs() < 1e-10,
+                "{cost} param {i}: fused {} vs shift {}",
+                fused[i],
+                shift[i]
+            );
+        }
+    }
+}
+
+/// The paper's headline artifacts — variance-scan curves and the
+/// `BarrenPlateauAlarm` event stream during training — must be stable
+/// when fusion is toggled at a fixed seed: same alarm iterations, and
+/// variances equal to within the fused kernels' reassociation slack.
+#[test]
+fn variance_scan_and_plateau_alarm_are_stable_under_fusion() {
+    let _guard = FUSE_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    use plateau_core::init::InitStrategy;
+    use plateau_core::optim::GradientDescent;
+    use plateau_core::train::{train_with_alarm, BarrenPlateauAlarm};
+    use plateau_core::variance::{variance_scan, VarianceConfig};
+
+    let cfg = VarianceConfig {
+        qubit_counts: vec![2, 3],
+        layers: 4,
+        n_circuits: 6,
+        seed: 0xf0e5,
+        ..VarianceConfig::default()
+    };
+    let strategies = [InitStrategy::Random, InitStrategy::He];
+
+    let run_scan = || {
+        variance_scan(&cfg, &strategies)
+            .expect("scan")
+            .curves
+            .iter()
+            .flat_map(|c| c.points.iter().map(|p| p.variance))
+            .collect::<Vec<f64>>()
+    };
+    let run_training = || {
+        let ansatz = training_ansatz(4, 3).expect("ansatz");
+        let obs = CostKind::Global.observable(4);
+        // Angles big enough to wander through flat regions and trip the
+        // alarm deterministically.
+        let theta0: Vec<f64> = (0..ansatz.circuit.n_params())
+            .map(|i| ((i * 13 % 7) as f64) * 0.4 - 1.1)
+            .collect();
+        let mut opt = GradientDescent::new(0.05).expect("optimizer");
+        let alarm = BarrenPlateauAlarm::default();
+        train_with_alarm(&ansatz.circuit, &obs, theta0, &mut opt, 12, &Adjoint, &alarm)
+            .expect("training")
+    };
+
+    plateau_sim::set_fuse(false);
+    let raw_vars = run_scan();
+    let raw_hist = run_training();
+    plateau_sim::set_fuse(true);
+    let fused_vars = run_scan();
+    let fused_hist = run_training();
+    plateau_sim::reset_fuse();
+
+    assert_eq!(raw_vars.len(), fused_vars.len());
+    for (r, f) in raw_vars.iter().zip(&fused_vars) {
+        // Same seed → same circuits → identical statistics up to the
+        // fused kernels' floating-point reassociation.
+        assert!(
+            (r - f).abs() <= 1e-12 * r.abs().max(1.0),
+            "variance drifted under fusion: {r} vs {f}"
+        );
+    }
+    // Alarm decisions are thresholded bits: the event stream (which
+    // iterations fired) must be *identical*; the recorded norms may only
+    // differ by reassociation slack.
+    let raw_alarms = raw_hist.plateau_alarms();
+    let fused_alarms = fused_hist.plateau_alarms();
+    assert_eq!(
+        raw_alarms.iter().map(|a| a.iteration).collect::<Vec<_>>(),
+        fused_alarms.iter().map(|a| a.iteration).collect::<Vec<_>>()
+    );
+    for (r, f) in raw_alarms.iter().zip(fused_alarms) {
+        assert!((r.grad_norm - f.grad_norm).abs() <= 1e-12);
+    }
+    for (r, f) in raw_hist.losses().iter().zip(fused_hist.losses()) {
+        assert!((r - f).abs() <= 1e-12 * r.abs().max(1.0));
+    }
+}
+
 /// Gradients are 2π-periodic in every parameter.
 #[test]
 fn gradient_is_two_pi_periodic() {

@@ -50,6 +50,9 @@ fn variance_scan_gate_counters_match_analytic_counts() {
     let _guard = plateau_obs::test_lock();
     plateau_obs::set_metrics_enabled(true);
     plateau_obs::metrics::reset();
+    // The analytic per-gate counts below assume gate-by-gate execution;
+    // pin fusion off so the suite also passes under PLATEAU_SIM_FUSE=1.
+    plateau_sim::set_fuse(false);
 
     let qubits = [2usize, 3];
     let (circuits, layers) = (4usize, 5usize);
@@ -82,6 +85,7 @@ fn variance_scan_gate_counters_match_analytic_counts() {
     // One statevector allocation per circuit execution.
     assert_eq!(snap.counter("sim.state.allocations"), Some(evals));
 
+    plateau_sim::reset_fuse();
     plateau_obs::metrics::reset();
     plateau_obs::set_metrics_enabled(false);
 }
@@ -219,6 +223,10 @@ fn jsonl_records_round_trip_through_the_parser() {
 fn live_trace_carries_span_ids_and_reconstructs_exactly() {
     let _guard = plateau_obs::test_lock();
     plateau_obs::metrics::reset();
+    // The span forest below is pinned exactly (scan → cells, nothing
+    // else); fused kernels add sim.fuse.* spans, so pin fusion off to
+    // keep this test meaningful under PLATEAU_SIM_FUSE=1.
+    plateau_sim::set_fuse(false);
     let path = std::env::temp_dir().join(format!(
         "plateau-obs-profile-{}.jsonl",
         std::process::id()
@@ -274,6 +282,7 @@ fn live_trace_carries_span_ids_and_reconstructs_exactly() {
     for needle in ["variance_cell", "p50", "p90", "p99", "self%"] {
         assert!(report.contains(needle), "missing {needle:?} in:\n{report}");
     }
+    plateau_sim::reset_fuse();
 }
 
 #[test]
