@@ -6,6 +6,10 @@
 //! `scripts/ci.sh` uses for its fresh trace — with the JSONL sink enabled,
 //! then aggregates the trace and writes a `trace_baseline` document.
 //!
+//! Fusion is pinned ON (the production configuration since the gate-fusion
+//! compiler landed), matching the `PLATEAU_SIM_FUSE=1` environment of the
+//! CI obs-diff gate, so the baseline carries the `sim.fuse.*` span names.
+//!
 //! Usage: `cargo run -p plateau-bench --bin obs_trace_baseline -- \
 //!         [benchmarks/OBS_trace_baseline.json]`
 //! (default output path shown). Re-record whenever the gate workload or
@@ -34,6 +38,7 @@ fn main() {
 
     let trace_path =
         std::env::temp_dir().join(format!("plateau_obs_baseline_{}.jsonl", std::process::id()));
+    plateau_sim::set_fuse(true);
     plateau_obs::set_log_level(plateau_obs::Level::Warn);
     plateau_obs::init(None, Some(&trace_path)).expect("open trace sink");
     plateau_obs::emit_manifest(

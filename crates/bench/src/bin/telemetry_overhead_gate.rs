@@ -1,0 +1,199 @@
+//! CI gate for the gradient-dynamics telemetry in the training loop:
+//! recording must be cheap when on and invisible when off.
+//!
+//! Three checks, any failure exits non-zero:
+//!
+//! 1. **Allocation parity.** Counted through a wrapping global allocator,
+//!    `train_instrumented` with telemetry disabled performs exactly as
+//!    many heap allocations as the plain `train` baseline — the disabled
+//!    telemetry path is allocation-free.
+//! 2. **Steady-state.** With telemetry disabled, the per-iteration
+//!    allocation count is constant: growing the iteration budget adds a
+//!    fixed number of allocations per extra step, so no per-step telemetry
+//!    state accumulates behind the knob.
+//! 3. **Wall overhead.** Interleaved repetitions of the same training run
+//!    with series recording on and off; the on/off median ratio must stay
+//!    below `PLATEAU_TELEMETRY_OVERHEAD_FACTOR` (default 1.02, i.e. < 2%).
+
+use plateau_core::ansatz::training_ansatz;
+use plateau_core::cost::CostKind;
+use plateau_core::init::InitStrategy;
+use plateau_core::optim::Adam;
+use plateau_core::train::{
+    train, train_instrumented, BarrenPlateauAlarm, TrainRun, TrainTelemetry,
+};
+use plateau_grad::Adjoint;
+use plateau_rng::rngs::StdRng;
+use plateau_rng::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Wraps the system allocator with an allocation counter. The bench
+/// *library* forbids `unsafe`; this standalone gate binary is the one
+/// place the allocator seam is allowed.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+struct Workload {
+    circuit: plateau_sim::Circuit,
+    observable: plateau_sim::Observable,
+    theta0: Vec<f64>,
+    params_per_layer: usize,
+}
+
+fn workload(qubits: usize, layers: usize) -> Workload {
+    let ansatz = training_ansatz(qubits, layers).expect("ansatz");
+    let mut rng = StdRng::seed_from_u64(7);
+    let theta0 = InitStrategy::XavierNormal
+        .sample_params(&ansatz.shape, plateau_core::init::FanMode::TensorShape, &mut rng)
+        .expect("init");
+    Workload {
+        circuit: ansatz.circuit,
+        observable: CostKind::Global.observable(qubits),
+        theta0,
+        params_per_layer: ansatz.shape.params_per_layer(),
+    }
+}
+
+fn run_instrumented(w: &Workload, iterations: usize, record: bool) -> TrainRun {
+    let mut adam = Adam::new(0.1).expect("adam");
+    let telemetry = TrainTelemetry {
+        params_per_layer: Some(w.params_per_layer),
+        // No decimation in the measured window: capacity covers every row.
+        series_capacity: iterations.max(2),
+        record_series: record,
+        run: None,
+    };
+    train_instrumented(
+        &w.circuit,
+        &w.observable,
+        w.theta0.clone(),
+        &mut adam,
+        iterations,
+        &Adjoint,
+        &BarrenPlateauAlarm::default(),
+        telemetry,
+    )
+    .expect("train")
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    // The gate measures the telemetry seam itself: metrics registry off,
+    // ledger off, single-threaded so allocation counts are deterministic.
+    std::env::remove_var("PLATEAU_METRICS");
+    std::env::remove_var("PLATEAU_METRICS_OUT");
+    std::env::remove_var("PLATEAU_LEDGER");
+    std::env::set_var("PLATEAU_THREADS", "1");
+    plateau_obs::set_log_level(plateau_obs::Level::Off);
+    plateau_obs::set_metrics_enabled(false);
+
+    let w = workload(6, 4);
+
+    // Warm up every lazy path (pool, knob caches, allocator pools) at the
+    // same iteration counts the checks below measure, so first-use state
+    // isn't charged to whichever arm happens to run first.
+    for n in [20usize, 40, 60] {
+        run_instrumented(&w, n, false);
+    }
+    run_instrumented(&w, 20, true);
+    train(&w.circuit, &w.observable, w.theta0.clone(), &mut Adam::new(0.1).unwrap(), 20)
+        .expect("train");
+
+    // Check 1: telemetry-off and the plain baseline allocate identically.
+    let count = |f: &dyn Fn()| {
+        let before = allocations();
+        f();
+        allocations() - before
+    };
+    let iters = 20usize;
+    let plain = count(&|| {
+        train(&w.circuit, &w.observable, w.theta0.clone(), &mut Adam::new(0.1).unwrap(), iters)
+            .map(|_| ())
+            .expect("train");
+    });
+    let disabled = count(&|| {
+        run_instrumented(&w, iters, false);
+    });
+    println!("# allocations over {iters} iterations: plain {plain}, telemetry-off {disabled}");
+    assert_eq!(
+        disabled, plain,
+        "telemetry-off training must be allocation-free relative to the baseline"
+    );
+
+    // Check 2: the disabled path's marginal allocations per iteration are
+    // constant — nothing accumulates per step behind the telemetry knob.
+    let at = |n: usize| count(&|| {
+        run_instrumented(&w, n, false);
+    });
+    let (a20, a40, a60) = (at(20), at(40), at(60));
+    println!("# telemetry-off allocations: 20 iters {a20}, 40 iters {a40}, 60 iters {a60}");
+    assert_eq!(
+        a40 - a20,
+        a60 - a40,
+        "per-iteration allocation count must be constant with telemetry off"
+    );
+
+    // Check 3: series recording costs < 2% wall time on the training step.
+    let factor: f64 = std::env::var("PLATEAU_TELEMETRY_OVERHEAD_FACTOR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.02);
+    let (bench_iters, repeats) = (40usize, 15usize);
+    let mut off_ns = Vec::with_capacity(repeats);
+    let mut on_ns = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        // Interleave so drift (thermal, scheduler) hits both arms equally.
+        let t = Instant::now();
+        run_instrumented(&w, bench_iters, false);
+        off_ns.push(t.elapsed().as_nanos() as f64);
+        let t = Instant::now();
+        run_instrumented(&w, bench_iters, true);
+        on_ns.push(t.elapsed().as_nanos() as f64);
+    }
+    let off = median(&mut off_ns);
+    let on = median(&mut on_ns);
+    let ratio = on / off;
+    let verdict = if ratio <= factor { "ok" } else { "REGRESSION" };
+    println!(
+        "# recording-on median {on:.0} ns vs off {off:.0} ns (x{ratio:.4}, limit x{factor:.2}) {verdict}"
+    );
+    if ratio > factor {
+        eprintln!(
+            "telemetry overhead gate FAILED: series recording costs {:.2}% (limit {:.2}%)",
+            (ratio - 1.0) * 100.0,
+            (factor - 1.0) * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("# telemetry overhead gate passed");
+}

@@ -16,12 +16,19 @@
 //! plateau classify  [--qubits 3] [--layers 3] [--samples 120] [--epochs 60] [--strategy S]
 //! plateau fuzz      [--cases 200] [--seed 0xfeed] [--max-qubits 8]
 //!                   [--artifacts target/fuzz] [--mutate true] [--replay PATH]
-//! plateau obs report --trace run.jsonl [--top N]
+//! plateau obs report --trace run.jsonl [--top N] [--filter prefix]
 //! plateau obs flame  --trace run.jsonl --out flame.svg [--collapsed stacks.txt]
 //! plateau obs diff   <base> <new> [--threshold 0.2]   (sides: traces or baselines)
 //! plateau obs baseline --trace run.jsonl [--out baseline.json]
+//! plateau obs runs   list | show [ID] | compare [A B]
+//!                    [--dir target/obs] [--svg plot.svg]
 //! plateau help
 //! ```
+//!
+//! Every subcommand also accepts `--ledger DIR|on|off`: with the ledger
+//! on, experiments (train, vqe, classify, variance) append a run record
+//! plus a gradient-dynamics time series under the ledger directory, which
+//! `plateau obs runs` then lists, shows, and compares.
 
 mod args;
 
@@ -32,7 +39,7 @@ use plateau_core::cost::CostKind;
 use plateau_core::init::{FanMode, InitStrategy};
 use plateau_core::landscape::{landscape_grid, LandscapeConfig};
 use plateau_core::optim::{Adam, AdaGrad, GradientDescent, Momentum, Optimizer, RmsProp};
-use plateau_core::train::train;
+use plateau_core::train::{train_instrumented, TrainTelemetry};
 use plateau_core::variance::{variance_scan, GradEngineKind, VarianceConfig};
 use std::error::Error;
 use std::process::ExitCode;
@@ -49,7 +56,7 @@ fn main() -> ExitCode {
 }
 
 /// Global flags accepted by every subcommand, on top of its own list.
-const GLOBAL_FLAGS: &[&str] = &["log", "metrics-out"];
+const GLOBAL_FLAGS: &[&str] = &["log", "metrics-out", "ledger"];
 
 /// Applies `--log` / `--metrics-out` and stamps the run manifest. Must run
 /// before the subcommand so its spans and counters are recorded.
@@ -63,6 +70,17 @@ fn init_observability(parsed: &ParsedArgs, argv: &[String]) -> Result<(), Box<dy
     let metrics_out = parsed.opt_str("metrics-out").map(std::path::PathBuf::from);
     plateau_obs::init(level, metrics_out.as_deref())
         .map_err(|e| format!("failed to open --metrics-out sink: {e}"))?;
+
+    // --ledger mirrors the PLATEAU_LEDGER grammar and wins over it.
+    if let Some(raw) = parsed.opt_str("ledger") {
+        match raw.trim() {
+            "" | "0" | "false" | "off" | "no" => plateau_obs::set_ledger_dir(None),
+            "1" | "true" | "on" | "yes" => plateau_obs::set_ledger_dir(Some(
+                std::path::Path::new(plateau_obs::ledger::DEFAULT_DIR),
+            )),
+            dir => plateau_obs::set_ledger_dir(Some(std::path::Path::new(dir))),
+        }
+    }
 
     let command = format!("plateau {}", argv.join(" "));
     let config = parsed
@@ -132,11 +150,17 @@ fn print_help() {
          \x20            replayable reproducers under target/fuzz/\n\
          \x20            [--cases N] [--seed S (hex ok)] [--max-qubits N]\n\
          \x20            [--artifacts DIR] [--mutate true] [--replay PATH]\n\
-         \x20 obs        trace profiler: report | flame | diff | baseline\n\
-         \x20            report   --trace run.jsonl [--top N]      self-time ranking\n\
+         \x20 obs        trace profiler + experiment ledger\n\
+         \x20            report   --trace run.jsonl [--top N] [--filter PREFIX]\n\
+         \x20                     self-time ranking (optionally restricted to one\n\
+         \x20                     span-name prefix, e.g. --filter sim.)\n\
          \x20            flame    --trace run.jsonl --out f.svg    SVG flamegraph\n\
          \x20            diff     BASE NEW [--threshold 0.2]       regression gate\n\
          \x20            baseline --trace run.jsonl [--out b.json] committable baseline\n\
+         \x20            runs     list | show [ID] | compare [A B]\n\
+         \x20                     [--dir target/obs] [--svg plot.svg]\n\
+         \x20                     registry of ledger-recorded experiments: run-to-run\n\
+         \x20                     metric deltas, gradient-decay slopes, SVG overlays\n\
          \x20 help       this message\n\
          \n\
          run `plateau <subcommand> --flag value …`; see crate docs for flags.\n\
@@ -145,7 +169,10 @@ fn print_help() {
          \x20 --log LEVEL         stderr verbosity: off|error|warn|info|debug|trace\n\
          \x20                     (defaults to the PLATEAU_LOG environment variable)\n\
          \x20 --metrics-out PATH  write spans, events, the run manifest, and a final\n\
-         \x20                     metrics snapshot as JSON lines to PATH"
+         \x20                     metrics snapshot as JSON lines to PATH\n\
+         \x20 --ledger DIR|on|off append experiment run records + gradient-dynamics\n\
+         \x20                     series under DIR (on = target/obs; same grammar as\n\
+         \x20                     the PLATEAU_LEDGER environment variable)"
     );
 }
 
@@ -199,7 +226,7 @@ fn check_flags(parsed: &ParsedArgs, known: &[&str]) -> Result<(), Box<dyn Error>
 fn cmd_variance(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
     check_flags(
         parsed,
-        &["qubits", "layers", "circuits", "cost", "fan", "engine", "seed", "fuse"],
+        &["qubits", "layers", "circuits", "cost", "fan", "engine", "seed", "fuse", "strategies"],
     )?;
     if parsed.get("fuse", false)? {
         plateau_sim::set_fuse(true);
@@ -221,17 +248,29 @@ fn cmd_variance(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
         ..VarianceConfig::default()
     };
 
-    let scan = variance_scan(&config, &InitStrategy::PAPER_SET)?;
+    let strategies: Vec<InitStrategy> = match parsed.opt_str("strategies") {
+        Some(raw) => raw
+            .split(',')
+            .map(|s| parse_strategy(s.trim()))
+            .collect::<Result<_, _>>()?,
+        None => InitStrategy::PAPER_SET.to_vec(),
+    };
+
+    let scan = variance_scan(&config, &strategies)?;
     println!("strategy,{}", config.qubit_counts.iter().map(|q| format!("q{q}")).collect::<Vec<_>>().join(","));
     for curve in &scan.curves {
         let vars: Vec<String> = curve.points.iter().map(|p| format!("{:.6e}", p.variance)).collect();
         println!("{},{}", curve.strategy.name(), vars.join(","));
     }
-    println!("\nstrategy,decay_rate,improvement_vs_random_pct");
-    let base = scan.curve_of(InitStrategy::Random).expect("random in PAPER_SET").decay_fit()?;
-    println!("random,{:.4},0.0", base.rate);
-    for imp in scan.improvements_vs(InitStrategy::Random)? {
-        println!("{},{:.4},{:.1}", imp.strategy.name(), imp.decay_rate, imp.improvement_percent);
+    // The improvement table needs the random baseline in the scan; a
+    // --strategies subset without it still gets the variance rows above.
+    if scan.curve_of(InitStrategy::Random).is_some() {
+        println!("\nstrategy,decay_rate,improvement_vs_random_pct");
+        let base = scan.curve_of(InitStrategy::Random).expect("checked above").decay_fit()?;
+        println!("random,{:.4},0.0", base.rate);
+        for imp in scan.improvements_vs(InitStrategy::Random)? {
+            println!("{},{:.4},{:.1}", imp.strategy.name(), imp.decay_rate, imp.improvement_percent);
+        }
     }
     Ok(())
 }
@@ -273,7 +312,34 @@ fn cmd_train(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
         ansatz.circuit.gate_count(),
         ansatz.circuit.n_params()
     );
-    let hist = train(&ansatz.circuit, &obs, theta0, optimizer.as_mut(), iterations)?;
+    // With the ledger on, run the instrumented loop so the run is
+    // registered with its gradient-dynamics series; otherwise this is
+    // exactly `train`.
+    let telemetry = if plateau_obs::ledger_enabled() {
+        use plateau_obs::json::Json;
+        let rec = plateau_obs::RunRecord::new("train")
+            .config("qubits", Json::from(n_qubits))
+            .config("layers", Json::from(layers))
+            .config("iterations", Json::from(iterations))
+            .config("strategy", Json::str(strategy.name()))
+            .config("optimizer", Json::str(opt_name.as_str()))
+            .config("lr", Json::from(lr))
+            .seed(seed);
+        TrainTelemetry::for_run(rec, ansatz.shape.params_per_layer())
+    } else {
+        TrainTelemetry::default()
+    };
+    let run = train_instrumented(
+        &ansatz.circuit,
+        &obs,
+        theta0,
+        optimizer.as_mut(),
+        iterations,
+        &plateau_grad::Adjoint,
+        &plateau_core::train::BarrenPlateauAlarm::default(),
+        telemetry,
+    )?;
+    let hist = &run.history;
     println!("iteration,loss,grad_norm");
     for (i, loss) in hist.losses().iter().enumerate() {
         let g = if i == 0 {
@@ -284,6 +350,9 @@ fn cmd_train(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
         println!("{i},{loss:.6e},{g}");
     }
     println!("# final cost: {:.6e}", hist.final_loss());
+    if let Some(id) = &run.run_id {
+        println!("# ledger run: {id}");
+    }
     Ok(())
 }
 
@@ -543,15 +612,19 @@ fn cmd_obs(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
     let sub = parsed
         .positionals()
         .first()
-        .ok_or("obs needs a subcommand: report|flame|diff|baseline")?;
+        .ok_or("obs needs a subcommand: report|flame|diff|baseline|runs")?;
     match sub.as_str() {
         "report" => {
-            check_flags(parsed, &["trace", "top"])?;
+            check_flags(parsed, &["trace", "top", "filter"])?;
             let top = parsed.get("top", 20usize)?;
-            let analysis = Analysis::of(&required_trace()?);
+            let mut analysis = Analysis::of(&required_trace()?);
+            if let Some(prefix) = parsed.opt_str("filter") {
+                analysis = analysis.filter_prefix(&prefix);
+            }
             print!("{}", analysis.render_report(top));
             Ok(())
         }
+        "runs" => cmd_obs_runs(parsed),
         "flame" => {
             check_flags(parsed, &["trace", "out", "collapsed"])?;
             let out = parsed.get_str("out", "flame.svg");
@@ -605,7 +678,86 @@ fn cmd_obs(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
             }
             Ok(())
         }
-        other => Err(format!("unknown obs subcommand {other:?} (report|flame|diff|baseline)").into()),
+        other => Err(
+            format!("unknown obs subcommand {other:?} (report|flame|diff|baseline|runs)").into(),
+        ),
+    }
+}
+
+/// `plateau obs runs` — the run registry. `list` tables every ledger
+/// record, `show` details one run (default: latest), `compare` prints
+/// metric deltas and per-column gradient-decay slopes between two runs
+/// (default: the two most recent). `--svg` additionally renders the
+/// series as a self-contained SVG line plot.
+fn cmd_obs_runs(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
+    use plateau_obs::runs::{render_show, series_svg, Ledger, RunComparison};
+    check_flags(parsed, &["dir", "svg"])?;
+
+    let dir = std::path::PathBuf::from(match parsed.opt_str("dir") {
+        Some(d) => d,
+        None => plateau_obs::ledger::ledger_dir()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| plateau_obs::ledger::DEFAULT_DIR.to_string()),
+    });
+    let ledger = Ledger::load(&dir)?;
+    for w in &ledger.warnings {
+        plateau_obs::warn!("{}: {w}", dir.display());
+    }
+
+    let action = parsed.positionals().get(1).map_or("list", String::as_str);
+    match action {
+        "list" => {
+            print!("{}", ledger.render_list());
+            Ok(())
+        }
+        "show" => {
+            let run = match parsed.positionals().get(2) {
+                Some(id) => ledger.find(id)?,
+                None => ledger.latest(),
+            };
+            print!("{}", render_show(run));
+            if let Some(out) = parsed.opt_str("svg") {
+                let series = match run.load_series() {
+                    Some(Ok(s)) => s,
+                    Some(Err(e)) => return Err(format!("run {}: {e}", run.id).into()),
+                    None => {
+                        return Err(format!("run {} has no series for --svg", run.id).into())
+                    }
+                };
+                let curves: Vec<(String, Vec<(f64, f64)>)> = series
+                    .columns()
+                    .iter()
+                    .filter_map(|c| series.column(c).map(|pts| (c.clone(), pts)))
+                    .filter(|(_, pts)| !pts.is_empty())
+                    .collect();
+                std::fs::write(&out, series_svg(&format!("run {}", run.id), &curves))
+                    .map_err(|e| format!("cannot write {out}: {e}"))?;
+                println!("# wrote {out}");
+            }
+            Ok(())
+        }
+        "compare" => {
+            let (a, b) = match (parsed.positionals().get(2), parsed.positionals().get(3)) {
+                (Some(a), Some(b)) => (ledger.find(a)?, ledger.find(b)?),
+                (None, None) => {
+                    let n = ledger.runs.len();
+                    if n < 2 {
+                        return Err("obs runs compare needs two runs in the ledger".into());
+                    }
+                    (&ledger.runs[n - 2], &ledger.runs[n - 1])
+                }
+                _ => return Err("obs runs compare takes zero or two run ids".into()),
+            };
+            let cmp = RunComparison::of(a, b);
+            print!("{}", cmp.render());
+            if let Some(out) = parsed.opt_str("svg") {
+                std::fs::write(&out, cmp.to_svg())
+                    .map_err(|e| format!("cannot write {out}: {e}"))?;
+                println!("# wrote {out}");
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown obs runs action {other:?} (list|show|compare)").into()),
     }
 }
 

@@ -10,6 +10,21 @@
 //! `plateau-obs` and the occurrence is recorded in
 //! [`TrainingHistory::plateau_alarms`].
 //!
+//! On top of the one-shot alarm sits an *online early-warning score*
+//! ([`PlateauScore`]): the OLS slope of the log gradient-component
+//! variance over a rolling window. A plateau announces itself as a flat
+//! or decaying log-variance trend at tiny norms *before* the alarm's
+//! streak completes; the score is recorded per iteration in
+//! [`TrainingHistory::bp_scores`], published as the `train.bp_score`
+//! gauge, and surfaced once per run as a `bp_early_warning` event.
+//!
+//! [`train_instrumented`] extends the loop with gradient-dynamics
+//! telemetry: a bounded [`TimeSeries`] of loss / gradient norm / BP score
+//! / per-layer gradient variances, and an experiment-ledger record (see
+//! `plateau_obs::ledger`) tying the run's config, seed, and final metrics
+//! to that series. Both are strictly opt-in: with telemetry off the loop
+//! allocates nothing beyond what [`train`] always did.
+//!
 //! # Examples
 //!
 //! ```
@@ -29,7 +44,8 @@
 
 use crate::error::CoreError;
 use crate::optim::Optimizer;
-use plateau_grad::{expectation, Adjoint, GradientEngine};
+use plateau_grad::{expectation, layer_grad_variances_into, Adjoint, GradientEngine};
+use plateau_obs::{RunRecord, TimeSeries};
 use plateau_sim::{Circuit, Observable};
 
 /// One firing of the [`BarrenPlateauAlarm`]: the iteration at which a
@@ -91,6 +107,85 @@ impl BarrenPlateauAlarm {
     }
 }
 
+/// Window (in iterations) over which [`PlateauScore`] fits its rolling
+/// log-variance slope. Matches the default alarm window so the score
+/// matures exactly when the alarm could first fire.
+pub const BP_SCORE_WINDOW: usize = 8;
+
+/// Gradient-norm ceiling for the `bp_early_warning` event: the slope test
+/// only means "plateau" when gradients are already small (10× the default
+/// alarm threshold), not during an ordinary descent whose log-variance
+/// also trends down.
+pub const BP_WARN_NORM: f64 = 1e-3;
+
+/// Slope ceiling for the `bp_early_warning` event: a healthy escape shows
+/// clearly *growing* variance, so anything at or below this weakly
+/// positive slope counts as flat-or-decaying.
+pub const BP_WARN_SLOPE: f64 = 0.05;
+
+/// Online barren-plateau early-warning score.
+///
+/// Feeds the population variance of each iteration's gradient components
+/// into a rolling window of `ln(variance)` values and reports the OLS
+/// slope of that window (via `plateau_stats::fit_line`) — the same
+/// log-linear decay fit the paper applies across qubit counts, here
+/// applied across iterations of a single run. A near-zero or negative
+/// slope at small gradient norms is the operational "heading into a
+/// plateau" signature, and unlike [`BarrenPlateauAlarm`]'s binary streak
+/// it grades *how fast* the variance is collapsing.
+///
+/// The window is preallocated: `observe` is allocation-free after
+/// construction, fit included.
+#[derive(Debug, Clone)]
+pub struct PlateauScore {
+    window: usize,
+    /// Precomputed abscissae `0..window` for the rolling fit.
+    xs: Vec<f64>,
+    log_vars: Vec<f64>,
+}
+
+impl PlateauScore {
+    /// Floor applied to the variance before the log, so an exactly-zero
+    /// gradient (deep plateau) yields a large-negative but finite value
+    /// instead of `-inf` (which would poison the fit).
+    const VAR_FLOOR: f64 = 1e-300;
+
+    /// A score with the given rolling window (clamped to at least 2, the
+    /// minimum a line fit needs).
+    pub fn new(window: usize) -> PlateauScore {
+        let window = window.max(2);
+        PlateauScore {
+            window,
+            xs: (0..window).map(|i| i as f64).collect(),
+            log_vars: Vec::with_capacity(window),
+        }
+    }
+
+    /// Feeds one iteration's gradient and returns the current rolling
+    /// slope, or `NaN` until the window has filled (or when the gradient
+    /// is empty / non-finite).
+    pub fn observe(&mut self, gradient: &[f64]) -> f64 {
+        if gradient.is_empty() {
+            return f64::NAN;
+        }
+        let n = gradient.len() as f64;
+        let mean = gradient.iter().sum::<f64>() / n;
+        let var = gradient.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / n;
+        if self.log_vars.len() == self.window {
+            // O(window) shift within preallocated storage; no realloc.
+            self.log_vars.remove(0);
+        }
+        self.log_vars.push(var.max(Self::VAR_FLOOR).ln());
+        if self.log_vars.len() < self.window {
+            return f64::NAN;
+        }
+        match plateau_stats::fit_line(&self.xs, &self.log_vars) {
+            Ok(fit) => fit.slope,
+            Err(_) => f64::NAN,
+        }
+    }
+}
+
 /// The recorded trajectory of one training run.
 ///
 /// Guaranteed non-empty: every constructor validates that there is at
@@ -102,6 +197,7 @@ pub struct TrainingHistory {
     pub(crate) grad_norms: Vec<f64>,
     pub(crate) final_params: Vec<f64>,
     pub(crate) plateau_alarms: Vec<PlateauAlarmEvent>,
+    pub(crate) bp_scores: Vec<f64>,
 }
 
 impl TrainingHistory {
@@ -136,6 +232,7 @@ impl TrainingHistory {
             grad_norms,
             final_params,
             plateau_alarms: Vec::new(),
+            bp_scores: Vec::new(),
         })
     }
 
@@ -158,6 +255,19 @@ impl TrainingHistory {
     /// Barren-plateau alarms raised during the run, in firing order.
     pub fn plateau_alarms(&self) -> &[PlateauAlarmEvent] {
         &self.plateau_alarms
+    }
+
+    /// The [`PlateauScore`] at each iteration (`iterations` entries for
+    /// histories produced by the training loop; `NaN` until the rolling
+    /// window fills). Empty for histories assembled via [`Self::new`].
+    pub fn bp_scores(&self) -> &[f64] {
+        &self.bp_scores
+    }
+
+    /// The most recent mature (finite) early-warning score, or `None`
+    /// when the run was shorter than the scoring window.
+    pub fn final_bp_score(&self) -> Option<f64> {
+        self.bp_scores.iter().rev().copied().find(|s| s.is_finite())
     }
 
     /// Loss at initialization.
@@ -243,15 +353,131 @@ pub fn train_with_alarm(
     engine: &dyn GradientEngine,
     alarm: &BarrenPlateauAlarm,
 ) -> Result<TrainingHistory, CoreError> {
+    train_instrumented(
+        circuit,
+        observable,
+        initial_params,
+        optimizer,
+        iterations,
+        engine,
+        alarm,
+        TrainTelemetry::default(),
+    )
+    .map(|run| run.history)
+}
+
+/// Opt-in telemetry configuration for [`train_instrumented`].
+///
+/// The default is fully off: no time series, no ledger record, and the
+/// training hot loop allocates exactly what [`train`] always did.
+#[derive(Debug, Default)]
+pub struct TrainTelemetry {
+    /// Layer width of the ansatz's parameter vector. When set, the time
+    /// series gains one `layer_var_<i>` column per layer carrying that
+    /// layer's gradient-component variance — the paper's per-layer
+    /// barren-plateau profile, live.
+    pub params_per_layer: Option<usize>,
+    /// Maximum retained rows in the time series (0 → the 256-row
+    /// default). Longer runs are decimated, never truncated.
+    pub series_capacity: usize,
+    /// Record the time series even when no ledger record is requested
+    /// (it is then only returned in [`TrainRun::series`]).
+    pub record_series: bool,
+    /// When set *and* the ledger is enabled, one run record with these
+    /// config/seed fields plus the loop's final metrics is appended to
+    /// the experiment ledger, pointing at the recorded series.
+    pub run: Option<RunRecord>,
+}
+
+impl TrainTelemetry {
+    const DEFAULT_SERIES_CAPACITY: usize = 256;
+
+    /// Telemetry that records a series and a ledger entry for `run`
+    /// (ledger permitting), with per-layer attribution at `ppl`.
+    pub fn for_run(run: RunRecord, params_per_layer: usize) -> TrainTelemetry {
+        TrainTelemetry {
+            params_per_layer: Some(params_per_layer),
+            series_capacity: 0,
+            record_series: true,
+            run: Some(run),
+        }
+    }
+}
+
+/// Everything [`train_instrumented`] produces: the ordinary history plus
+/// the recorded series and the ledger id (when telemetry asked for them).
+#[derive(Debug)]
+pub struct TrainRun {
+    /// The training trajectory, exactly as [`train_with_alarm`] returns.
+    pub history: TrainingHistory,
+    /// The recorded gradient-dynamics series, when recording was on.
+    pub series: Option<TimeSeries>,
+    /// The ledger run id, when a record was requested and the ledger is
+    /// enabled.
+    pub run_id: Option<String>,
+}
+
+/// [`train_with_alarm`] plus gradient-dynamics telemetry (see
+/// [`TrainTelemetry`]). This is the single real training loop; the
+/// simpler entry points delegate here with telemetry off.
+///
+/// Ledger/series IO failures never fail the training run: the science
+/// result is the history, so write errors are demoted to a `plateau-obs`
+/// warning ([`CoreError`] deliberately has no IO variant).
+///
+/// # Errors
+///
+/// Propagates configuration errors as [`CoreError`].
+#[allow(clippy::too_many_arguments)]
+pub fn train_instrumented(
+    circuit: &Circuit,
+    observable: &Observable,
+    initial_params: Vec<f64>,
+    optimizer: &mut dyn Optimizer,
+    iterations: usize,
+    engine: &dyn GradientEngine,
+    alarm: &BarrenPlateauAlarm,
+    telemetry: TrainTelemetry,
+) -> Result<TrainRun, CoreError> {
     let mut params = initial_params;
     circuit.check_params(&params)?;
 
     let _span = plateau_obs::span!("train", iterations = iterations, params = params.len());
 
+    let recording = telemetry.record_series
+        || (telemetry.run.is_some() && plateau_obs::ledger_enabled());
+    let ppl = telemetry.params_per_layer.filter(|&p| p > 0);
+    let n_layers = ppl.map_or(0, |p| params.len().div_ceil(p));
+    let mut series = if recording {
+        let mut columns = vec![
+            "loss".to_string(),
+            "grad_norm".to_string(),
+            "bp_score".to_string(),
+        ];
+        for i in 0..n_layers {
+            columns.push(format!("layer_var_{i}"));
+        }
+        let capacity = if telemetry.series_capacity == 0 {
+            TrainTelemetry::DEFAULT_SERIES_CAPACITY
+        } else {
+            telemetry.series_capacity
+        };
+        Some(TimeSeries::new(columns, capacity))
+    } else {
+        None
+    };
+    // Scratch buffers for the recording path, allocated once up front so
+    // the per-iteration work is push-only.
+    let mut row: Vec<f64> = Vec::with_capacity(if recording { 3 + n_layers } else { 0 });
+    let mut layer_vars: Vec<f64> = Vec::with_capacity(if recording { n_layers } else { 0 });
+
     let mut losses = Vec::with_capacity(iterations + 1);
     let mut grad_norms = Vec::with_capacity(iterations);
     let mut alarms = Vec::new();
     let mut streak = 0usize;
+    let mut score = PlateauScore::new(BP_SCORE_WINDOW);
+    let mut bp_scores = Vec::with_capacity(iterations);
+    let mut warned = false;
     losses.push(expectation(circuit, &params, observable)?);
 
     for it in 0..iterations {
@@ -270,6 +496,32 @@ pub fn train_with_alarm(
             );
             alarms.push(event);
         }
+        let bp = score.observe(&grad);
+        bp_scores.push(bp);
+        if bp.is_finite() {
+            plateau_obs::gauge!("train.bp_score").set(bp);
+            if !warned && norm < BP_WARN_NORM && bp <= BP_WARN_SLOPE {
+                warned = true;
+                plateau_obs::event!(
+                    plateau_obs::Level::Warn,
+                    "bp_early_warning",
+                    iteration = it,
+                    bp_score = bp,
+                    grad_norm = norm
+                );
+            }
+        }
+        if let Some(series) = series.as_mut() {
+            row.clear();
+            row.push(losses[it]);
+            row.push(norm);
+            row.push(bp);
+            if let Some(p) = ppl {
+                layer_grad_variances_into(&grad, p, &mut layer_vars);
+                row.extend_from_slice(&layer_vars);
+            }
+            series.push(it as f64, &row);
+        }
         optimizer.step(&mut params, &grad)?;
         plateau_obs::counter!("train.optimizer_steps").inc();
         losses.push(expectation(circuit, &params, observable)?);
@@ -277,7 +529,32 @@ pub fn train_with_alarm(
 
     let mut hist = TrainingHistory::new(losses, grad_norms, params)?;
     hist.plateau_alarms = alarms;
-    Ok(hist)
+    hist.bp_scores = bp_scores;
+
+    let mut run_id = None;
+    if let Some(run) = telemetry.run {
+        let mut run = run
+            .metric("initial_loss", hist.initial_loss())
+            .metric("final_loss", hist.final_loss())
+            .metric(
+                "final_grad_norm",
+                hist.grad_norms.last().copied().unwrap_or(f64::NAN),
+            )
+            .metric("plateau_alarms", hist.plateau_alarms.len() as f64);
+        if let Some(bp) = hist.final_bp_score() {
+            run = run.metric("bp_score_final", bp);
+        }
+        match plateau_obs::record_run(&run, series.as_ref()) {
+            Ok(id) => run_id = id,
+            Err(e) => plateau_obs::warn!("train: ledger write failed: {e}"),
+        }
+    }
+
+    Ok(TrainRun {
+        history: hist,
+        series,
+        run_id,
+    })
 }
 
 #[cfg(test)]
@@ -435,6 +712,128 @@ mod tests {
         let mut adam = Adam::new(0.1).unwrap();
         let healthy = train(&c2, &obs2, theta2, &mut adam, 20).unwrap();
         assert!(healthy.plateau_alarms().is_empty());
+    }
+
+    #[test]
+    fn plateau_score_matures_after_window_and_grades_decay() {
+        let mut score = PlateauScore::new(4);
+        // Exponentially decaying gradients: variance shrinks each step, so
+        // once mature the log-variance slope is clearly negative.
+        let mut slopes = Vec::new();
+        for it in 0..8 {
+            let s = 0.5f64.powi(it);
+            slopes.push(score.observe(&[s, -s, 2.0 * s, 0.0]));
+        }
+        for s in &slopes[..3] {
+            assert!(s.is_nan(), "immature window must report NaN, got {s}");
+        }
+        for s in &slopes[3..] {
+            // Var ∝ (0.5^it)² → ln drops by 2·ln 2 per iteration.
+            assert!((s - (-2.0 * 2.0f64.ln())).abs() < 1e-9, "slope {s}");
+        }
+        // A dead-flat (zero) gradient floors instead of producing -inf,
+        // and the rolling slope settles at 0 — flat, not escaping.
+        let mut dead = PlateauScore::new(3);
+        let mut last = f64::NAN;
+        for _ in 0..5 {
+            last = dead.observe(&[0.0, 0.0]);
+        }
+        assert_eq!(last, 0.0);
+        // Empty gradients never score.
+        assert!(PlateauScore::new(2).observe(&[]).is_nan());
+    }
+
+    #[test]
+    fn bp_scores_surface_in_history() {
+        // Zero-init sits on the plateau: scores are NaN until the window
+        // fills at iteration BP_SCORE_WINDOW-1, then flat (≈0) — at or
+        // below the early-warning slope while norms sit under the norm
+        // gate, i.e. the score flags the plateau the alarm also catches.
+        let (c, _) = setup(3, 2, InitStrategy::Zero, 8);
+        let theta = vec![0.0; c.n_params()];
+        let obs = CostKind::Global.observable(3);
+        let mut gd = GradientDescent::new(0.1).unwrap();
+        let hist = train(&c, &obs, theta, &mut gd, 12).unwrap();
+        assert_eq!(hist.bp_scores().len(), 12);
+        for s in &hist.bp_scores()[..BP_SCORE_WINDOW - 1] {
+            assert!(s.is_nan());
+        }
+        for (s, n) in hist.bp_scores()[BP_SCORE_WINDOW - 1..]
+            .iter()
+            .zip(&hist.grad_norms()[BP_SCORE_WINDOW - 1..])
+        {
+            assert!(s.is_finite());
+            assert!(*s <= BP_WARN_SLOPE, "plateau slope {s} not flagged");
+            assert!(*n < BP_WARN_NORM);
+        }
+        assert_eq!(hist.final_bp_score(), Some(hist.bp_scores()[11]));
+        // Histories assembled by hand carry no scores.
+        let hand = TrainingHistory::new(vec![0.5, 0.4], vec![1.0], vec![]).unwrap();
+        assert!(hand.bp_scores().is_empty());
+        assert_eq!(hand.final_bp_score(), None);
+    }
+
+    #[test]
+    fn instrumented_run_records_series_and_ledger_entry() {
+        let _guard = plateau_obs::test_lock();
+        let dir = std::env::temp_dir().join(format!("plateau_train_ledger_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        plateau_obs::set_ledger_dir(Some(&dir));
+
+        let (c, theta) = setup(3, 2, InitStrategy::XavierNormal, 9);
+        let ppl = c.n_params() / 2; // training ansatz: layer-major, 2 layers
+        let obs = CostKind::Global.observable(3);
+        let mut gd = GradientDescent::new(0.1).unwrap();
+        let telemetry = TrainTelemetry::for_run(
+            RunRecord::new("train").seed(9),
+            ppl,
+        );
+        let run = train_instrumented(&c, &obs, theta, &mut gd, 10, &Adjoint, &Default::default(), telemetry)
+            .unwrap();
+
+        let series = run.series.as_ref().expect("series recorded");
+        assert_eq!(
+            series.columns(),
+            ["loss", "grad_norm", "bp_score", "layer_var_0", "layer_var_1"]
+        );
+        assert_eq!(series.len(), 10);
+        let losses = series.column("loss").unwrap();
+        // Row i carries the pre-step loss, i.e. history.losses()[i].
+        assert_eq!(losses[0].1, run.history.initial_loss());
+
+        let id = run.run_id.expect("ledger enabled → id");
+        let text = std::fs::read_to_string(dir.join("ledger.jsonl")).unwrap();
+        assert!(text.contains(&id));
+        assert!(text.contains("\"final_loss\""));
+        assert!(dir.join("runs").join(format!("{id}.jsonl")).exists());
+
+        plateau_obs::set_ledger_dir(None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn telemetry_off_records_nothing() {
+        let _guard = plateau_obs::test_lock();
+        plateau_obs::set_ledger_dir(None);
+        let (c, theta) = setup(2, 1, InitStrategy::Random, 10);
+        let obs = CostKind::Global.observable(2);
+        let mut gd = GradientDescent::new(0.1).unwrap();
+        let run = train_instrumented(
+            &c,
+            &obs,
+            theta,
+            &mut gd,
+            3,
+            &Adjoint,
+            &Default::default(),
+            TrainTelemetry::default(),
+        )
+        .unwrap();
+        assert!(run.series.is_none());
+        assert!(run.run_id.is_none());
+        // A ledger-bearing run with the ledger disabled stays silent too
+        // unless the series itself was requested.
+        plateau_obs::reset_ledger();
     }
 
     #[test]

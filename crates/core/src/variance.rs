@@ -358,10 +358,67 @@ pub fn variance_scan(
         curves.push(StrategyCurve { strategy, points });
     }
 
-    Ok(VarianceScan {
+    let scan = VarianceScan {
         config: config.clone(),
         curves,
-    })
+    };
+    record_scan_ledger(&scan);
+    Ok(scan)
+}
+
+/// Appends the scan to the experiment ledger (when enabled): a
+/// `"variance"` run record with the fitted decay rates as metrics, plus a
+/// time series with `x` = qubit count and one column per strategy — the
+/// exact data behind Fig 5a, replayable via `plateau obs runs`.
+///
+/// Telemetry must never fail the science: IO errors only warn.
+fn record_scan_ledger(scan: &VarianceScan) {
+    if !plateau_obs::ledger_enabled() {
+        return;
+    }
+    use plateau_obs::json::Json;
+    let cfg = &scan.config;
+    let columns: Vec<String> =
+        scan.curves.iter().map(|c| c.strategy.name().to_string()).collect();
+    let mut series = plateau_obs::TimeSeries::new(columns, cfg.qubit_counts.len());
+    let mut row = Vec::with_capacity(scan.curves.len());
+    for (qi, &q) in cfg.qubit_counts.iter().enumerate() {
+        row.clear();
+        for curve in &scan.curves {
+            row.push(curve.points[qi].variance);
+        }
+        series.push(q as f64, &row);
+    }
+    let mut run = plateau_obs::RunRecord::new("variance")
+        .config(
+            "qubits",
+            Json::Arr(cfg.qubit_counts.iter().map(|&q| Json::from(q)).collect()),
+        )
+        .config("layers", Json::from(cfg.layers))
+        .config("circuits", Json::from(cfg.n_circuits))
+        .config("cost", Json::str(cfg.cost.to_string()))
+        .config("ansatz", Json::str(format!("{:?}", cfg.ansatz)))
+        .config("engine", Json::str(format!("{:?}", cfg.engine)))
+        .config(
+            "strategies",
+            Json::Arr(
+                scan.curves
+                    .iter()
+                    .map(|c| Json::str(c.strategy.name()))
+                    .collect(),
+            ),
+        )
+        .seed(cfg.seed);
+    for curve in &scan.curves {
+        if let Ok(fit) = curve.decay_fit() {
+            run = run
+                .metric(&format!("decay_rate_{}", curve.strategy.name()), fit.rate)
+                .metric(&format!("r_squared_{}", curve.strategy.name()), fit.r_squared);
+        }
+    }
+    if let Err(e) = plateau_obs::record_run(&run, Some(&series)) {
+        plateau_obs::warn!("variance: ledger write failed: {e}");
+    }
 }
 
 #[cfg(test)]
@@ -568,6 +625,39 @@ mod tests {
         // And it is deterministic: no per-member structural randomness.
         let b2 = variance_scan(&train_cfg, &[InitStrategy::Random]).unwrap();
         assert_eq!(b, b2);
+    }
+
+    #[test]
+    fn scan_appends_ledger_record_with_per_strategy_columns() {
+        let _guard = plateau_obs::test_lock();
+        let dir = std::env::temp_dir()
+            .join(format!("plateau_variance_ledger_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        plateau_obs::set_ledger_dir(Some(&dir));
+
+        let cfg = VarianceConfig {
+            qubit_counts: vec![2, 3],
+            layers: 6,
+            n_circuits: 10,
+            ..VarianceConfig::default()
+        };
+        variance_scan(&cfg, &[InitStrategy::Random, InitStrategy::XavierUniform]).unwrap();
+
+        let text = std::fs::read_to_string(dir.join("ledger.jsonl")).unwrap();
+        let rec = plateau_obs::json::Json::parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(rec.get("command").unwrap().as_str(), Some("variance"));
+        assert!(rec.get("metrics").unwrap().get("decay_rate_random").is_some());
+        let rel = rec.get("series").unwrap().as_str().unwrap().to_string();
+        let series = plateau_obs::TimeSeries::read_jsonl(&dir.join(rel)).unwrap();
+        assert_eq!(series.columns(), ["random", "xavier_uniform"]);
+        // x is the qubit count, one row per swept width.
+        let col = series.column("random").unwrap();
+        assert_eq!(col.len(), 2);
+        assert_eq!(col[0].0, 2.0);
+        assert_eq!(col[1].0, 3.0);
+
+        plateau_obs::set_ledger_dir(None);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

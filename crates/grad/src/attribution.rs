@@ -1,0 +1,134 @@
+//! Per-layer gradient attribution: split a flat gradient vector into the
+//! ansatz's layers and summarize each chunk.
+//!
+//! The paper's training ansatz (and every layered HEA in this workspace)
+//! lays parameters out layer-major — `params_per_layer` consecutive
+//! entries per layer — so layerwise structure falls out of plain
+//! chunking. The statistics per layer are the ones the barren-plateau
+//! literature watches: the chunk's Euclidean norm (does *any* signal
+//! reach this layer?) and the population variance of its components (the
+//! quantity whose exponential decay in depth/width defines the plateau;
+//! Kashif et al. 2412.06462 track exactly this per-layer profile).
+//!
+//! This is a pure post-processing hook: engines stay untouched, the
+//! telemetry layer calls [`layer_grad_stats`] on whatever
+//! [`GradientEngine`](crate::GradientEngine) produced.
+
+/// Norm and variance of one layer's slice of the gradient.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerGradStats {
+    /// Euclidean norm of the layer's gradient components.
+    pub norm: f64,
+    /// Population variance (biased, like the paper's ensemble variance)
+    /// of the layer's gradient components.
+    pub variance: f64,
+}
+
+/// Splits `gradient` into consecutive `params_per_layer`-sized layers and
+/// returns each layer's [`LayerGradStats`], in layer order. A trailing
+/// partial chunk (gradient length not divisible by the layer width) is
+/// summarized too, so callers never silently lose components.
+///
+/// Returns an empty vector when `params_per_layer` is 0 or the gradient
+/// is empty — there is no layer structure to attribute.
+pub fn layer_grad_stats(gradient: &[f64], params_per_layer: usize) -> Vec<LayerGradStats> {
+    if params_per_layer == 0 || gradient.is_empty() {
+        return Vec::new();
+    }
+    gradient
+        .chunks(params_per_layer)
+        .map(|chunk| {
+            let n = chunk.len() as f64;
+            let norm = chunk.iter().map(|g| g * g).sum::<f64>().sqrt();
+            let mean = chunk.iter().sum::<f64>() / n;
+            let variance = chunk.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / n;
+            LayerGradStats { norm, variance }
+        })
+        .collect()
+}
+
+/// Writes each layer's gradient variance into `out` (resized to the
+/// layer count) — the allocation-free-after-warmup variant the training
+/// loop's recorder uses on its hot path.
+pub fn layer_grad_variances_into(gradient: &[f64], params_per_layer: usize, out: &mut Vec<f64>) {
+    out.clear();
+    if params_per_layer == 0 || gradient.is_empty() {
+        return;
+    }
+    for chunk in gradient.chunks(params_per_layer) {
+        let n = chunk.len() as f64;
+        let mean = chunk.iter().sum::<f64>() / n;
+        out.push(chunk.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_layer_major_and_matches_hand_computed_stats() {
+        // Two layers of width 3: [1,2,3] and [4,4,4].
+        let grad = [1.0, 2.0, 3.0, 4.0, 4.0, 4.0];
+        let stats = layer_grad_stats(&grad, 3);
+        assert_eq!(stats.len(), 2);
+        assert!((stats[0].norm - 14.0f64.sqrt()).abs() < 1e-12);
+        assert!((stats[0].variance - 2.0 / 3.0).abs() < 1e-12);
+        assert!((stats[1].norm - 48.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(stats[1].variance, 0.0);
+    }
+
+    #[test]
+    fn trailing_partial_layer_is_kept() {
+        let grad = [1.0, -1.0, 2.0];
+        let stats = layer_grad_stats(&grad, 2);
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[1].norm, 2.0);
+        assert_eq!(stats[1].variance, 0.0, "single-element chunk has no spread");
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_no_layers() {
+        assert!(layer_grad_stats(&[], 4).is_empty());
+        assert!(layer_grad_stats(&[1.0], 0).is_empty());
+    }
+
+    #[test]
+    fn into_variant_agrees_and_reuses_its_buffer() {
+        let grad: Vec<f64> = (0..12).map(|i| (i as f64 * 0.37).sin()).collect();
+        let stats = layer_grad_stats(&grad, 4);
+        let mut out = Vec::new();
+        layer_grad_variances_into(&grad, 4, &mut out);
+        assert_eq!(out.len(), stats.len());
+        for (v, s) in out.iter().zip(&stats) {
+            assert!((v - s.variance).abs() < 1e-15);
+        }
+        let cap = out.capacity();
+        layer_grad_variances_into(&grad, 4, &mut out);
+        assert_eq!(out.capacity(), cap, "steady-state call must not reallocate");
+        layer_grad_variances_into(&[], 4, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn whole_gradient_variance_decomposes_over_uniform_layers() {
+        // With equal-width layers, the all-components variance is the mean
+        // of per-layer variances plus the variance of per-layer means —
+        // sanity that chunking loses nothing.
+        let grad: Vec<f64> = (0..20).map(|i| ((i * 7 % 13) as f64) / 13.0).collect();
+        let ppl = 5;
+        let stats = layer_grad_stats(&grad, ppl);
+        let n = grad.len() as f64;
+        let mean = grad.iter().sum::<f64>() / n;
+        let total_var = grad.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / n;
+        let layer_means: Vec<f64> = grad
+            .chunks(ppl)
+            .map(|c| c.iter().sum::<f64>() / ppl as f64)
+            .collect();
+        let mean_of_vars = stats.iter().map(|s| s.variance).sum::<f64>() / stats.len() as f64;
+        let mm = layer_means.iter().sum::<f64>() / layer_means.len() as f64;
+        let var_of_means =
+            layer_means.iter().map(|m| (m - mm) * (m - mm)).sum::<f64>() / layer_means.len() as f64;
+        assert!((total_var - (mean_of_vars + var_of_means)).abs() < 1e-12);
+    }
+}

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod adjoint;
+mod attribution;
 mod engine;
 mod finite_diff;
 mod fisher;
@@ -49,6 +50,7 @@ mod metric;
 mod shift;
 
 pub use adjoint::Adjoint;
+pub use attribution::{layer_grad_stats, layer_grad_variances_into, LayerGradStats};
 pub use engine::{expectation, expectation_many, GradientEngine};
 pub use finite_diff::FiniteDifference;
 pub use fisher::{classical_fisher_information, quantum_fisher_information};

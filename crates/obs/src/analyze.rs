@@ -368,6 +368,29 @@ impl Analysis {
         }
     }
 
+    /// Restricts the analysis to span names starting with `prefix`
+    /// (e.g. `"sim.fuse."`), recomputing the span count over the kept
+    /// names. `total_wall_ns` still measures the whole trace so the
+    /// rendered `self%` column keeps its meaning (share of the run, not
+    /// share of the filtered subset).
+    pub fn filter_prefix(&self, prefix: &str) -> Analysis {
+        let stats: Vec<NameStats> = self
+            .stats
+            .iter()
+            .filter(|s| s.name.starts_with(prefix))
+            .cloned()
+            .collect();
+        let span_count = stats.iter().map(|s| s.count).sum();
+        Analysis {
+            stats,
+            span_count,
+            total_wall_ns: self.total_wall_ns,
+            command: self.command.clone(),
+            git: self.git.clone(),
+            warnings: self.warnings.clone(),
+        }
+    }
+
     /// Renders the self-time ranking as an aligned text table, keeping the
     /// `top` hottest names (0 = all).
     pub fn render_report(&self, top: usize) -> String {
@@ -586,6 +609,23 @@ mod tests {
         let report = a.render_report(0);
         assert!(report.contains("root"), "{report}");
         assert!(report.contains("p99"), "{report}");
+    }
+
+    #[test]
+    fn filter_prefix_restricts_stats_but_keeps_wall_time() {
+        let a = Analysis::of(&Trace::parse(GOLDEN).unwrap());
+        let f = a.filter_prefix("leaf");
+        assert_eq!(f.stats.len(), 1);
+        assert_eq!(f.stats[0].name, "leaf");
+        assert_eq!(f.span_count, 2, "span count recomputed over kept names");
+        assert_eq!(f.total_wall_ns, a.total_wall_ns, "self%% keeps its base");
+        assert_eq!(f.command, a.command);
+        let report = f.render_report(0);
+        assert!(report.contains("leaf") && !report.contains("root"), "{report}");
+        // A prefix matching nothing yields an empty (but renderable) report.
+        let none = a.filter_prefix("sim.fuse.");
+        assert_eq!((none.stats.len(), none.span_count), (0, 0));
+        none.render_report(0);
     }
 
     #[test]

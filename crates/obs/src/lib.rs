@@ -29,6 +29,20 @@
 //!    against a committed baseline, per span name with a relative
 //!    threshold — the `plateau obs diff` CI gate.
 //!
+//! PR 7 adds the **experiment ledger** — training *dynamics*, not just
+//! performance:
+//!
+//! 7. **Time series** ([`timeseries`]): a bounded fixed-column recorder
+//!    (ring with deterministic stride-doubling decimation) for
+//!    per-iteration loss / gradient norm / per-layer gradient variance.
+//! 8. **Ledger** ([`ledger`]): an append-only run registry
+//!    (`target/obs/ledger.jsonl` by default): one record per experiment
+//!    with config, seed, tracked env, git rev, final metrics, and a
+//!    pointer to the run's time-series JSONL.
+//! 9. **Runs** ([`runs`]): the ledger's read side — list/show/compare
+//!    with per-column decay fits and zero-dep SVG line plots, backing
+//!    `plateau obs runs list|show|compare`.
+//!
 //! # Configuration
 //!
 //! | Env var               | Effect                                         |
@@ -36,23 +50,29 @@
 //! | `PLATEAU_LOG`         | stderr level: `off`/`error`/`warn`/`info`/`debug`/`trace` (default `warn`) |
 //! | `PLATEAU_METRICS`     | `1`/`true`/`on` enables the metrics registry   |
 //! | `PLATEAU_METRICS_OUT` | path for the JSONL event stream (bench bins; the CLI uses `--metrics-out`) |
+//! | `PLATEAU_LEDGER`      | `1`/`true`/`on` → ledger at `target/obs`; any other value → that directory |
 //!
 //! Programmatic overrides ([`set_log_level`], [`set_metrics_enabled`],
-//! [`init`]) always win over the environment.
+//! [`init`], [`set_ledger_dir`]) always win over the environment.
 
 pub mod analyze;
 pub mod diff;
 pub mod flame;
 pub mod json;
+pub mod ledger;
 pub mod manifest;
 pub mod metrics;
+pub mod runs;
 pub mod span;
+pub mod timeseries;
 
 use std::sync::atomic::{AtomicU8, Ordering::Relaxed};
 
+pub use ledger::{ledger_enabled, record_run, reset_ledger, set_ledger_dir, RunRecord};
 pub use manifest::{emit_manifest, emit_metrics_snapshot, finish_run, git_describe};
 pub use metrics::{snapshot, MetricsSnapshot};
 pub use span::{Field, Span, Value};
+pub use timeseries::TimeSeries;
 
 /// Log verbosity, ordered from silent to most verbose. A message is emitted
 /// when its level is `<=` the configured level.

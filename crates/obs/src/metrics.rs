@@ -534,6 +534,72 @@ mod tests {
     }
 
     #[test]
+    fn percentile_edge_cases_empty_single_and_boundaries() {
+        let _guard = test_lock();
+        set_metrics_enabled(true);
+        let h = histogram("test.metrics.hist_percentile_edges");
+
+        // Empty histogram: every q (valid or not) yields None.
+        h.reset();
+        for q in [0.0, 0.5, 1.0, -1.0, 2.0, f64::NAN] {
+            assert_eq!(h.percentile(q), None, "empty histogram, q={q}");
+        }
+
+        // Single sample: a lone sample interpolates to its bucket's exact
+        // midpoint at every valid q — the estimator has no spread to work
+        // with, so q must not change the answer.
+        h.record(700); // bucket [512, 1023], midpoint 512 + round(511 * 0.5)
+        let mid = 512 + ((1023u64 - 512) as f64 * 0.5).round() as u64;
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert_eq!(h.percentile(q), Some(mid), "single sample, q={q}");
+        }
+        h.reset();
+
+        // A single zero sample: bucket 0 collapses to [0, 0], so the
+        // interpolation is exact whatever q says.
+        h.record(0);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.percentile(q), Some(0));
+        }
+        h.reset();
+
+        // Exact bucket-boundary interpolation: with every sample in one
+        // bucket, the extreme quantiles land exactly on the bucket bounds
+        // (frac = pos / (c − 1) hits 0 and 1), and the median sits exactly
+        // on the midpoint for odd counts.
+        let (lo, hi) = bucket_bounds(bucket_index(600));
+        assert_eq!((lo, hi), (512, 1023));
+        for v in [520, 600, 800] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), Some(lo), "q=0 hits the lower bound exactly");
+        assert_eq!(h.percentile(1.0), Some(hi), "q=1 hits the upper bound exactly");
+        // rank 2 of 3 → pos 1, frac 1/2 → exact midpoint.
+        assert_eq!(h.percentile(0.5), Some(lo + ((hi - lo) as f64 * 0.5).round() as u64));
+        h.reset();
+
+        // A power-of-two sample sits at the *lower* boundary of its bucket:
+        // 1024 opens bucket [1024, 2047], it does not close [512, 1023].
+        h.record(1024);
+        let (lo2, hi2) = bucket_bounds(bucket_index(1024));
+        assert_eq!(lo2, 1024);
+        let p = h.percentile(0.5).unwrap();
+        assert!(p >= lo2 && p <= hi2, "boundary sample left its bucket: {p}");
+        h.reset();
+
+        // Two buckets, one sample each: q low enough ranks into the first
+        // bucket, q=1.0 into the second — each interpolated to its own
+        // bucket midpoint, never a value between buckets.
+        h.record(3); // bucket [2, 3]
+        h.record(40); // bucket [32, 63]
+        assert_eq!(h.percentile(0.5), Some(3), "rank 1 of 2 stays in [2,3]");
+        let top = h.percentile(1.0).unwrap();
+        assert!((32..=63).contains(&top), "rank 2 of 2 must sit in [32,63]: {top}");
+        h.reset();
+        set_metrics_enabled(false);
+    }
+
+    #[test]
     fn disabled_metrics_record_nothing_and_snapshot_empty() {
         let _guard = test_lock();
         set_metrics_enabled(false);

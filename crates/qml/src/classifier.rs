@@ -260,12 +260,64 @@ impl Classifier {
         let mut weights = initial_weights;
         let mut losses = Vec::with_capacity(epochs + 1);
         losses.push(self.loss(&weights, data)?);
-        for _ in 0..epochs {
+
+        // Gradient-dynamics telemetry, only when the experiment ledger is
+        // on: per-epoch loss / weight-gradient norm / BP score /
+        // per-layer weight-gradient variances, recorded as a `"classify"`
+        // ledger run. With the ledger off this block costs nothing.
+        let ppl = self.shape.params_per_layer();
+        let n_layers = self.shape.layers();
+        let mut series = if plateau_obs::ledger_enabled() {
+            let mut cols = vec![
+                "loss".to_string(),
+                "grad_norm".to_string(),
+                "bp_score".to_string(),
+            ];
+            for i in 0..n_layers {
+                cols.push(format!("layer_var_{i}"));
+            }
+            Some(plateau_obs::TimeSeries::new(cols, 256))
+        } else {
+            None
+        };
+        let mut score =
+            plateau_core::train::PlateauScore::new(plateau_core::train::BP_SCORE_WINDOW);
+        let mut row: Vec<f64> = Vec::new();
+        let mut layer_vars: Vec<f64> = Vec::new();
+
+        for epoch in 0..epochs {
             let grad = self.loss_gradient(&weights, data)?;
+            if let Some(series) = series.as_mut() {
+                let norm = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
+                let bp = score.observe(&grad);
+                row.clear();
+                row.push(losses[epoch]);
+                row.push(norm);
+                row.push(bp);
+                plateau_grad::layer_grad_variances_into(&grad, ppl, &mut layer_vars);
+                row.extend_from_slice(&layer_vars);
+                series.push(epoch as f64, &row);
+            }
             optimizer.step(&mut weights, &grad)?;
             losses.push(self.loss(&weights, data)?);
         }
-        Ok(FitResult { weights, losses })
+
+        let result = FitResult { weights, losses };
+        if let Some(series) = series {
+            use plateau_obs::json::Json;
+            let rec = plateau_obs::RunRecord::new("classify")
+                .config("qubits", Json::from(self.circuit.n_qubits()))
+                .config("layers", Json::from(n_layers))
+                .config("features", Json::from(self.n_features))
+                .config("epochs", Json::from(epochs))
+                .config("samples", Json::from(data.len()))
+                .metric("initial_loss", result.losses[0])
+                .metric("final_loss", *result.losses.last().unwrap());
+            if let Err(e) = plateau_obs::record_run(&rec, Some(&series)) {
+                plateau_obs::warn!("classify: ledger write failed: {e}");
+            }
+        }
+        Ok(result)
     }
 }
 
@@ -298,6 +350,37 @@ mod tests {
         assert!(v1.abs() <= 1.0);
         assert!(m.decision_value(&w, &[0.5]).is_err());
         assert!(m.decision_value(&[0.1], &[0.5, 0.5]).is_err());
+    }
+
+    #[test]
+    fn fit_appends_classify_ledger_record() {
+        let _guard = plateau_obs::test_lock();
+        let dir =
+            std::env::temp_dir().join(format!("plateau_qml_ledger_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        plateau_obs::set_ledger_dir(Some(&dir));
+
+        let m = Classifier::new(2, 1, 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let data = gaussian_blobs(6, 0.2, &mut rng);
+        let w = vec![0.1; m.n_weights()];
+        let mut adam = Adam::new(0.1).unwrap();
+        let fitted = m.fit(w, &data, &mut adam, 2).unwrap();
+
+        let text = std::fs::read_to_string(dir.join("ledger.jsonl")).unwrap();
+        let rec = plateau_obs::json::Json::parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(rec.get("command").unwrap().as_str(), Some("classify"));
+        assert_eq!(
+            rec.get("metrics").unwrap().get("final_loss").unwrap().as_f64(),
+            fitted.losses.last().copied()
+        );
+        let rel = rec.get("series").unwrap().as_str().unwrap().to_string();
+        let series = plateau_obs::TimeSeries::read_jsonl(&dir.join(rel)).unwrap();
+        assert_eq!(series.len(), 2, "one row per epoch");
+        assert!(series.columns().iter().any(|c| c == "layer_var_0"));
+
+        plateau_obs::set_ledger_dir(None);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -26,7 +26,10 @@ use plateau_core::ansatz::training_ansatz;
 use plateau_core::error::CoreError;
 use plateau_core::init::{FanMode, InitStrategy};
 use plateau_core::optim::Adam;
-use plateau_core::train::{train, TrainingHistory};
+use plateau_core::train::{
+    train_instrumented, BarrenPlateauAlarm, TrainTelemetry, TrainingHistory,
+};
+use plateau_grad::Adjoint;
 use plateau_sim::Observable;
 use plateau_rng::rngs::StdRng;
 use plateau_rng::SeedableRng;
@@ -111,18 +114,51 @@ pub fn solve(
     let mut rng = StdRng::seed_from_u64(config.seed);
     let theta0 = strategy.sample_params(&ansatz.shape, config.fan_mode, &mut rng)?;
     let mut adam = Adam::new(config.learning_rate)?;
-    let history = train(
+    // Record the gradient-dynamics series only when the experiment ledger
+    // is on; the run record itself is written here (not by the training
+    // loop) so it can carry VQE-specific metrics like the exact energy.
+    let telemetry = TrainTelemetry {
+        params_per_layer: Some(ansatz.shape.params_per_layer()),
+        series_capacity: 0,
+        record_series: plateau_obs::ledger_enabled(),
+        run: None,
+    };
+    let run = train_instrumented(
         &ansatz.circuit,
         hamiltonian,
         theta0,
         &mut adam,
         config.iterations,
+        &Adjoint,
+        &BarrenPlateauAlarm::default(),
+        telemetry,
     )?;
     let exact_energy = ground_state_energy(hamiltonian)?;
-    Ok(VqeResult {
-        history,
+    let result = VqeResult {
+        history: run.history,
         exact_energy,
-    })
+    };
+    if plateau_obs::ledger_enabled() {
+        use plateau_obs::json::Json;
+        let mut rec = plateau_obs::RunRecord::new("vqe")
+            .config("qubits", Json::from(n_qubits))
+            .config("layers", Json::from(config.layers))
+            .config("iterations", Json::from(config.iterations))
+            .config("strategy", Json::str(strategy.name()))
+            .seed(config.seed)
+            .metric("energy", result.energy())
+            .metric("exact_energy", result.exact_energy)
+            .metric("abs_error", result.absolute_error())
+            .metric("initial_energy", result.history.initial_loss())
+            .metric("plateau_alarms", result.history.plateau_alarms().len() as f64);
+        if let Some(bp) = result.history.final_bp_score() {
+            rec = rec.metric("bp_score_final", bp);
+        }
+        if let Err(e) = plateau_obs::record_run(&rec, run.series.as_ref()) {
+            plateau_obs::warn!("vqe: ledger write failed: {e}");
+        }
+    }
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -181,6 +217,42 @@ mod tests {
         };
         let r = solve(&h, InitStrategy::Zero, &cfg).unwrap();
         assert!(r.relative_error().is_err());
+    }
+
+    #[test]
+    fn vqe_appends_ledger_record_with_series() {
+        let _guard = plateau_obs::test_lock();
+        let dir =
+            std::env::temp_dir().join(format!("plateau_vqe_ledger_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        plateau_obs::set_ledger_dir(Some(&dir));
+
+        let h = transverse_field_ising(2, 1.0, 1.0).unwrap();
+        let cfg = VqeConfig {
+            layers: 1,
+            iterations: 3,
+            ..VqeConfig::default()
+        };
+        let r = solve(&h, InitStrategy::XavierNormal, &cfg).unwrap();
+
+        let text = std::fs::read_to_string(dir.join("ledger.jsonl")).unwrap();
+        let rec = plateau_obs::json::Json::parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(rec.get("command").unwrap().as_str(), Some("vqe"));
+        assert_eq!(
+            rec.get("metrics").unwrap().get("exact_energy").unwrap().as_f64(),
+            Some(r.exact_energy)
+        );
+        assert_eq!(
+            rec.get("config").unwrap().get("strategy").unwrap().as_str(),
+            Some("xavier_normal")
+        );
+        let rel = rec.get("series").unwrap().as_str().unwrap().to_string();
+        let series = plateau_obs::TimeSeries::read_jsonl(&dir.join(rel)).unwrap();
+        assert_eq!(series.len(), 3, "one row per iteration");
+        assert!(series.columns().iter().any(|c| c == "layer_var_0"));
+
+        plateau_obs::set_ledger_dir(None);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

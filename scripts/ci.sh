@@ -43,21 +43,61 @@ echo "=== observability overhead gate ==="
 # envelope (benchmarks/BENCH_variance_harness.json).
 cargo run -q --release --offline -p plateau-bench --bin obs_overhead_gate
 
-echo "=== obs trace regression gate ==="
+echo "=== obs trace regression gate (fusion on) ==="
 # Record a fresh trace of the canonical gate workload (kept in lock-step
 # with crates/bench/src/bin/obs_trace_baseline.rs) and diff it against the
-# committed baseline. Structure (new/vanished spans, call counts) compares
-# exactly; wall time uses a generous relative threshold because the
-# baseline was recorded on a different machine. Re-record with
+# committed baseline. The workload runs under PLATEAU_SIM_FUSE=1 — the
+# production configuration — so the span forest includes the fused-kernel
+# spans the baseline pins. Structure (new/vanished spans, call counts)
+# compares exactly; wall time uses a generous relative threshold because
+# the baseline was recorded on a different machine. Re-record with
 # `cargo run -p plateau-bench --bin obs_trace_baseline` after intentional
 # changes to the workload or the span instrumentation.
 trace="$(mktemp -u).jsonl"
-cargo run -q --release --offline -p plateau-cli -- variance \
+PLATEAU_SIM_FUSE=1 cargo run -q --release --offline -p plateau-cli -- variance \
     --qubits 2,3 --circuits 8 --layers 10 --metrics-out "${trace}" > /dev/null
 cargo run -q --release --offline -p plateau-cli -- obs diff \
     benchmarks/OBS_trace_baseline.json "${trace}" \
     --threshold "${PLATEAU_TRACE_THRESHOLD:-4.0}"
 rm -f "${trace}"
+
+echo "=== telemetry overhead gate ==="
+# The training loop's gradient-dynamics telemetry: with the knobs off it
+# must be allocation-free (exact parity with the plain train baseline,
+# counted through a wrapping allocator), and with series recording on the
+# wall-time cost must stay under PLATEAU_TELEMETRY_OVERHEAD_FACTOR
+# (default 1.02, i.e. < 2%).
+cargo run -q --release --offline -p plateau-bench --bin telemetry_overhead_gate
+
+echo "=== experiment ledger smoke gate ==="
+# Register two tiny fixed-seed training runs with different initializers
+# in a scratch ledger, then drive the full read side: the ledger record
+# and its series must parse, and `obs runs list/compare` must succeed and
+# render an SVG. The comparison plot is kept under target/ci-artifacts/.
+ledger_dir="$(mktemp -d)"
+cargo run -q --release --offline -p plateau-cli -- train \
+    --qubits 3 --layers 2 --iterations 10 --strategy random --seed 1 \
+    --ledger "${ledger_dir}" > /dev/null
+cargo run -q --release --offline -p plateau-cli -- train \
+    --qubits 3 --layers 2 --iterations 10 --strategy xavier_uniform --seed 1 \
+    --ledger "${ledger_dir}" > /dev/null
+records=$(wc -l < "${ledger_dir}/ledger.jsonl")
+if [[ "${records}" -ne 2 ]]; then
+    echo "ledger smoke: expected 2 run records, found ${records}" >&2
+    exit 1
+fi
+series_files=$(ls "${ledger_dir}"/runs/*.jsonl | wc -l)
+if [[ "${series_files}" -ne 2 ]]; then
+    echo "ledger smoke: expected 2 series files, found ${series_files}" >&2
+    exit 1
+fi
+cargo run -q --release --offline -p plateau-cli -- obs runs list \
+    --dir "${ledger_dir}" > /dev/null
+mkdir -p target/ci-artifacts
+cargo run -q --release --offline -p plateau-cli -- obs runs compare \
+    --dir "${ledger_dir}" --svg target/ci-artifacts/ledger_compare.svg
+grep -q "</svg>" target/ci-artifacts/ledger_compare.svg
+rm -rf "${ledger_dir}"
 
 echo "=== differential fuzz smoke gate ==="
 # A fixed-seed campaign over the full engine matrix (DESIGN.md §10):

@@ -150,6 +150,52 @@ fn adjoint_executes_constant_circuits_per_gradient() {
 }
 
 #[test]
+fn fused_run_emits_exact_compression_counters() {
+    let _guard = plateau_obs::test_lock();
+    plateau_obs::set_metrics_enabled(true);
+    plateau_obs::metrics::reset();
+    plateau_sim::set_fuse(true);
+
+    use plateau_core::ansatz::training_ansatz;
+    use plateau_core::cost::CostKind;
+    use plateau_grad::{expectation, Adjoint, GradientEngine};
+
+    // The paper's training configuration (§IV-D): width 10, depth 5.
+    // Per layer the ansatz is RX·RY on each wire plus a CZ chain, so one
+    // compile sees layers × (3q − 1) input gates and — per the fusion
+    // contract pinned in `plateau_sim::fuse` — emits one merged per-wire
+    // block per qubit plus one diagonal CZ-chain superkernel per layer.
+    let (q, layers) = (10usize, 5usize);
+    let a = training_ansatz(q, layers).unwrap();
+    let obs = CostKind::Global.observable(q);
+    let params = vec![0.1; a.circuit.n_params()];
+
+    // Two independent entries into the fused hot path, one compile each:
+    // a bare cost evaluation and an adjoint gradient.
+    expectation(&a.circuit, &params, &obs).unwrap();
+    Adjoint.gradient(&a.circuit, &params, &obs).unwrap();
+
+    let snap = plateau_obs::snapshot();
+    let compiles = 2u64;
+    let gates_in = (layers * (3 * q - 1)) as u64;
+    let gates_out = (layers * (q + 1)) as u64;
+    assert_eq!(snap.counter("sim.fuse.gates_in"), Some(compiles * gates_in));
+    assert_eq!(snap.counter("sim.fuse.gates_out"), Some(compiles * gates_out));
+    assert_eq!(
+        snap.counter("sim.fuse.superkernels"),
+        Some(compiles * layers as u64)
+    );
+    // Fused segments bypass the per-gate kernels entirely, so the
+    // gate-by-gate counters must stay silent.
+    assert_eq!(snap.counter("sim.gate.rotation"), None);
+    assert_eq!(snap.counter("sim.gate.fixed"), None);
+
+    plateau_sim::reset_fuse();
+    plateau_obs::metrics::reset();
+    plateau_obs::set_metrics_enabled(false);
+}
+
+#[test]
 fn jsonl_records_round_trip_through_the_parser() {
     let _guard = plateau_obs::test_lock();
     plateau_obs::metrics::reset();
