@@ -50,6 +50,19 @@ fn main() {
 
     let prior_threads = std::env::var("PLATEAU_THREADS").ok();
     let mut h = Harness::new("sim_parallel_gate");
+    h.config("qubits", plateau_bench::json::Json::from(n_qubits));
+    h.config("layers", plateau_bench::json::Json::from(layers));
+    h.config(
+        "workers",
+        plateau_bench::json::Json::from(plateau_par::worker_count(usize::MAX)),
+    );
+    h.note(
+        "per-gate threading crossover (par_crossover bin): at the paper's 10q \
+         workload forced-parallel kernels ran at 0.06x serial, 0.42x at 14q, \
+         0.63x at 16q on this host — DEFAULT_PAR_THRESHOLD=17 keeps every \
+         measured size serial; the parallel arm here fans whole shifted \
+         evaluations across the pool instead",
+    );
     let mut group = h.group("training_step");
     group.sample_size(10);
     std::env::set_var("PLATEAU_THREADS", "1");

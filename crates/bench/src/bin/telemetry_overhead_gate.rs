@@ -1,12 +1,14 @@
-//! CI gate for the gradient-dynamics telemetry in the training loop:
-//! recording must be cheap when on and invisible when off.
+//! CI gate for the gradient-dynamics telemetry in the training loop and
+//! the allocation profiler's off-path: recording must be cheap when on
+//! and invisible when off.
 //!
-//! Three checks, any failure exits non-zero:
+//! Four checks, any failure exits non-zero:
 //!
-//! 1. **Allocation parity.** Counted through a wrapping global allocator,
-//!    `train_instrumented` with telemetry disabled performs exactly as
-//!    many heap allocations as the plain `train` baseline — the disabled
-//!    telemetry path is allocation-free.
+//! 1. **Allocation parity.** Counted through the shared
+//!    [`plateau_obs::alloc::CountingAllocator`], `train_instrumented`
+//!    with telemetry disabled performs exactly as many heap allocations
+//!    as the plain `train` baseline — the disabled telemetry path is
+//!    allocation-free.
 //! 2. **Steady-state.** With telemetry disabled, the per-iteration
 //!    allocation count is constant: growing the iteration budget adds a
 //!    fixed number of allocations per extra step, so no per-step telemetry
@@ -14,6 +16,11 @@
 //! 3. **Wall overhead.** Interleaved repetitions of the same training run
 //!    with series recording on and off; the on/off median ratio must stay
 //!    below `PLATEAU_TELEMETRY_OVERHEAD_FACTOR` (default 1.02, i.e. < 2%).
+//! 4. **Profiler off-path.** Disabled spans allocate exactly zero bytes
+//!    even with the counting allocator live, and training with the
+//!    profiler enabled vs disabled stays within
+//!    `PLATEAU_ALLOC_OVERHEAD_FACTOR` (default 1.05) — the per-allocation
+//!    bookkeeping is a handful of relaxed atomics, not a slowdown.
 
 use plateau_core::ansatz::training_ansatz;
 use plateau_core::cost::CostKind;
@@ -23,41 +30,15 @@ use plateau_core::train::{
     train, train_instrumented, BarrenPlateauAlarm, TrainRun, TrainTelemetry,
 };
 use plateau_grad::Adjoint;
+use plateau_obs::alloc::{allocation_count, set_profiling, stats, CountingAllocator};
 use plateau_rng::rngs::StdRng;
 use plateau_rng::SeedableRng;
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-/// Wraps the system allocator with an allocation counter. The bench
-/// *library* forbids `unsafe`; this standalone gate binary is the one
-/// place the allocator seam is allowed.
-struct CountingAlloc;
-
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        unsafe { System.alloc(layout) }
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        unsafe { System.dealloc(ptr, layout) }
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        unsafe { System.realloc(ptr, layout, new_size) }
-    }
-}
-
+/// The bench *library* forbids `unsafe`; this standalone gate binary is
+/// the one place the allocator seam is installed for CI.
 #[global_allocator]
-static ALLOC: CountingAlloc = CountingAlloc;
-
-fn allocations() -> u64 {
-    ALLOCATIONS.load(Ordering::Relaxed)
-}
+static ALLOC: CountingAllocator = CountingAllocator;
 
 struct Workload {
     circuit: plateau_sim::Circuit,
@@ -107,6 +88,10 @@ fn median(samples: &mut [f64]) -> f64 {
     samples[samples.len() / 2]
 }
 
+fn factor_env(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
 fn main() {
     // The gate measures the telemetry seam itself: metrics registry off,
     // ledger off, single-threaded so allocation counts are deterministic.
@@ -116,6 +101,11 @@ fn main() {
     std::env::set_var("PLATEAU_THREADS", "1");
     plateau_obs::set_log_level(plateau_obs::Level::Off);
     plateau_obs::set_metrics_enabled(false);
+
+    assert!(
+        set_profiling(true),
+        "the counting allocator is installed in this binary; profiling must engage"
+    );
 
     let w = workload(6, 4);
 
@@ -131,9 +121,9 @@ fn main() {
 
     // Check 1: telemetry-off and the plain baseline allocate identically.
     let count = |f: &dyn Fn()| {
-        let before = allocations();
+        let before = allocation_count();
         f();
-        allocations() - before
+        allocation_count() - before
     };
     let iters = 20usize;
     let plain = count(&|| {
@@ -164,28 +154,27 @@ fn main() {
     );
 
     // Check 3: series recording costs < 2% wall time on the training step.
-    let factor: f64 = std::env::var("PLATEAU_TELEMETRY_OVERHEAD_FACTOR")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1.02);
-    let (bench_iters, repeats) = (40usize, 15usize);
-    let mut off_ns = Vec::with_capacity(repeats);
-    let mut on_ns = Vec::with_capacity(repeats);
+    // Profiling stays on in both arms, so its bookkeeping cancels out —
+    // the same state the old always-counting allocator measured in.
+    // Each repeat runs both arms back to back and contributes one paired
+    // on/off ratio; the median of those ratios is immune to the slow
+    // drift (CPU frequency, noisy neighbors) that contaminates a ratio
+    // of independent medians on a shared host.
+    let factor = factor_env("PLATEAU_TELEMETRY_OVERHEAD_FACTOR", 1.02);
+    let (bench_iters, repeats) = (40usize, 21usize);
+    let mut ratios = Vec::with_capacity(repeats);
     for _ in 0..repeats {
-        // Interleave so drift (thermal, scheduler) hits both arms equally.
         let t = Instant::now();
         run_instrumented(&w, bench_iters, false);
-        off_ns.push(t.elapsed().as_nanos() as f64);
+        let off = t.elapsed().as_nanos() as f64;
         let t = Instant::now();
         run_instrumented(&w, bench_iters, true);
-        on_ns.push(t.elapsed().as_nanos() as f64);
+        ratios.push(t.elapsed().as_nanos() as f64 / off);
     }
-    let off = median(&mut off_ns);
-    let on = median(&mut on_ns);
-    let ratio = on / off;
+    let ratio = median(&mut ratios);
     let verdict = if ratio <= factor { "ok" } else { "REGRESSION" };
     println!(
-        "# recording-on median {on:.0} ns vs off {off:.0} ns (x{ratio:.4}, limit x{factor:.2}) {verdict}"
+        "# recording-on/off paired median over {repeats} repeats: x{ratio:.4} (limit x{factor:.2}) {verdict}"
     );
     if ratio > factor {
         eprintln!(
@@ -195,5 +184,53 @@ fn main() {
         );
         std::process::exit(1);
     }
+
+    // Check 4a: the span off-path is allocation-free. Metrics and the
+    // JSONL sink are off, so these spans take the disabled early-return —
+    // which must not touch the heap even while the profiler is counting.
+    let before = allocation_count();
+    for _ in 0..10_000 {
+        let _s = plateau_obs::span!("gate.noop");
+    }
+    let span_allocs = allocation_count() - before;
+    println!("# 10000 disabled spans allocated {span_allocs} time(s)");
+    assert_eq!(span_allocs, 0, "disabled spans must not allocate");
+
+    // Check 4b: counting itself (a few relaxed atomics per allocation)
+    // must not measurably slow the training step: paired profiler-on /
+    // profiler-off ratios, same protocol as check 3.
+    let alloc_factor = factor_env("PLATEAU_ALLOC_OVERHEAD_FACTOR", 1.05);
+    let mut prof_ratios = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        set_profiling(false);
+        let t = Instant::now();
+        run_instrumented(&w, bench_iters, false);
+        let off = t.elapsed().as_nanos() as f64;
+        set_profiling(true);
+        let t = Instant::now();
+        run_instrumented(&w, bench_iters, false);
+        prof_ratios.push(t.elapsed().as_nanos() as f64 / off);
+    }
+    let prof_ratio = median(&mut prof_ratios);
+    let verdict = if prof_ratio <= alloc_factor { "ok" } else { "REGRESSION" };
+    println!(
+        "# profiler-on/off paired median over {repeats} repeats: x{prof_ratio:.4} (limit x{alloc_factor:.2}) {verdict}"
+    );
+    if prof_ratio > alloc_factor {
+        eprintln!(
+            "alloc profiler overhead gate FAILED: counting costs {:.2}% (limit {:.2}%)",
+            (prof_ratio - 1.0) * 100.0,
+            (alloc_factor - 1.0) * 100.0
+        );
+        std::process::exit(1);
+    }
+
+    let s = stats();
+    println!(
+        "# profiler totals: {} allocation(s), {} byte(s) cumulative, peak footprint {}",
+        s.count,
+        s.bytes,
+        plateau_obs::alloc::fmt_bytes(s.peak_bytes)
+    );
     println!("# telemetry overhead gate passed");
 }

@@ -78,6 +78,8 @@ pub struct Report {
     pub iterations: u64,
     /// Median per-iteration time (headline metric).
     pub median_ns: f64,
+    /// 90th-percentile per-batch estimate (nearest rank).
+    pub p90_ns: f64,
     /// Mean per-iteration time.
     pub mean_ns: f64,
     /// Standard deviation of the per-batch estimates.
@@ -94,6 +96,7 @@ impl Report {
             ("name", Json::str(self.name.clone())),
             ("iterations", Json::Num(self.iterations as f64)),
             ("median_ns", Json::Num(self.median_ns)),
+            ("p90_ns", Json::Num(self.p90_ns)),
             ("mean_ns", Json::Num(self.mean_ns)),
             ("stddev_ns", Json::Num(self.stddev_ns)),
             ("min_ns", Json::Num(self.min_ns)),
@@ -109,6 +112,8 @@ pub struct Harness {
     name: String,
     options: BenchOptions,
     reports: Vec<Report>,
+    config: Vec<(String, Json)>,
+    notes: Vec<String>,
 }
 
 impl Harness {
@@ -126,6 +131,8 @@ impl Harness {
             name: name.to_string(),
             options,
             reports: Vec::new(),
+            config: Vec::new(),
+            notes: Vec::new(),
         }
     }
 
@@ -134,6 +141,19 @@ impl Harness {
     pub fn quick(mut self) -> Harness {
         self.options = BenchOptions::quick();
         self
+    }
+
+    /// Stamps a workload parameter (qubit count, layer count, thread
+    /// count, …) into the JSON report and every perf-ledger record, so
+    /// history stays comparable across config changes.
+    pub fn config(&mut self, key: &str, value: Json) {
+        self.config.push((key.to_string(), value));
+    }
+
+    /// Attaches a free-form note to the JSON report (e.g. a measured
+    /// crossover point or the reasoning behind a default).
+    pub fn note(&mut self, text: &str) {
+        self.notes.push(text.to_string());
     }
 
     /// Opens a named benchmark group; benchmarks registered on it report
@@ -164,20 +184,65 @@ impl Harness {
             );
         }
         if let Ok(path) = std::env::var("PLATEAU_BENCH_JSON") {
-            let doc = Json::obj([
-                ("harness", Json::str(self.name.clone())),
+            let mut fields = vec![
+                ("harness".to_string(), Json::str(self.name.clone())),
                 (
-                    "benchmarks",
+                    "benchmarks".to_string(),
                     Json::Arr(self.reports.iter().map(Report::to_json).collect()),
                 ),
-            ]);
+            ];
+            if !self.config.is_empty() {
+                fields.push(("config".to_string(), Json::Obj(self.config.clone())));
+            }
+            if !self.notes.is_empty() {
+                fields.push((
+                    "notes".to_string(),
+                    Json::Arr(self.notes.iter().cloned().map(Json::str).collect()),
+                ));
+            }
+            let doc = Json::Obj(fields);
             match std::fs::write(&path, doc.to_pretty_string()) {
                 Ok(()) => println!("# json report: {path}"),
                 Err(e) => plateau_obs::warn!("failed to write {path}: {e}"),
             }
         }
+        self.record_perf_ledger();
         plateau_obs::finish_run();
         self.reports
+    }
+
+    /// Appends one perf-ledger record per report when `PLATEAU_PERF` is
+    /// on. Peak bytes ride along when the counting allocator is live.
+    fn record_perf_ledger(&self) {
+        if !plateau_obs::perf::perf_enabled() {
+            return;
+        }
+        let peak = match plateau_obs::alloc::profiling_active() {
+            true => Some(plateau_obs::alloc::stats().peak_bytes),
+            false => None,
+        };
+        let mut appended_to = None;
+        for r in &self.reports {
+            let mut rec = plateau_obs::perf::PerfRecord::new(&r.name, r.median_ns, r.p90_ns)
+                .config("harness", Json::str(self.name.clone()));
+            for (k, v) in &self.config {
+                rec = rec.config(k, v.clone());
+            }
+            if let Some(bytes) = peak {
+                rec = rec.peak_bytes(bytes);
+            }
+            match plateau_obs::perf::record_perf(&rec) {
+                Ok(path) => appended_to = path,
+                Err(e) => plateau_obs::warn!("perf ledger append failed for {}: {e}", r.name),
+            }
+        }
+        if let Some(path) = appended_to {
+            println!(
+                "# perf ledger: appended {} record(s) to {}",
+                self.reports.len(),
+                path.display()
+            );
+        }
     }
 
     fn run_one<T>(&mut self, name: String, options: BenchOptions, mut f: impl FnMut() -> T) {
@@ -206,6 +271,7 @@ impl Harness {
             name,
             iterations: batch * options.samples as u64,
             median_ns: median(&estimates_ns),
+            p90_ns: percentile(&estimates_ns, 0.9),
             mean_ns: mean(&estimates_ns),
             stddev_ns: stddev(&estimates_ns),
             min_ns: estimates_ns.iter().copied().fold(f64::INFINITY, f64::min),
@@ -267,6 +333,14 @@ fn median(xs: &[f64]) -> f64 {
     }
 }
 
+/// Nearest-rank percentile (matches the perf-ledger read side).
+fn percentile(xs: &[f64], q: f64) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.total_cmp(b));
+    let rank = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len());
+    v[rank - 1]
+}
+
 fn stddev(xs: &[f64]) -> f64 {
     if xs.len() < 2 {
         return 0.0;
@@ -295,6 +369,14 @@ mod tests {
     fn median_odd_and_even() {
         assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
         assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0];
+        assert_eq!(percentile(&xs, 0.9), 90.0);
+        assert_eq!(percentile(&xs, 0.5), 50.0);
+        assert_eq!(percentile(&[7.0], 0.9), 7.0);
     }
 
     #[test]

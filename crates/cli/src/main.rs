@@ -16,12 +16,15 @@
 //! plateau classify  [--qubits 3] [--layers 3] [--samples 120] [--epochs 60] [--strategy S]
 //! plateau fuzz      [--cases 200] [--seed 0xfeed] [--max-qubits 8]
 //!                   [--artifacts target/fuzz] [--mutate true] [--replay PATH]
-//! plateau obs report --trace run.jsonl [--top N] [--filter prefix]
+//! plateau obs report --trace run.jsonl [--top N] [--filter prefix] [--by time|alloc|peak]
 //! plateau obs flame  --trace run.jsonl --out flame.svg [--collapsed stacks.txt]
+//!                    [--by time|alloc|peak]
 //! plateau obs diff   <base> <new> [--threshold 0.2]   (sides: traces or baselines)
 //! plateau obs baseline --trace run.jsonl [--out baseline.json]
 //! plateau obs runs   list | show [ID] | compare [A B]
 //!                    [--dir target/obs] [--svg plot.svg]
+//! plateau obs perf   list | trend | regress
+//!                    [--dir target/obs] [--bench PREFIX] [--svg plot.svg] [--threshold 0.25]
 //! plateau help
 //! ```
 //!
@@ -152,15 +155,25 @@ fn print_help() {
          \x20            [--artifacts DIR] [--mutate true] [--replay PATH]\n\
          \x20 obs        trace profiler + experiment ledger\n\
          \x20            report   --trace run.jsonl [--top N] [--filter PREFIX]\n\
+         \x20                     [--by time|alloc|peak]\n\
          \x20                     self-time ranking (optionally restricted to one\n\
-         \x20                     span-name prefix, e.g. --filter sim.)\n\
+         \x20                     span-name prefix, e.g. --filter sim.); --by ranks\n\
+         \x20                     by memory when the trace was recorded with\n\
+         \x20                     PLATEAU_ALLOC_PROFILE=1\n\
          \x20            flame    --trace run.jsonl --out f.svg    SVG flamegraph\n\
+         \x20                     [--by time|alloc|peak] weights frames by bytes\n\
          \x20            diff     BASE NEW [--threshold 0.2]       regression gate\n\
          \x20            baseline --trace run.jsonl [--out b.json] committable baseline\n\
          \x20            runs     list | show [ID] | compare [A B]\n\
          \x20                     [--dir target/obs] [--svg plot.svg]\n\
          \x20                     registry of ledger-recorded experiments: run-to-run\n\
          \x20                     metric deltas, gradient-decay slopes, SVG overlays\n\
+         \x20            perf     list | trend | regress\n\
+         \x20                     [--dir target/obs] [--bench PREFIX] [--svg plot.svg]\n\
+         \x20                     [--threshold 0.25]\n\
+         \x20                     bench-perf ledger (PLATEAU_PERF=1 while running a\n\
+         \x20                     bench bin records history): per-bench trend fits\n\
+         \x20                     and a history-based regression gate\n\
          \x20 help       this message\n\
          \n\
          run `plateau <subcommand> --flag value …`; see crate docs for flags.\n\
@@ -609,29 +622,44 @@ fn cmd_obs(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
         Ok(trace)
     };
 
+    let rank_by = || -> Result<plateau_obs::analyze::RankBy, Box<dyn Error>> {
+        match parsed.opt_str("by") {
+            None => Ok(plateau_obs::analyze::RankBy::Time),
+            Some(s) => plateau_obs::analyze::RankBy::parse(&s)
+                .ok_or_else(|| format!("unknown --by {s:?} (time|alloc|peak)").into()),
+        }
+    };
+
     let sub = parsed
         .positionals()
         .first()
-        .ok_or("obs needs a subcommand: report|flame|diff|baseline|runs")?;
+        .ok_or("obs needs a subcommand: report|flame|diff|baseline|runs|perf")?;
     match sub.as_str() {
         "report" => {
-            check_flags(parsed, &["trace", "top", "filter"])?;
+            check_flags(parsed, &["trace", "top", "filter", "by"])?;
             let top = parsed.get("top", 20usize)?;
+            let by = rank_by()?;
             let mut analysis = Analysis::of(&required_trace()?);
             if let Some(prefix) = parsed.opt_str("filter") {
                 analysis = analysis.filter_prefix(&prefix);
             }
+            analysis.rank_by(by);
             print!("{}", analysis.render_report(top));
             Ok(())
         }
         "runs" => cmd_obs_runs(parsed),
+        "perf" => cmd_obs_perf(parsed),
         "flame" => {
-            check_flags(parsed, &["trace", "out", "collapsed"])?;
+            check_flags(parsed, &["trace", "out", "collapsed", "by"])?;
             let out = parsed.get_str("out", "flame.svg");
+            let by = rank_by()?;
             let trace = required_trace()?;
             let title = trace.command.clone().unwrap_or_else(|| "plateau trace".into());
-            std::fs::write(&out, plateau_obs::flame::flamegraph_svg(&trace, &title))
-                .map_err(|e| format!("cannot write {out}: {e}"))?;
+            std::fs::write(
+                &out,
+                plateau_obs::flame::flamegraph_svg_by(&trace, &title, by),
+            )
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
             println!(
                 "# wrote {out}: {} spans, {} roots, max depth {}",
                 trace.spans.len(),
@@ -678,9 +706,67 @@ fn cmd_obs(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
             }
             Ok(())
         }
-        other => Err(
-            format!("unknown obs subcommand {other:?} (report|flame|diff|baseline|runs)").into(),
-        ),
+        other => Err(format!(
+            "unknown obs subcommand {other:?} (report|flame|diff|baseline|runs|perf)"
+        )
+        .into()),
+    }
+}
+
+/// `plateau obs perf` — the bench-perf ledger read side. `list` tables
+/// every recorded bench run, `trend` fits a per-bench regression line over
+/// run history (optionally plotted with `--svg`), `regress` compares the
+/// latest run of each bench against the median of its recorded history
+/// and exits nonzero beyond `--threshold`.
+fn cmd_obs_perf(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
+    use plateau_obs::perf::{regress, render_trend, trend_svg, trends, PerfLedger};
+    check_flags(parsed, &["dir", "svg", "threshold", "bench"])?;
+
+    let dir = std::path::PathBuf::from(match parsed.opt_str("dir") {
+        Some(d) => d,
+        None => plateau_obs::perf::perf_dir()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| plateau_obs::ledger::DEFAULT_DIR.to_string()),
+    });
+    let ledger = PerfLedger::load(&dir)?;
+    for w in &ledger.warnings {
+        plateau_obs::warn!("{}: {w}", dir.display());
+    }
+    let bench = parsed.opt_str("bench");
+
+    let action = parsed.positionals().get(1).map_or("list", String::as_str);
+    match action {
+        "list" => {
+            print!("{}", ledger.render_list());
+            Ok(())
+        }
+        "trend" => {
+            let fits = trends(&ledger, bench.as_deref());
+            print!("{}", render_trend(&fits));
+            if let Some(out) = parsed.opt_str("svg") {
+                std::fs::write(&out, trend_svg(&ledger, bench.as_deref()))
+                    .map_err(|e| format!("cannot write {out}: {e}"))?;
+                println!("# wrote {out}");
+            }
+            Ok(())
+        }
+        "regress" => {
+            let threshold = parsed.get("threshold", 0.25f64)?;
+            if threshold <= 0.0 {
+                return Err("--threshold must be positive".into());
+            }
+            let report = regress(&ledger, threshold, bench.as_deref());
+            print!("{}", report.render(threshold));
+            match report.regressions.len() {
+                0 => Ok(()),
+                n => Err(format!(
+                    "{n} perf regression(s) beyond +{:.0}% of recorded history",
+                    100.0 * threshold
+                )
+                .into()),
+            }
+        }
+        other => Err(format!("unknown obs perf action {other:?} (list|trend|regress)").into()),
     }
 }
 

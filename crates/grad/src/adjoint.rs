@@ -98,6 +98,10 @@ impl GradientEngine for Adjoint {
         // One forward run plus one backward sweep, regardless of the
         // parameter count — the whole point of the adjoint method.
         plateau_obs::counter!("grad.executions.adjoint").add(2);
+        // Working set: φ, λ, and the per-parameter tangent μ — three
+        // statevectors of 2^n complex amplitudes.
+        plateau_obs::gauge!("grad.scratch.bytes")
+            .set((3usize << circuit.n_qubits()) as f64 * 16.0);
 
         // The backward sweep applies every gate twice (once to φ, once to
         // λ), so fusion pays double here: when the knob is on, both sweeps

@@ -22,6 +22,7 @@ use std::fs::File;
 use std::io::{BufRead, BufReader};
 use std::path::Path;
 
+use crate::alloc::fmt_bytes;
 use crate::json::Json;
 use crate::span::fmt_duration;
 
@@ -79,6 +80,16 @@ pub struct SpanNode {
     pub depth: usize,
     /// Wall time not covered by child spans (filled during tree build).
     pub self_ns: u64,
+    /// Bytes allocated on the span's thread while it was open (0 when the
+    /// trace was recorded without allocation profiling).
+    pub alloc_bytes: u64,
+    /// Allocation count on the span's thread while it was open.
+    pub alloc_count: u64,
+    /// High-water-mark rise above the live footprint at span entry.
+    pub peak_bytes: u64,
+    /// Allocated bytes not attributed to child spans (filled during tree
+    /// build, like `self_ns`).
+    pub self_alloc_bytes: u64,
     /// Indices (into [`Trace::spans`]) of direct children, in close order.
     pub children: Vec<usize>,
 }
@@ -178,6 +189,10 @@ impl Trace {
                         duration_ns: num("duration_ns").map_or(0, |v| v as u64),
                         depth: num("depth").map_or(0, |v| v as usize),
                         self_ns: 0,
+                        alloc_bytes: num("alloc_bytes").map_or(0, |v| v as u64),
+                        alloc_count: num("alloc_count").map_or(0, |v| v as u64),
+                        peak_bytes: num("peak_bytes").map_or(0, |v| v as u64),
+                        self_alloc_bytes: 0,
                         children: Vec::new(),
                     });
                 }
@@ -239,14 +254,14 @@ impl Trace {
             }
         }
 
-        // Self time: wall time minus time attributed to direct children.
+        // Self time (and self allocation): the span's own total minus what
+        // its direct children account for.
         for i in 0..spans.len() {
-            let child_ns: u64 = spans[i]
-                .children
-                .iter()
-                .map(|&c| spans[c].duration_ns)
-                .sum();
+            let (child_ns, child_bytes) = spans[i].children.iter().fold((0u64, 0u64), |acc, &c| {
+                (acc.0 + spans[c].duration_ns, acc.1 + spans[c].alloc_bytes)
+            });
             spans[i].self_ns = spans[i].duration_ns.saturating_sub(child_ns);
+            spans[i].self_alloc_bytes = spans[i].alloc_bytes.saturating_sub(child_bytes);
         }
 
         Ok(Trace {
@@ -301,6 +316,38 @@ pub struct NameStats {
     pub p90_ns: u64,
     /// Exact 99th percentile of wall times (nearest rank).
     pub p99_ns: u64,
+    /// Sum of allocated bytes (0 without allocation profiling).
+    pub alloc_bytes: u64,
+    /// Sum of self-allocated bytes (bytes minus direct children's).
+    pub self_alloc_bytes: u64,
+    /// Sum of allocation counts.
+    pub alloc_count: u64,
+    /// Largest single-span peak delta.
+    pub peak_bytes: u64,
+}
+
+/// Ranking weight for reports and flamegraphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RankBy {
+    /// Self wall time (the default).
+    #[default]
+    Time,
+    /// Self-allocated bytes.
+    Alloc,
+    /// Peak footprint delta.
+    Peak,
+}
+
+impl RankBy {
+    /// Parses a `--by` value.
+    pub fn parse(s: &str) -> Option<RankBy> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "time" | "self" => Some(RankBy::Time),
+            "alloc" | "bytes" | "mem" => Some(RankBy::Alloc),
+            "peak" => Some(RankBy::Peak),
+            _ => None,
+        }
+    }
 }
 
 /// The per-name aggregation of a trace, ready to rank, render, diff, or
@@ -331,29 +378,46 @@ fn nearest_rank(sorted: &[u64], q: f64) -> u64 {
 impl Analysis {
     /// Aggregates a reconstructed trace per span name.
     pub fn of(trace: &Trace) -> Analysis {
-        let mut by_name: BTreeMap<&str, (Vec<u64>, u64)> = BTreeMap::new();
+        #[derive(Default)]
+        struct Acc {
+            durations: Vec<u64>,
+            self_ns: u64,
+            alloc_bytes: u64,
+            self_alloc_bytes: u64,
+            alloc_count: u64,
+            peak_bytes: u64,
+        }
+        let mut by_name: BTreeMap<&str, Acc> = BTreeMap::new();
         for s in &trace.spans {
             let entry = by_name.entry(&s.name).or_default();
-            entry.0.push(s.duration_ns);
-            entry.1 += s.self_ns;
+            entry.durations.push(s.duration_ns);
+            entry.self_ns += s.self_ns;
+            entry.alloc_bytes += s.alloc_bytes;
+            entry.self_alloc_bytes += s.self_alloc_bytes;
+            entry.alloc_count += s.alloc_count;
+            entry.peak_bytes = entry.peak_bytes.max(s.peak_bytes);
         }
         let mut stats: Vec<NameStats> = by_name
             .into_iter()
-            .map(|(name, (mut durations, self_ns))| {
-                durations.sort_unstable();
-                let count = durations.len() as u64;
-                let total_ns: u64 = durations.iter().sum();
+            .map(|(name, mut acc)| {
+                acc.durations.sort_unstable();
+                let count = acc.durations.len() as u64;
+                let total_ns: u64 = acc.durations.iter().sum();
                 NameStats {
                     name: name.to_string(),
                     count,
                     total_ns,
-                    self_ns,
-                    min_ns: durations[0],
-                    max_ns: *durations.last().expect("non-empty"),
+                    self_ns: acc.self_ns,
+                    min_ns: acc.durations[0],
+                    max_ns: *acc.durations.last().expect("non-empty"),
                     mean_ns: total_ns as f64 / count as f64,
-                    p50_ns: nearest_rank(&durations, 0.5),
-                    p90_ns: nearest_rank(&durations, 0.9),
-                    p99_ns: nearest_rank(&durations, 0.99),
+                    p50_ns: nearest_rank(&acc.durations, 0.5),
+                    p90_ns: nearest_rank(&acc.durations, 0.9),
+                    p99_ns: nearest_rank(&acc.durations, 0.99),
+                    alloc_bytes: acc.alloc_bytes,
+                    self_alloc_bytes: acc.self_alloc_bytes,
+                    alloc_count: acc.alloc_count,
+                    peak_bytes: acc.peak_bytes,
                 }
             })
             .collect();
@@ -366,6 +430,24 @@ impl Analysis {
             git: trace.git.clone(),
             warnings: trace.warnings.clone(),
         }
+    }
+
+    /// Whether any span in the trace carried allocation attribution.
+    pub fn has_alloc_data(&self) -> bool {
+        self.stats
+            .iter()
+            .any(|s| s.alloc_bytes != 0 || s.alloc_count != 0 || s.peak_bytes != 0)
+    }
+
+    /// Re-sorts `stats` by the chosen weight, descending (name-tiebreak).
+    pub fn rank_by(&mut self, by: RankBy) {
+        let key = |s: &NameStats| match by {
+            RankBy::Time => s.self_ns,
+            RankBy::Alloc => s.self_alloc_bytes,
+            RankBy::Peak => s.peak_bytes,
+        };
+        self.stats
+            .sort_by(|a, b| key(b).cmp(&key(a)).then(a.name.cmp(&b.name)));
     }
 
     /// Restricts the analysis to span names starting with `prefix`
@@ -421,14 +503,24 @@ impl Analysis {
             .chain(["name".len()])
             .max()
             .unwrap_or(4);
+        // Memory columns appear only when the trace was recorded with
+        // allocation profiling, so plain-trace output stays byte-stable.
+        let with_alloc = self.has_alloc_data();
         out.push_str(&format!(
-            "{:<name_w$}  {:>6}  {:>9}  {:>6}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}\n",
+            "{:<name_w$}  {:>6}  {:>9}  {:>6}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}",
             "name", "count", "self", "self%", "total", "mean", "p50", "p90", "p99"
         ));
+        if with_alloc {
+            out.push_str(&format!(
+                "  {:>10}  {:>10}  {:>8}  {:>10}",
+                "self-alloc", "alloc", "allocs", "peak"
+            ));
+        }
+        out.push('\n');
         let wall = self.total_wall_ns.max(1) as f64;
         for s in shown {
             out.push_str(&format!(
-                "{:<name_w$}  {:>6}  {:>9}  {:>5.1}%  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}\n",
+                "{:<name_w$}  {:>6}  {:>9}  {:>5.1}%  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}",
                 s.name,
                 s.count,
                 fmt_duration(s.self_ns),
@@ -439,6 +531,16 @@ impl Analysis {
                 fmt_duration(s.p90_ns),
                 fmt_duration(s.p99_ns),
             ));
+            if with_alloc {
+                out.push_str(&format!(
+                    "  {:>10}  {:>10}  {:>8}  {:>10}",
+                    fmt_bytes(s.self_alloc_bytes),
+                    fmt_bytes(s.alloc_bytes),
+                    s.alloc_count,
+                    fmt_bytes(s.peak_bytes),
+                ));
+            }
+            out.push('\n');
         }
         if shown.len() < self.stats.len() {
             out.push_str(&format!(
@@ -699,6 +801,55 @@ mod tests {
         assert_eq!(entries["leaf"].count, 2);
         let direct: BTreeMap<String, BaselineEntry> = (&a).into();
         assert_eq!(direct, entries);
+    }
+
+    const ALLOC_TRACE: &str = concat!(
+        r#"{"type":"span","name":"leaf","id":2,"parent":1,"duration_ns":100,"depth":1,"fields":{},"alloc_bytes":4096,"alloc_count":4,"peak_bytes":2048}"#,
+        "\n",
+        r#"{"type":"span","name":"root","id":1,"parent":null,"duration_ns":1000,"depth":0,"fields":{},"alloc_bytes":5120,"alloc_count":6,"peak_bytes":512}"#,
+        "\n",
+    );
+
+    #[test]
+    fn alloc_attribution_flows_into_self_alloc_and_aggregates() {
+        let trace = Trace::parse(ALLOC_TRACE).unwrap();
+        let root = trace.spans.iter().position(|s| s.id == 1).unwrap();
+        // Root allocated 5120 bytes total, 4096 of them inside its leaf.
+        assert_eq!(trace.spans[root].self_alloc_bytes, 1024);
+        let a = Analysis::of(&trace);
+        assert!(a.has_alloc_data());
+        let leaf = a.stats.iter().find(|s| s.name == "leaf").unwrap();
+        assert_eq!(leaf.alloc_bytes, 4096);
+        assert_eq!(leaf.self_alloc_bytes, 4096);
+        assert_eq!(leaf.alloc_count, 4);
+        assert_eq!(leaf.peak_bytes, 2048);
+        let report = a.render_report(0);
+        assert!(report.contains("self-alloc"), "{report}");
+        assert!(report.contains("4.0KiB"), "{report}");
+    }
+
+    #[test]
+    fn rank_by_reorders_and_parses() {
+        let mut a = Analysis::of(&Trace::parse(ALLOC_TRACE).unwrap());
+        assert_eq!(a.stats[0].name, "root", "time ranking: root has more self time");
+        a.rank_by(RankBy::Alloc);
+        assert_eq!(a.stats[0].name, "leaf", "leaf self-allocated more");
+        a.rank_by(RankBy::Peak);
+        assert_eq!(a.stats[0].name, "leaf", "leaf raised the peak more");
+        a.rank_by(RankBy::Time);
+        assert_eq!(a.stats[0].name, "root");
+        assert_eq!(RankBy::parse("alloc"), Some(RankBy::Alloc));
+        assert_eq!(RankBy::parse("PEAK"), Some(RankBy::Peak));
+        assert_eq!(RankBy::parse("time"), Some(RankBy::Time));
+        assert_eq!(RankBy::parse("wat"), None);
+    }
+
+    #[test]
+    fn plain_traces_render_without_memory_columns() {
+        let a = Analysis::of(&Trace::parse(GOLDEN).unwrap());
+        assert!(!a.has_alloc_data());
+        let report = a.render_report(0);
+        assert!(!report.contains("self-alloc"), "{report}");
     }
 
     #[test]

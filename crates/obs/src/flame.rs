@@ -11,7 +11,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use crate::analyze::Trace;
+use crate::analyze::{RankBy, SpanNode, Trace};
 use crate::span::fmt_duration;
 
 /// Renders the trace as collapsed stacks: one `path;to;frame value` line
@@ -77,25 +77,42 @@ fn xml_escape(s: &str) -> String {
     out
 }
 
+/// The weight a span contributes to frame widths for a given ranking.
+/// Inclusive values (the whole span, children included), matching the
+/// icicle layout where children nest inside their parent's extent.
+fn weight_of(span: &SpanNode, by: RankBy) -> u64 {
+    match by {
+        RankBy::Time => span.duration_ns,
+        RankBy::Alloc => span.alloc_bytes,
+        RankBy::Peak => span.peak_bytes,
+    }
+}
+
 struct FlameWriter<'a> {
     trace: &'a Trace,
-    total_ns: u64,
+    total: u64,
+    by: RankBy,
     out: String,
 }
 
 impl FlameWriter<'_> {
-    fn px(&self, ns: u64) -> f64 {
-        ns as f64 / self.total_ns.max(1) as f64 * WIDTH
+    fn px(&self, weight: u64) -> f64 {
+        weight as f64 / self.total.max(1) as f64 * WIDTH
     }
 
-    fn frame(&mut self, name: &str, x_ns: u64, dur_ns: u64, row: usize) {
-        let (x, w) = (self.px(x_ns), self.px(dur_ns));
+    fn frame(&mut self, name: &str, x_w: u64, weight: u64, row: usize) {
+        let (x, w) = (self.px(x_w), self.px(weight));
         if w < MIN_PX {
             return;
         }
         let y = TOP_MARGIN + row as f64 * FRAME_H;
-        let pct = 100.0 * dur_ns as f64 / self.total_ns.max(1) as f64;
-        let title = format!("{name} — {} ({pct:.1}%)", fmt_duration(dur_ns));
+        let pct = 100.0 * weight as f64 / self.total.max(1) as f64;
+        // Byte weights keep the exact count in the tooltip: memory
+        // regressions are diagnosed by exact deltas, not rounded units.
+        let title = match self.by {
+            RankBy::Time => format!("{name} — {} ({pct:.1}%)", fmt_duration(weight)),
+            RankBy::Alloc | RankBy::Peak => format!("{name} — {weight} B ({pct:.1}%)"),
+        };
         let _ = writeln!(
             self.out,
             r##"<g><title>{}</title><rect x="{x:.2}" y="{y:.1}" width="{w:.2}" height="{:.1}" fill="{}" stroke="#f8f8f8" stroke-width="0.5" rx="1"/>"##,
@@ -124,31 +141,48 @@ impl FlameWriter<'_> {
         let _ = writeln!(self.out, "</g>");
     }
 
-    fn walk(&mut self, idx: usize, x_ns: u64, row: usize) {
-        let (name, dur) = {
-            let s = &self.trace.spans[idx];
-            (s.name.clone(), s.duration_ns)
-        };
-        self.frame(&name, x_ns, dur, row);
-        let mut child_x = x_ns;
+    fn walk(&mut self, idx: usize, x_w: u64, budget: u64, row: usize) {
+        // Clamp to the parent's remaining extent: peak deltas are not
+        // additive across siblings, so children could otherwise overflow
+        // their parent frame.
+        let name = self.trace.spans[idx].name.clone();
+        let weight = weight_of(&self.trace.spans[idx], self.by).min(budget);
+        self.frame(&name, x_w, weight, row);
+        let mut child_x = x_w;
+        let end = x_w + weight;
         let children = self.trace.spans[idx].children.clone();
         for c in children {
-            self.walk(c, child_x, row + 1);
-            child_x += self.trace.spans[c].duration_ns;
+            let cw = weight_of(&self.trace.spans[c], self.by).min(end.saturating_sub(child_x));
+            self.walk(c, child_x, cw, row + 1);
+            child_x += cw;
         }
     }
 }
 
 /// Renders the trace as a standalone SVG flamegraph (icicle layout, root
-/// row on top). `title` is drawn in the header; pass the trace command.
+/// row on top), weighted by wall time. `title` is drawn in the header;
+/// pass the trace command.
 pub fn flamegraph_svg(trace: &Trace, title: &str) -> String {
-    let total_ns = trace.total_wall_ns();
+    flamegraph_svg_by(trace, title, RankBy::Time)
+}
+
+/// Like [`flamegraph_svg`], but frame widths follow the chosen weight:
+/// wall time, allocated bytes, or peak-footprint delta. A trace recorded
+/// without allocation profiling renders an empty (but valid) graph for
+/// the byte weights — every frame has zero width.
+pub fn flamegraph_svg_by(trace: &Trace, title: &str, by: RankBy) -> String {
+    let total: u64 = trace
+        .roots
+        .iter()
+        .map(|&r| weight_of(&trace.spans[r], by))
+        .sum();
     // +1 row for the synthetic "all" frame spanning the whole width.
     let rows = trace.max_depth() + 1;
     let height = TOP_MARGIN + rows as f64 * FRAME_H + 10.0;
     let mut w = FlameWriter {
         trace,
-        total_ns,
+        total,
+        by,
         out: String::new(),
     };
     let _ = writeln!(
@@ -161,12 +195,13 @@ pub fn flamegraph_svg(trace: &Trace, title: &str) -> String {
         WIDTH / 2.0,
         xml_escape(title),
     );
-    w.frame("all", 0, total_ns, 0);
-    let mut x_ns = 0u64;
+    w.frame("all", 0, total, 0);
+    let mut x_w = 0u64;
     let roots = trace.roots.clone();
     for r in roots {
-        w.walk(r, x_ns, 1);
-        x_ns += trace.spans[r].duration_ns;
+        let rw = weight_of(&trace.spans[r], by);
+        w.walk(r, x_w, rw, 1);
+        x_w += rw;
     }
     let _ = writeln!(w.out, "</svg>");
     w.out
@@ -228,6 +263,33 @@ mod tests {
         let svg = flamegraph_svg(&trace, "t");
         assert!(svg.contains("huge"));
         assert!(!svg.contains("tiny"));
+    }
+
+    #[test]
+    fn alloc_weighted_svg_carries_exact_byte_tooltips() {
+        let lines = concat!(
+            r#"{"type":"span","name":"leaf","id":2,"parent":1,"duration_ns":100,"depth":1,"fields":{},"alloc_bytes":4096,"alloc_count":4,"peak_bytes":2048}"#,
+            "\n",
+            r#"{"type":"span","name":"root","id":1,"parent":null,"duration_ns":1000,"depth":0,"fields":{},"alloc_bytes":5120,"alloc_count":6,"peak_bytes":512}"#,
+            "\n",
+        );
+        let trace = Trace::parse(lines).unwrap();
+        let svg = flamegraph_svg_by(&trace, "t", RankBy::Alloc);
+        assert!(svg.contains("root — 5120 B (100.0%)"), "{svg}");
+        assert!(svg.contains("leaf — 4096 B (80.0%)"), "{svg}");
+        // Peak weight: the leaf's 2048 delta is clamped to root's 512.
+        let peak = flamegraph_svg_by(&trace, "t", RankBy::Peak);
+        assert!(peak.contains("root — 512 B (100.0%)"), "{peak}");
+        assert!(peak.contains("leaf — 512 B (100.0%)"), "{peak}");
+    }
+
+    #[test]
+    fn byte_weights_on_plain_traces_yield_empty_valid_svg() {
+        let trace = Trace::parse(GOLDEN).unwrap();
+        let svg = flamegraph_svg_by(&trace, "t", RankBy::Alloc);
+        assert!(svg.starts_with("<?xml version=\"1.0\""));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<g>").count(), 0, "all frames are zero-width");
     }
 
     #[test]

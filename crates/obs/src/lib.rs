@@ -43,6 +43,21 @@
 //!    with per-column decay fits and zero-dep SVG line plots, backing
 //!    `plateau obs runs list|show|compare`.
 //!
+//! PR 8 makes **memory** a first-class observable and gives performance a
+//! persistent history:
+//!
+//! 10. **Allocation profiler** ([`alloc`]): a counting wrapper around the
+//!     system allocator (bytes/count/live/peak, relaxed atomics, a single
+//!     load on the disabled path). When profiling is on, every span record
+//!     additionally carries `alloc_bytes`/`alloc_count`/`peak_bytes`
+//!     deltas, and [`analyze`]/[`flame`] can rank by memory as well as
+//!     time (`--by alloc|peak|time`).
+//! 11. **Perf ledger** ([`perf`]): an append-only `target/obs/perf.jsonl`
+//!     of bench results (git rev, bench id, config, median/p90, peak
+//!     bytes, cores) with a read side — `plateau obs perf
+//!     list|trend|regress`: per-bench trend fits, SVG trend plots, and a
+//!     regression gate against the recorded history.
+//!
 //! # Configuration
 //!
 //! | Env var               | Effect                                         |
@@ -51,10 +66,14 @@
 //! | `PLATEAU_METRICS`     | `1`/`true`/`on` enables the metrics registry   |
 //! | `PLATEAU_METRICS_OUT` | path for the JSONL event stream (bench bins; the CLI uses `--metrics-out`) |
 //! | `PLATEAU_LEDGER`      | `1`/`true`/`on` → ledger at `target/obs`; any other value → that directory |
+//! | `PLATEAU_ALLOC_PROFILE` | `1`/`true`/`on` enables allocation profiling (needs a [`alloc::CountingAllocator`] installed) |
+//! | `PLATEAU_PERF`        | `1`/`true`/`on` → perf ledger at `target/obs`; any other value → that directory |
 //!
 //! Programmatic overrides ([`set_log_level`], [`set_metrics_enabled`],
-//! [`init`], [`set_ledger_dir`]) always win over the environment.
+//! [`init`], [`set_ledger_dir`], [`alloc::set_profiling`],
+//! [`perf::set_perf_dir`]) always win over the environment.
 
+pub mod alloc;
 pub mod analyze;
 pub mod diff;
 pub mod flame;
@@ -62,6 +81,7 @@ pub mod json;
 pub mod ledger;
 pub mod manifest;
 pub mod metrics;
+pub mod perf;
 pub mod runs;
 pub mod span;
 pub mod timeseries;

@@ -620,6 +620,33 @@ mod tests {
     }
 
     #[test]
+    fn find_prefers_exact_id_over_shared_prefix() {
+        let dir = temp_dir("prefix");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Hand-built ledger: "aaa-1" is both a full id and a prefix of
+        // "aaa-12", and "aaa" prefixes both.
+        let mut lines = String::new();
+        for id in ["aaa-1", "aaa-12", "bbb-3"] {
+            lines.push_str(&format!(
+                "{{\"type\":\"run\",\"id\":\"{id}\",\"ts_unix\":0,\"command\":\"train\",\
+                 \"git\":\"g\",\"seed\":null,\"config\":{{}},\"metrics\":{{}},\"series\":null}}\n"
+            ));
+        }
+        std::fs::write(dir.join("ledger.jsonl"), lines).unwrap();
+        let ledger = Ledger::load(&dir).unwrap();
+
+        // Exact match wins even though it is also a prefix of another id.
+        assert_eq!(ledger.find("aaa-1").unwrap().id, "aaa-1");
+        assert_eq!(ledger.find("aaa-12").unwrap().id, "aaa-12");
+        // A prefix matching two ids is ambiguous, with the count named.
+        let err = ledger.find("aaa").unwrap_err();
+        assert!(err.contains("ambiguous") && err.contains("2 matches"), "{err}");
+        // A unique prefix still resolves.
+        assert_eq!(ledger.find("bbb").unwrap().id, "bbb-3");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn torn_final_line_is_a_warning_not_an_error() {
         let _guard = test_lock();
         let dir = temp_dir("torn");

@@ -189,6 +189,7 @@ pub struct Span {
     fields: Vec<Field>,
     id: u64,
     parent: Option<u64>,
+    alloc: Option<crate::alloc::SpanAllocStart>,
     stderr: bool,
     jsonl: bool,
     metrics: bool,
@@ -208,6 +209,7 @@ impl Span {
                 fields: Vec::new(),
                 id: 0,
                 parent: None,
+                alloc: None,
                 stderr: false,
                 jsonl: false,
                 metrics: false,
@@ -235,12 +237,16 @@ impl Span {
                 fmt_fields(&fields)
             );
         }
+        // Snapshot last, so the span's own bookkeeping (field vector,
+        // stack growth) is not charged to it.
+        let alloc = crate::alloc::span_start();
         Span {
             name,
             start: Some(Instant::now()),
             fields,
             id,
             parent,
+            alloc,
             stderr,
             jsonl,
             metrics,
@@ -275,6 +281,9 @@ impl Drop for Span {
     fn drop(&mut self) {
         let Some(start) = self.start else { return };
         let dur_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        // Close the attribution window before any record building below
+        // allocates on this thread.
+        let alloc = self.alloc.take().map(crate::alloc::SpanAllocStart::finish);
         let depth = DEPTH.with(|d| {
             let v = d.get().saturating_sub(1);
             d.set(v);
@@ -309,7 +318,7 @@ impl Drop for Span {
                     .map(|f| (f.key.to_string(), f.value.to_json()))
                     .collect(),
             );
-            write_jsonl_record(&Json::Obj(vec![
+            let mut record = vec![
                 ("type".to_string(), Json::str("span")),
                 ("name".to_string(), Json::str(self.name)),
                 ("id".to_string(), Json::Num(self.id as f64)),
@@ -320,7 +329,13 @@ impl Drop for Span {
                 ("duration_ns".to_string(), Json::Num(dur_ns as f64)),
                 ("depth".to_string(), Json::from(depth)),
                 ("fields".to_string(), fields),
-            ]));
+            ];
+            if let Some(a) = alloc {
+                record.push(("alloc_bytes".to_string(), Json::Num(a.bytes as f64)));
+                record.push(("alloc_count".to_string(), Json::Num(a.count as f64)));
+                record.push(("peak_bytes".to_string(), Json::Num(a.peak_bytes as f64)));
+            }
+            write_jsonl_record(&Json::Obj(record));
         }
         if self.metrics {
             crate::metrics::histogram(&format!("span.{}_ns", self.name)).record(dur_ns);

@@ -320,6 +320,50 @@ mod tests {
     }
 
     #[test]
+    fn capacity_one_is_clamped_to_two_and_still_decimates() {
+        let mut s = series_1col(1);
+        for i in 0..100 {
+            s.push(i as f64, &[i as f64]);
+        }
+        assert!(s.len() <= 2, "clamped capacity must bound retention: {}", s.len());
+        assert!(!s.is_empty());
+        assert_eq!(s.pushed(), 100);
+        // Row 0 is always push 0 — decimation keeps even-indexed rows.
+        assert_eq!(s.index()[0], 0.0);
+        let stride = s.stride() as f64;
+        for (k, &x) in s.index().iter().enumerate() {
+            assert_eq!(x, k as f64 * stride);
+        }
+    }
+
+    #[test]
+    fn pushing_exactly_capacity_rows_never_decimates() {
+        let mut s = series_1col(8);
+        for i in 0..8 {
+            s.push(i as f64, &[i as f64]);
+        }
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.stride(), 1, "a full-but-not-overfull buffer keeps every row");
+        // The very next push triggers exactly one decimation.
+        s.push(8.0, &[8.0]);
+        assert_eq!(s.stride(), 2);
+        assert_eq!(s.len(), 5, "4 survivors + the newly selected push 8");
+        assert_eq!(s.index(), &[0.0, 2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn nan_only_column_extracts_as_empty_not_missing() {
+        let mut s = TimeSeries::new(vec!["loss", "bp_score"], 8);
+        for i in 0..4 {
+            s.push(i as f64, &[i as f64, f64::NAN]);
+        }
+        // The column exists, every row is NaN: Some(empty), not None.
+        assert_eq!(s.column("bp_score"), Some(vec![]));
+        assert_eq!(s.column("loss").unwrap().len(), 4);
+        assert!(s.column("absent").is_none());
+    }
+
+    #[test]
     fn jsonl_round_trip_preserves_rows_and_nan() {
         let mut s = TimeSeries::new(vec!["loss", "bp_score"], 32);
         s.push(0.0, &[1.0, f64::NAN]);

@@ -638,6 +638,26 @@ impl CompiledCircuit {
             .count()
     }
 
+    /// Approximate heap footprint of the compiled form: per-segment op
+    /// lists plus precomputed diagonals (`2^n` complex entries each, the
+    /// dominant term). Used for the `sim.fuse.compiled_bytes` gauge.
+    pub fn approx_bytes(&self) -> usize {
+        let segs: usize = self
+            .segments
+            .iter()
+            .map(|s| {
+                let ops = s.ops().len() * std::mem::size_of::<Op>();
+                match s {
+                    Segment::Diagonal { diag, .. } => {
+                        ops + diag.len() * std::mem::size_of::<C64>()
+                    }
+                    _ => ops,
+                }
+            })
+            .sum();
+        segs + self.segments.len() * std::mem::size_of::<Segment>()
+    }
+
     /// Whether compilation was a no-op: every segment is a raw op, in
     /// source order.
     pub fn is_identity_transform(&self) -> bool {
@@ -1009,6 +1029,7 @@ pub fn compile(circuit: &Circuit) -> CompiledCircuit {
     plateau_obs::counter!("sim.fuse.gates_in").add(compiled.gates_in as u64);
     plateau_obs::counter!("sim.fuse.gates_out").add(compiled.gates_out() as u64);
     plateau_obs::counter!("sim.fuse.superkernels").add(compiled.superkernels() as u64);
+    plateau_obs::gauge!("sim.fuse.compiled_bytes").set(compiled.approx_bytes() as f64);
     compiled
 }
 

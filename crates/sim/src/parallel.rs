@@ -34,10 +34,17 @@ use plateau_linalg::C64;
 use plateau_par::{par_map_collect, worker_count};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Default qubit threshold at which kernels go multi-threaded. A 14-qubit
-/// statevector (16384 amplitudes, 256 KiB) is where per-gate work starts
-/// to dwarf the scoped-thread fork-join overhead.
-pub const DEFAULT_PAR_THRESHOLD: usize = 14;
+/// Default qubit threshold at which kernels go multi-threaded.
+///
+/// Measured with the `par_crossover` bench bin (training-ansatz forward
+/// runs, serial vs forced-parallel kernels): at the old default of 14
+/// qubits the parallel path ran at 0.42× serial, and even a 16-qubit
+/// statevector (1 MiB) only reached 0.63× — the scoped-thread fork-join
+/// overhead per gate still dominates below ~2 MiB of amplitudes. The
+/// default therefore sits at 17 so the paper's 10-qubit workload (and
+/// every tier-1 test size) always takes the serial loops; machines with
+/// many fast cores can lower it via `PLATEAU_SIM_PAR_THRESHOLD`.
+pub const DEFAULT_PAR_THRESHOLD: usize = 17;
 
 /// Cached threshold: 0 = uninitialized, otherwise `threshold + 1`.
 static PAR_THRESHOLD: AtomicUsize = AtomicUsize::new(0);

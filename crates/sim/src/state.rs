@@ -54,6 +54,8 @@ impl State {
         );
         plateau_obs::counter!("sim.state.allocations").inc();
         let mut amps = vec![C64::ZERO; 1 << n_qubits];
+        plateau_obs::gauge!("sim.state.bytes")
+            .set((amps.len() * std::mem::size_of::<C64>()) as f64);
         amps[0] = C64::ONE;
         State { n_qubits, amps }
     }
@@ -90,6 +92,7 @@ impl State {
             return Err(SimError::NotNormalized { norm });
         }
         plateau_obs::counter!("sim.state.allocations").inc();
+        plateau_obs::gauge!("sim.state.bytes").set((dim * std::mem::size_of::<C64>()) as f64);
         Ok(State {
             n_qubits: dim.trailing_zeros() as usize,
             amps,
@@ -116,6 +119,7 @@ impl State {
             });
         }
         plateau_obs::counter!("sim.state.allocations").inc();
+        plateau_obs::gauge!("sim.state.bytes").set((dim * std::mem::size_of::<C64>()) as f64);
         Ok(State {
             n_qubits: dim.trailing_zeros() as usize,
             amps,

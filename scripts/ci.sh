@@ -40,8 +40,11 @@ echo "dependency graph is plateau-* only."
 echo "=== observability overhead gate ==="
 # With every subscriber disabled, the metrics snapshot must be empty and
 # the variance-harness medians must sit inside the recorded baseline
-# envelope (benchmarks/BENCH_variance_harness.json).
-cargo run -q --release --offline -p plateau-bench --bin obs_overhead_gate
+# envelope (benchmarks/BENCH_variance_harness.json). PLATEAU_PERF also
+# appends each median to the persistent perf ledger (target/obs/perf.jsonl)
+# for the trend-regression gate below.
+PLATEAU_PERF=target/obs \
+    cargo run -q --release --offline -p plateau-bench --bin obs_overhead_gate
 
 echo "=== obs trace regression gate (fusion on) ==="
 # Record a fresh trace of the canonical gate workload (kept in lock-step
@@ -120,6 +123,38 @@ echo "=== sim parallel + fusion speedup gates ==="
 # the fused median must beat raw serial by at least PLATEAU_SIM_FUSE_TOL
 # (default 2.0). Recorded baseline lives in
 # benchmarks/BENCH_sim_parallel.json (re-record with --record).
-cargo run -q --release --offline -p plateau-bench --bin sim_parallel_gate
+PLATEAU_PERF=target/obs \
+    cargo run -q --release --offline -p plateau-bench --bin sim_parallel_gate
+
+echo "=== perf ledger trend-regression gate ==="
+# The harness-driven gate bins above appended one record per benchmark to
+# the append-only perf ledger. First self-test the gate on a scratch copy:
+# replaying the recorded history as-is must pass, and injecting an
+# order-of-magnitude slowdown into the latest record of one bench must
+# exit nonzero. Then gate for real: once a bench has >= 2 recorded runs,
+# its latest median must stay within PLATEAU_PERF_THRESHOLD (default
+# +25%) of the median of its own history — drift is measured against this
+# machine's recorded past. On a fresh checkout every bench is skipped
+# (single record) and the frozen benchmarks/BENCH_*.json envelopes above
+# remain the only comparison, so the first run still gates.
+perf_dir=target/obs
+scratch="$(mktemp -d)"
+cp "${perf_dir}/perf.jsonl" "${scratch}/perf.jsonl"
+cargo run -q --release --offline -p plateau-cli -- obs perf regress \
+    --dir "${scratch}" > /dev/null
+sed -n '$p' "${scratch}/perf.jsonl" | sed 's/"median_ns":/"median_ns":10/' \
+    >> "${scratch}/perf.jsonl"
+if cargo run -q --release --offline -p plateau-cli -- obs perf regress \
+    --dir "${scratch}" > /dev/null 2>&1; then
+    echo "perf regress self-test: injected slowdown was not caught" >&2
+    exit 1
+fi
+rm -rf "${scratch}"
+cargo run -q --release --offline -p plateau-cli -- obs perf regress \
+    --dir "${perf_dir}" --threshold "${PLATEAU_PERF_THRESHOLD:-0.25}"
+mkdir -p target/ci-artifacts
+cargo run -q --release --offline -p plateau-cli -- obs perf trend \
+    --dir "${perf_dir}" --svg target/ci-artifacts/perf_trend.svg > /dev/null
+grep -q "</svg>" target/ci-artifacts/perf_trend.svg
 
 echo "CI gate passed."
