@@ -44,7 +44,7 @@
 
 use crate::error::CoreError;
 use crate::optim::Optimizer;
-use plateau_grad::{expectation, layer_grad_variances_into, Adjoint, GradientEngine};
+use plateau_grad::{layer_grad_variances_into, Adjoint, BatchExecutor, GradientEngine};
 use plateau_obs::{RunRecord, TimeSeries};
 use plateau_sim::{Circuit, Observable};
 
@@ -478,7 +478,11 @@ pub fn train_instrumented(
     let mut score = PlateauScore::new(BP_SCORE_WINDOW);
     let mut bp_scores = Vec::with_capacity(iterations);
     let mut warned = false;
-    losses.push(expectation(circuit, &params, observable)?);
+    // One compile + one reusable scratch statevector for every loss
+    // evaluation across the whole run (the per-iteration gradient still
+    // goes through `engine`, whose adjoint path owns its own scratch).
+    let mut evaluator = BatchExecutor::new(circuit);
+    losses.push(evaluator.expectation(&params, observable)?);
 
     for it in 0..iterations {
         let grad = engine.gradient(circuit, &params, observable)?;
@@ -524,7 +528,7 @@ pub fn train_instrumented(
         }
         optimizer.step(&mut params, &grad)?;
         plateau_obs::counter!("train.optimizer_steps").inc();
-        losses.push(expectation(circuit, &params, observable)?);
+        losses.push(evaluator.expectation(&params, observable)?);
     }
 
     let mut hist = TrainingHistory::new(losses, grad_norms, params)?;

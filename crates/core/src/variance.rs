@@ -35,7 +35,7 @@ use crate::ansatz::{training_ansatz, variance_ansatz, Ansatz};
 use crate::cost::CostKind;
 use crate::error::CoreError;
 use crate::init::{FanMode, InitStrategy};
-use plateau_grad::{Adjoint, GradientEngine, ParameterShift};
+use plateau_grad::{Adjoint, BatchExecutor, GradientEngine, ParameterShift};
 use plateau_stats::{decay_improvement_percent, fit_exponential_decay, variance, ExpDecayFit};
 use plateau_par::par_map_indexed;
 use plateau_rng::{derive_seed, rngs::StdRng, SeedableRng};
@@ -306,6 +306,45 @@ fn gradient_sample(
     })
 }
 
+/// Computes one cell's gradient ensemble for the [`AnsatzKind::Training`]
+/// ansatz, whose circuit structure is *shared* by every ensemble member:
+/// members differ only in their parameter draw. That makes the cell a
+/// one-structure/many-parameter-vectors sweep — exactly the
+/// [`BatchExecutor`] shape — so the ansatz is built and compiled once and
+/// the whole ensemble runs through the per-worker scratch pool instead of
+/// re-deriving circuit, compile, and statevector per member.
+///
+/// Member `i`'s parameters come from the same
+/// `derive_seed(seed, 2 + strategy_idx, q, i)` stream as
+/// [`gradient_sample`], and each per-member partial is computed by the
+/// same engine arithmetic, so results are bit-identical to the
+/// member-at-a-time path (pinned in tests).
+fn training_cell_gradients(
+    config: &VarianceConfig,
+    strategy: InitStrategy,
+    strategy_idx: usize,
+    q: usize,
+) -> Result<Vec<f64>, CoreError> {
+    let ansatz = training_ansatz(q, config.layers)?;
+    let param_sets: Vec<Vec<f64>> = (0..config.n_circuits)
+        .map(|i| {
+            let mut param_rng = StdRng::seed_from_u64(derive_seed(
+                config.seed,
+                2 + strategy_idx as u64,
+                q as u64,
+                i as u64,
+            ));
+            strategy.sample_params(&ansatz.shape, config.fan_mode, &mut param_rng)
+        })
+        .collect::<Result<_, _>>()?;
+    let obs = config.cost.observable(q);
+    let mut ex = BatchExecutor::new(&ansatz.circuit);
+    Ok(match config.engine {
+        GradEngineKind::Adjoint => ex.partial_last_many_adjoint(&param_sets, &obs)?,
+        GradEngineKind::ParameterShift => ex.partial_last_many_shift(&param_sets, &obs)?,
+    })
+}
+
 /// Runs the full variance scan for the given strategies.
 ///
 /// Work is parallelized over ensemble members with
@@ -340,13 +379,19 @@ pub fn variance_scan(
             let _cell_span =
                 plateau_obs::span!("variance_cell", strategy = strategy.to_string(), q = q);
             plateau_obs::counter!("core.variance.cells").inc();
-            let gradients: Result<Vec<f64>, CoreError> =
-                par_map_indexed(config.n_circuits, |i| {
-                    gradient_sample(config, strategy, s_idx, q, i)
-                })
-                .into_iter()
-                .collect();
-            let gradients = gradients?;
+            // RandomRotations rebuilds a distinct circuit per member, so
+            // members fan out whole; the Training ansatz shares one
+            // structure across the ensemble and sweeps it batched.
+            let gradients: Vec<f64> = match config.ansatz {
+                AnsatzKind::RandomRotations => {
+                    par_map_indexed(config.n_circuits, |i| {
+                        gradient_sample(config, strategy, s_idx, q, i)
+                    })
+                    .into_iter()
+                    .collect::<Result<_, CoreError>>()?
+                }
+                AnsatzKind::Training => training_cell_gradients(config, strategy, s_idx, q)?,
+            };
             let var = variance(&gradients);
             plateau_obs::info!("variance cell {strategy} q={q}: var={var:.3e}");
             points.push(VariancePoint {

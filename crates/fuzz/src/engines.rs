@@ -14,6 +14,7 @@
 //! | `adjoint-vs-shift` | two exact gradient algorithms | `1e-8` |
 //! | `adjoint-vs-finite-diff` | exact vs `O(ε²)` central differences | `5e-6` |
 //! | `fused-vs-raw` | gate-fusion compiler output vs the gate-by-gate run | `1e-10` |
+//! | `batched-vs-per-circuit` | `expectation_many` through the batched executor's scratch pool vs one `expectation` per set | exact (`0`) |
 //! | `mutated-vs-serial` | deliberately broken kernel (self-test only) | `1e-9` |
 //! | `fused-mutated-vs-serial` | fusion with reversed merge order (self-test only) | `1e-9` |
 //!
@@ -53,6 +54,10 @@ pub enum EnginePair {
     /// The gate-fusion compiler's segment execution vs the gate-by-gate
     /// run of the same circuit.
     FusedVsRaw,
+    /// A parameter-set sweep through the batched executor (reused scratch
+    /// statevectors, single compile) vs one fresh `expectation` call per
+    /// set.
+    BatchedVsPerCircuit,
     /// The deliberately broken off-by-one kernel vs the serial engine —
     /// only scheduled by the mutation self-test, never in normal runs.
     MutatedVsSerial,
@@ -65,7 +70,7 @@ pub enum EnginePair {
 impl EnginePair {
     /// The pairs a normal fuzz run schedules (everything except the
     /// self-test mutant).
-    pub const ALL: [EnginePair; 8] = [
+    pub const ALL: [EnginePair; 9] = [
         EnginePair::SerialVsParallel,
         EnginePair::StateVsUnitary,
         EnginePair::StateVsDensity,
@@ -74,6 +79,7 @@ impl EnginePair {
         EnginePair::AdjointVsShift,
         EnginePair::AdjointVsFiniteDiff,
         EnginePair::FusedVsRaw,
+        EnginePair::BatchedVsPerCircuit,
     ];
 
     /// Stable name used in reports and artifacts.
@@ -87,6 +93,7 @@ impl EnginePair {
             EnginePair::AdjointVsShift => "adjoint-vs-shift",
             EnginePair::AdjointVsFiniteDiff => "adjoint-vs-finite-diff",
             EnginePair::FusedVsRaw => "fused-vs-raw",
+            EnginePair::BatchedVsPerCircuit => "batched-vs-per-circuit",
             EnginePair::MutatedVsSerial => "mutated-vs-serial",
             EnginePair::FusedMutatedVsSerial => "fused-mutated-vs-serial",
         }
@@ -103,6 +110,7 @@ impl EnginePair {
             EnginePair::AdjointVsShift,
             EnginePair::AdjointVsFiniteDiff,
             EnginePair::FusedVsRaw,
+            EnginePair::BatchedVsPerCircuit,
             EnginePair::MutatedVsSerial,
             EnginePair::FusedMutatedVsSerial,
         ]
@@ -125,10 +133,14 @@ impl EnginePair {
     /// angles. Fused execution multiplies gate matrices together before
     /// touching the state, which reassociates the floating-point work —
     /// mathematically identical but not bitwise, so unlike
-    /// serial-vs-parallel its budget is `1e-10` rather than zero.
+    /// serial-vs-parallel its budget is `1e-10` rather than zero. The
+    /// batched executor runs the *same* evaluator arithmetic per set as
+    /// the one-at-a-time path (only the statevector's home differs), so
+    /// its contract is bitwise and its budget zero.
     pub fn tolerance(self) -> f64 {
         match self {
             EnginePair::SerialVsParallel => 0.0,
+            EnginePair::BatchedVsPerCircuit => 0.0,
             EnginePair::StateVsUnitary => 1e-10,
             EnginePair::StateVsDensity => 1e-9,
             EnginePair::RawVsOptimized => 1e-9,
@@ -150,6 +162,7 @@ impl EnginePair {
             | EnginePair::RawVsOptimized
             | EnginePair::QasmRoundTrip
             | EnginePair::FusedVsRaw
+            | EnginePair::BatchedVsPerCircuit
             | EnginePair::MutatedVsSerial
             | EnginePair::FusedMutatedVsSerial => true,
             EnginePair::StateVsUnitary | EnginePair::StateVsDensity => {
@@ -380,6 +393,41 @@ pub fn check_pair(pair: EnginePair, case: &FuzzCase) -> Result<f64, Mismatch> {
                     compiled.gates_in(),
                     compiled.gates_out()
                 ),
+            )
+        }
+        EnginePair::BatchedVsPerCircuit => {
+            let obs = engine_try!(pair, "observable build", case.observable());
+            // Nine deterministic perturbations of the case's parameters:
+            // one more than the batched engine's parallel threshold, so
+            // the sweep exercises the fan-out path on multi-core hosts
+            // (and the serial scratch path elsewhere) against the same
+            // oracle.
+            let sets: Vec<Vec<f64>> = (0..9)
+                .map(|j| {
+                    params
+                        .iter()
+                        .map(|p| p + 0.05 * (j as f64 - 4.0))
+                        .collect()
+                })
+                .collect();
+            let batched = engine_try!(
+                pair,
+                "batched executor",
+                plateau_grad::expectation_many(&circuit, &sets, &obs)
+            );
+            let mut delta = 0.0f64;
+            for (set, b) in sets.iter().zip(&batched) {
+                let one = engine_try!(
+                    pair,
+                    "per-circuit expectation",
+                    plateau_grad::expectation(&circuit, set, &obs)
+                );
+                delta = delta.max((one - b).abs());
+            }
+            verdict(
+                pair,
+                delta,
+                format!("batched sweep diverged from per-circuit loop (max delta {delta:e})"),
             )
         }
         EnginePair::MutatedVsSerial => {

@@ -53,7 +53,7 @@ fn inner_re(a: &State, b: &State) -> f64 {
 /// product with the derivative block substituted at `j`, which
 /// [`plateau_sim::Segment::apply_derivative`] computes in one fused
 /// application against the segment-input state.
-fn gradient_fused(
+pub(crate) fn gradient_fused(
     compiled: &plateau_sim::CompiledCircuit,
     params: &[f64],
     obs: &Observable,
@@ -79,6 +79,48 @@ fn gradient_fused(
     Ok(grad)
 }
 
+/// Counter/gauge accounting for one adjoint gradient evaluation —
+/// emitted identically by [`Adjoint::gradient`] and the batched
+/// executor's per-member adjoint path, so the two routes stay
+/// indistinguishable in the metrics.
+pub(crate) fn record_gradient_metrics(n_qubits: usize) {
+    plateau_obs::counter!("grad.gradients.adjoint").inc();
+    // One forward run plus one backward sweep, regardless of the
+    // parameter count — the whole point of the adjoint method.
+    plateau_obs::counter!("grad.executions.adjoint").add(2);
+    // Working set: φ, λ, and the per-parameter tangent μ — three
+    // statevectors of 2^n complex amplitudes.
+    plateau_obs::gauge!("grad.scratch.bytes").set((3usize << n_qubits) as f64 * 16.0);
+}
+
+/// The raw gate-by-gate adjoint recurrence. Callers have validated the
+/// parameter vector and the observable width and emitted the counters.
+pub(crate) fn gradient_raw(
+    circuit: &Circuit,
+    params: &[f64],
+    obs: &Observable,
+) -> Result<Vec<f64>, SimError> {
+    // Forward pass: φ = U|0⟩.
+    let mut phi = circuit.run(params)?;
+    // λ = H|ψ⟩ (generally unnormalized).
+    let mut lambda = State::from_amplitudes_unnormalized(obs.apply_raw(&phi)?)?;
+
+    let mut grad = vec![0.0; circuit.n_params()];
+    for op in circuit.ops().iter().rev() {
+        // φ ← U_k† φ (now the state before op k).
+        op.apply_inverse(&mut phi, params)?;
+        if let Some(idx) = op.free_param() {
+            // μ = (∂U_k/∂θ) φ.
+            let mut mu = phi.clone();
+            op.apply_derivative(&mut mu, params)?;
+            grad[idx] += 2.0 * inner_re(&lambda, &mu);
+        }
+        // λ ← U_k† λ.
+        op.apply_inverse(&mut lambda, params)?;
+    }
+    Ok(grad)
+}
+
 impl GradientEngine for Adjoint {
     fn gradient(
         &self,
@@ -93,15 +135,7 @@ impl GradientEngine for Adjoint {
                 state_qubits: circuit.n_qubits(),
             });
         }
-
-        plateau_obs::counter!("grad.gradients.adjoint").inc();
-        // One forward run plus one backward sweep, regardless of the
-        // parameter count — the whole point of the adjoint method.
-        plateau_obs::counter!("grad.executions.adjoint").add(2);
-        // Working set: φ, λ, and the per-parameter tangent μ — three
-        // statevectors of 2^n complex amplitudes.
-        plateau_obs::gauge!("grad.scratch.bytes")
-            .set((3usize << circuit.n_qubits()) as f64 * 16.0);
+        record_gradient_metrics(circuit.n_qubits());
 
         // The backward sweep applies every gate twice (once to φ, once to
         // λ), so fusion pays double here: when the knob is on, both sweeps
@@ -109,26 +143,7 @@ impl GradientEngine for Adjoint {
         if plateau_sim::fuse_enabled() {
             return gradient_fused(&plateau_sim::compile(circuit), params, obs);
         }
-
-        // Forward pass: φ = U|0⟩.
-        let mut phi = circuit.run(params)?;
-        // λ = H|ψ⟩ (generally unnormalized).
-        let mut lambda = State::from_amplitudes_unnormalized(obs.apply_raw(&phi)?)?;
-
-        let mut grad = vec![0.0; circuit.n_params()];
-        for op in circuit.ops().iter().rev() {
-            // φ ← U_k† φ (now the state before op k).
-            op.apply_inverse(&mut phi, params)?;
-            if let Some(idx) = op.free_param() {
-                // μ = (∂U_k/∂θ) φ.
-                let mut mu = phi.clone();
-                op.apply_derivative(&mut mu, params)?;
-                grad[idx] += 2.0 * inner_re(&lambda, &mu);
-            }
-            // λ ← U_k† λ.
-            op.apply_inverse(&mut lambda, params)?;
-        }
-        Ok(grad)
+        gradient_raw(circuit, params, obs)
     }
 
     // `partial` keeps the default whole-gradient implementation: a single

@@ -36,6 +36,60 @@ impl<'c> Evaluator<'c> {
         };
         obs.expectation(&state)
     }
+
+    /// [`Evaluator::expectation`] into a caller-owned scratch state —
+    /// the same arithmetic (and the same `grad.expectation_evals`
+    /// accounting) with zero statevector allocation. The scratch is reset
+    /// to `|0…0⟩` in place before the run.
+    pub(crate) fn expectation_into(
+        &self,
+        state: &mut plateau_sim::State,
+        params: &[f64],
+        obs: &Observable,
+    ) -> Result<f64, SimError> {
+        plateau_obs::counter!("grad.expectation_evals").inc();
+        match self {
+            Evaluator::Raw(circuit) => circuit.run_into(state, params)?,
+            Evaluator::Fused(compiled) => compiled.run_into(state, params)?,
+        }
+        obs.expectation(state)
+    }
+
+    /// One full adjoint gradient through whichever representation this
+    /// evaluator holds — the same computation (and the same counter
+    /// accounting) as [`crate::Adjoint::gradient`], minus the per-call
+    /// compile when fusion is on.
+    pub(crate) fn adjoint_gradient(
+        &self,
+        params: &[f64],
+        obs: &Observable,
+    ) -> Result<Vec<f64>, SimError> {
+        if obs.n_qubits() != self.n_qubits() {
+            return Err(SimError::ObservableMismatch {
+                observable_qubits: obs.n_qubits(),
+                state_qubits: self.n_qubits(),
+            });
+        }
+        crate::adjoint::record_gradient_metrics(self.n_qubits());
+        match self {
+            Evaluator::Raw(circuit) => {
+                circuit.check_params(params)?;
+                crate::adjoint::gradient_raw(circuit, params, obs)
+            }
+            Evaluator::Fused(compiled) => {
+                compiled.check_params(params)?;
+                crate::adjoint::gradient_fused(compiled, params, obs)
+            }
+        }
+    }
+
+    /// Register width of the underlying circuit.
+    pub(crate) fn n_qubits(&self) -> usize {
+        match self {
+            Evaluator::Raw(circuit) => circuit.n_qubits(),
+            Evaluator::Fused(compiled) => compiled.n_qubits(),
+        }
+    }
 }
 
 /// Evaluates the cost `E(θ) = ⟨0|U†(θ) H U(θ)|0⟩`.
@@ -107,24 +161,12 @@ pub fn expectation_many(
     param_sets: &[Vec<f64>],
     obs: &Observable,
 ) -> Result<Vec<f64>, SimError> {
-    for set in param_sets {
-        circuit.check_params(set)?;
-    }
     plateau_obs::counter!("grad.expectation_batches").inc();
     plateau_obs::histogram!("grad.batch_size").record(param_sets.len() as u64);
-    // Compile once per batch (a no-op when fusion is off) — every
-    // evaluation then reuses the same fused segments.
-    let ev = Evaluator::new(circuit);
-    if param_sets.len() >= MIN_PAR_EVALS && plateau_par::worker_count(param_sets.len()) > 1 {
-        plateau_par::par_map_collect(param_sets, |set| ev.expectation(set, obs))
-            .into_iter()
-            .collect()
-    } else {
-        param_sets
-            .iter()
-            .map(|set| ev.expectation(set, obs))
-            .collect()
-    }
+    // One-shot form of the batched engine: compile once, route once,
+    // evaluate through per-worker scratch states (BatchExecutor owns the
+    // serial/parallel decision and the scratch pool).
+    crate::batch::BatchExecutor::new(circuit).expectation_many(param_sets, obs)
 }
 
 /// A strategy for computing `∂E/∂θ` of a parameterized circuit against a

@@ -42,6 +42,7 @@
 
 mod adjoint;
 mod attribution;
+mod batch;
 mod engine;
 mod finite_diff;
 mod fisher;
@@ -51,6 +52,7 @@ mod shift;
 
 pub use adjoint::Adjoint;
 pub use attribution::{layer_grad_stats, layer_grad_variances_into, LayerGradStats};
+pub use batch::BatchExecutor;
 pub use engine::{expectation, expectation_many, GradientEngine};
 pub use finite_diff::FiniteDifference;
 pub use fisher::{classical_fisher_information, quantum_fisher_information};

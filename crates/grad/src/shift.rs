@@ -42,14 +42,14 @@ pub struct ParameterShift;
 
 /// Kind of shift rule a parameter needs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ShiftRule {
+pub(crate) enum ShiftRule {
     /// Single-qubit rotation: two-term rule, shift π/2, coefficient 1/2.
     TwoTerm,
     /// Controlled rotation: four-term rule.
     FourTerm,
 }
 
-fn rule_for_param(circuit: &Circuit, index: usize) -> Result<ShiftRule, SimError> {
+pub(crate) fn rule_for_param(circuit: &Circuit, index: usize) -> Result<ShiftRule, SimError> {
     let op_idx = circuit
         .op_of_param(index)
         .ok_or(SimError::ParamOutOfRange {
@@ -68,23 +68,26 @@ fn rule_for_param(circuit: &Circuit, index: usize) -> Result<ShiftRule, SimError
 /// One shifted-circuit evaluation of the parameter-shift sum:
 /// contributes `coeff · E(θ with θ[param] += shift)` to `∂E/∂θ[param]`.
 #[derive(Debug, Clone, Copy)]
-struct ShiftJob {
-    param: usize,
-    shift: f64,
-    coeff: f64,
+pub(crate) struct ShiftJob {
+    pub(crate) param: usize,
+    pub(crate) shift: f64,
+    pub(crate) coeff: f64,
 }
 
-/// Appends the shift jobs for one parameter and bumps the execution
-/// counter by the number of circuit evaluations they will cost.
-fn push_jobs(circuit: &Circuit, index: usize, jobs: &mut Vec<ShiftJob>) -> Result<(), SimError> {
+/// Appends the shift jobs for one parameter, **without** counter
+/// accounting — the batched executor multiplies one parameter's jobs
+/// across a whole ensemble and bumps the counter itself.
+pub(crate) fn jobs_for_param(
+    circuit: &Circuit,
+    index: usize,
+    jobs: &mut Vec<ShiftJob>,
+) -> Result<(), SimError> {
     match rule_for_param(circuit, index)? {
         ShiftRule::TwoTerm => {
-            plateau_obs::counter!("grad.executions.parameter_shift").add(2);
             jobs.push(ShiftJob { param: index, shift: FRAC_PI_2, coeff: 0.5 });
             jobs.push(ShiftJob { param: index, shift: -FRAC_PI_2, coeff: -0.5 });
         }
         ShiftRule::FourTerm => {
-            plateau_obs::counter!("grad.executions.parameter_shift").add(4);
             // PennyLane's four-term rule for controlled rotations:
             // c± = (√2 ± 1) / (4√2), shifts π/2 and 3π/2.
             let c1 = (SQRT_2 + 1.0) / (4.0 * SQRT_2);
@@ -98,27 +101,13 @@ fn push_jobs(circuit: &Circuit, index: usize, jobs: &mut Vec<ShiftJob>) -> Resul
     Ok(())
 }
 
-/// Runs the jobs serially through one reusable scratch buffer (no per-
-/// evaluation clone of the parameter vector) and returns the expectation
-/// values in job order. Compiles the circuit once up front when fusion is
-/// on — the shift sum re-evaluates one circuit 2k times, so a per-job
-/// compile would hand back most of the fused kernels' win. Callers have
-/// already validated `params`.
-fn eval_jobs_serial(
-    circuit: &Circuit,
-    params: &[f64],
-    obs: &Observable,
-    jobs: &[ShiftJob],
-) -> Result<Vec<f64>, SimError> {
-    let ev = crate::engine::Evaluator::new(circuit);
-    let mut scratch = params.to_vec();
-    let mut evals = Vec::with_capacity(jobs.len());
-    for j in jobs {
-        scratch[j.param] = params[j.param] + j.shift;
-        evals.push(ev.expectation(&scratch, obs)?);
-        scratch[j.param] = params[j.param];
-    }
-    Ok(evals)
+/// Appends the shift jobs for one parameter and bumps the execution
+/// counter by the number of circuit evaluations they will cost.
+fn push_jobs(circuit: &Circuit, index: usize, jobs: &mut Vec<ShiftJob>) -> Result<(), SimError> {
+    let before = jobs.len();
+    jobs_for_param(circuit, index, jobs)?;
+    plateau_obs::counter!("grad.executions.parameter_shift").add((jobs.len() - before) as u64);
+    Ok(())
 }
 
 impl ParameterShift {
@@ -132,7 +121,9 @@ impl ParameterShift {
     ) -> Result<f64, SimError> {
         let mut jobs = Vec::with_capacity(4);
         push_jobs(circuit, index, &mut jobs)?;
-        let evals = eval_jobs_serial(circuit, params, obs, &jobs)?;
+        let shifts: Vec<(usize, f64)> = jobs.iter().map(|j| (j.param, j.shift)).collect();
+        let evals =
+            crate::batch::BatchExecutor::new(circuit).expectation_shifted(params, &shifts, obs)?;
         Ok(jobs
             .iter()
             .zip(&evals)
@@ -157,25 +148,15 @@ impl GradientEngine for ParameterShift {
         }
         // Every job is an independent circuit evaluation, so a gradient
         // with k parameters exposes 2k (4k for controlled rotations)
-        // units of work. Large batches fan out through the batched
-        // engine entry point; small ones use the serial scratch buffer.
-        // Both paths evaluate identical parameter vectors and fold in
-        // job order, so the result does not depend on which path ran.
-        let evals = if jobs.len() >= crate::engine::MIN_PAR_EVALS
-            && plateau_par::worker_count(jobs.len()) > 1
-        {
-            let sets: Vec<Vec<f64>> = jobs
-                .iter()
-                .map(|j| {
-                    let mut s = params.to_vec();
-                    s[j.param] += j.shift;
-                    s
-                })
-                .collect();
-            crate::engine::expectation_many(circuit, &sets, obs)?
-        } else {
-            eval_jobs_serial(circuit, params, obs, &jobs)?
-        };
+        // units of work. The batched executor owns the serial/parallel
+        // routing and the per-worker scratch states; the jobs travel as
+        // (index, shift) pairs against the one base vector — O(k) bytes
+        // — instead of 2k materialized copies of `params`. Both routes
+        // evaluate identical parameter vectors and the fold below runs
+        // in job order, so the result does not depend on which path ran.
+        let shifts: Vec<(usize, f64)> = jobs.iter().map(|j| (j.param, j.shift)).collect();
+        let evals =
+            crate::batch::BatchExecutor::new(circuit).expectation_shifted(params, &shifts, obs)?;
         let mut grad = vec![0.0; n];
         for (j, e) in jobs.iter().zip(&evals) {
             grad[j.param] += j.coeff * e;

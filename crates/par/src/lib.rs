@@ -167,6 +167,114 @@ pub fn par_map_indexed<U: Send, F: Fn(usize) -> U + Sync>(n: usize, f: F) -> Vec
     par_map_collect(0..n, f)
 }
 
+/// Like [`par_map_indexed`], but each worker owns a reusable **scratch
+/// value** built once by `init` and threaded through every item that
+/// worker claims — the allocation shape batched circuit evaluation needs
+/// (one statevector per worker, not one per ensemble member).
+///
+/// `init` runs on the worker's own thread (at most [`worker_count`]
+/// times; exactly once on the serial path), so the scratch value never
+/// crosses threads and needs no `Send` bound. Results come back in input
+/// order, and the same counters/gauges as [`par_map_collect`] are
+/// emitted (`par.batches`, `par.tasks`, `par.workers`,
+/// `par.queue_depth`).
+///
+/// **Determinism contract:** `f` must fully determine its output from
+/// `(scratch-after-init-or-any-prior-item, index)` by overwriting — not
+/// accumulating into — the scratch; then the output is independent of
+/// which worker ran which item and of the worker count.
+///
+/// # Panics
+///
+/// If `init` or `f` panics, the panic is propagated to the caller after
+/// all workers have stopped.
+///
+/// # Examples
+///
+/// ```
+/// // One reusable buffer per worker instead of one per item.
+/// let sums = plateau_par::par_map_scratch(
+///     4,
+///     || vec![0u64; 8],
+///     |buf, i| {
+///         for (k, slot) in buf.iter_mut().enumerate() {
+///             *slot = (i as u64) * k as u64;
+///         }
+///         buf.iter().sum::<u64>()
+///     },
+/// );
+/// assert_eq!(sums, vec![0, 28, 56, 84]);
+/// ```
+pub fn par_map_scratch<S, U, FI, F>(n: usize, init: FI, f: F) -> Vec<U>
+where
+    U: Send,
+    FI: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> U + Sync,
+{
+    let workers = worker_count(n);
+    plateau_obs::counter!("par.batches").inc();
+    plateau_obs::gauge!("par.workers").set(workers as f64);
+    if workers <= 1 {
+        let mut scratch = init();
+        return (0..n).map(|i| run_task_scratch(&f, &mut scratch, i)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut buckets: Vec<Vec<(usize, U)>> = Vec::with_capacity(workers);
+    let mut first_panic = None;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| {
+                let mut scratch = init();
+                let mut local: Vec<(usize, U)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        return local;
+                    }
+                    plateau_obs::gauge!("par.queue_depth").set((n - (i + 1).min(n)) as f64);
+                    local.push((i, run_task_scratch(&f, &mut scratch, i)));
+                }
+            }));
+        }
+        // Join every worker before propagating, so the scope never has to
+        // re-raise a second panic while the first is unwinding.
+        for h in handles {
+            match h.join() {
+                Ok(local) => buckets.push(local),
+                Err(payload) if first_panic.is_none() => first_panic = Some(payload),
+                Err(_) => {}
+            }
+        }
+    });
+    if let Some(payload) = first_panic {
+        std::panic::resume_unwind(payload);
+    }
+
+    let mut pairs: Vec<(usize, U)> = buckets.into_iter().flatten().collect();
+    debug_assert_eq!(pairs.len(), n);
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    pairs.into_iter().map(|(_, u)| u).collect()
+}
+
+/// [`run_task`] for the scratch-threading form: same `par.tasks` counter
+/// and optional `par.task_ns` timing, with the worker's scratch passed
+/// through.
+#[inline]
+fn run_task_scratch<S, U>(f: &impl Fn(&mut S, usize) -> U, scratch: &mut S, i: usize) -> U {
+    plateau_obs::counter!("par.tasks").inc();
+    if plateau_obs::metrics_enabled() {
+        let t0 = std::time::Instant::now();
+        let out = f(scratch, i);
+        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        plateau_obs::histogram!("par.task_ns").record(ns);
+        out
+    } else {
+        f(scratch, i)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,6 +360,68 @@ mod tests {
             }
             i
         });
+    }
+
+    #[test]
+    fn scratch_map_matches_indexed_map() {
+        let expected = par_map_indexed(257, |i| (i as u64).wrapping_mul(31) ^ 7);
+        let got = par_map_scratch(
+            257,
+            || 0u64,
+            |scratch, i| {
+                *scratch = (i as u64).wrapping_mul(31) ^ 7;
+                *scratch
+            },
+        );
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn scratch_is_initialized_at_most_once_per_worker() {
+        use std::sync::atomic::AtomicUsize;
+        let inits = AtomicUsize::new(0);
+        let out = par_map_scratch(
+            64,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                Vec::<usize>::with_capacity(4)
+            },
+            |buf, i| {
+                buf.clear();
+                buf.push(i);
+                buf[0]
+            },
+        );
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+        let n_inits = inits.load(Ordering::Relaxed);
+        assert!(n_inits >= 1, "at least one scratch");
+        assert!(
+            n_inits <= worker_count(64),
+            "{n_inits} inits exceeds the worker count {}",
+            worker_count(64)
+        );
+    }
+
+    #[test]
+    fn scratch_map_handles_empty_and_singleton() {
+        let empty: Vec<u32> = par_map_scratch(0, || (), |(), i| i as u32);
+        assert!(empty.is_empty());
+        assert_eq!(par_map_scratch(1, || 5u32, |s, i| *s + i as u32), vec![5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch boom")]
+    fn scratch_worker_panic_propagates() {
+        par_map_scratch(
+            16,
+            || (),
+            |(), i| {
+                if i == 3 {
+                    panic!("scratch boom");
+                }
+                i
+            },
+        );
     }
 
     #[test]

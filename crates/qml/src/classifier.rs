@@ -32,7 +32,7 @@ use crate::dataset::Sample;
 use plateau_core::error::CoreError;
 use plateau_core::init::{FanMode, InitStrategy, LayerShape};
 use plateau_core::optim::Optimizer;
-use plateau_grad::{Adjoint, GradientEngine};
+use plateau_grad::BatchExecutor;
 use plateau_sim::{Circuit, Observable, Pauli, PauliString};
 use plateau_rng::Rng;
 
@@ -167,6 +167,17 @@ impl Classifier {
         Ok(self.observable.expectation(&state)?)
     }
 
+    /// Decision values for a whole dataset through one batched sweep:
+    /// the circuit is compiled once and every sample's evaluation reuses
+    /// a per-worker scratch statevector instead of allocating its own.
+    fn decision_values(&self, weights: &[f64], data: &[Sample]) -> Result<Vec<f64>, CoreError> {
+        let sets = data
+            .iter()
+            .map(|s| self.full_params(weights, &s.features))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BatchExecutor::new(&self.circuit).expectation_many(&sets, &self.observable)?)
+    }
+
     /// Predicted class: `⟨Z₀⟩ > 0`.
     ///
     /// # Errors
@@ -186,10 +197,10 @@ impl Classifier {
         if data.is_empty() {
             return Err(CoreError::InvalidConfig("dataset must be non-empty".into()));
         }
+        let values = self.decision_values(weights, data)?;
         let mut total = 0.0;
-        for sample in data {
+        for (sample, value) in data.iter().zip(&values) {
             let target = if sample.label { 1.0 } else { -1.0 };
-            let value = self.decision_value(weights, &sample.features)?;
             total += (value - target) * (value - target);
         }
         Ok(total / data.len() as f64)
@@ -205,12 +216,12 @@ impl Classifier {
         if data.is_empty() {
             return Err(CoreError::InvalidConfig("dataset must be non-empty".into()));
         }
-        let mut correct = 0usize;
-        for sample in data {
-            if self.predict(weights, &sample.features)? == sample.label {
-                correct += 1;
-            }
-        }
+        let values = self.decision_values(weights, data)?;
+        let correct = data
+            .iter()
+            .zip(&values)
+            .filter(|(sample, value)| (**value > 0.0) == sample.label)
+            .count();
         Ok(correct as f64 / data.len() as f64)
     }
 
@@ -226,14 +237,20 @@ impl Classifier {
         if data.is_empty() {
             return Err(CoreError::InvalidConfig("dataset must be non-empty".into()));
         }
+        let sets = data
+            .iter()
+            .map(|s| self.full_params(weights, &s.features))
+            .collect::<Result<Vec<_>, _>>()?;
+        // One executor (one compile) feeds both sweeps; the fold below
+        // runs in sample order so the result matches the old
+        // sample-at-a-time loop exactly.
+        let mut ex = BatchExecutor::new(&self.circuit);
+        let values = ex.expectation_many(&sets, &self.observable)?;
+        let fulls = ex.adjoint_gradient_many(&sets, &self.observable)?;
         let mut grad = vec![0.0; self.weight_slots.len()];
-        for sample in data {
-            let params = self.full_params(weights, &sample.features)?;
-            let state = self.circuit.run(&params)?;
-            let value = self.observable.expectation(&state)?;
+        for ((sample, value), full) in data.iter().zip(&values).zip(&fulls) {
             let target = if sample.label { 1.0 } else { -1.0 };
             let outer = 2.0 * (value - target);
-            let full = Adjoint.gradient(&self.circuit, &params, &self.observable)?;
             for (g, slot) in grad.iter_mut().zip(self.weight_slots.iter()) {
                 *g += outer * full[*slot];
             }

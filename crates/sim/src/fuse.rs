@@ -706,6 +706,53 @@ impl CompiledCircuit {
             self.run_on(&mut state, params)?;
             return Ok(state);
         }
+        let mut amps = vec![C64::ZERO; 1usize << self.n_qubits];
+        self.product_prologue(&mut amps, params, k);
+        let mut state = State::from_amplitudes_unnormalized(amps)?;
+        for seg in &self.segments[k..] {
+            seg.apply(&mut state, params)?;
+        }
+        Ok(state)
+    }
+
+    /// Runs the compiled circuit on `|0…0⟩` **into** an existing state,
+    /// resetting it in place first — [`CompiledCircuit::run`] without the
+    /// allocation, including the same product-state prologue (iterative
+    /// doubling works in place on the zeroed buffer), so the amplitudes
+    /// are identical to [`CompiledCircuit::run`] for the same parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::WrongParamCount`] on a parameter mismatch or
+    /// [`SimError::DimensionMismatch`] if the state width differs.
+    pub fn run_into(&self, state: &mut State, params: &[f64]) -> Result<(), SimError> {
+        self.check_params(params)?;
+        if state.n_qubits() != self.n_qubits {
+            return Err(SimError::DimensionMismatch {
+                expected: 1 << self.n_qubits,
+                found: state.dim(),
+            });
+        }
+        state.reset_zero();
+        let k = product_prefix_len(&self.segments);
+        if k < 2 {
+            for seg in &self.segments {
+                seg.apply(state, params)?;
+            }
+            return Ok(());
+        }
+        self.product_prologue(state.amps_mut(), params, k);
+        for seg in &self.segments[k..] {
+            seg.apply(state, params)?;
+        }
+        Ok(())
+    }
+
+    /// Writes the product state of the leading `k` distinct-wire `Single`
+    /// segments into `amps`, which must be all-zero on entry. Shared by
+    /// [`CompiledCircuit::run`] and [`CompiledCircuit::run_into`] so the
+    /// two paths are arithmetically identical.
+    fn product_prologue(&self, amps: &mut [C64], params: &[f64], k: usize) {
         let covered: usize = self.segments[..k].iter().map(Segment::gate_count).sum();
         let _span = plateau_obs::span!("sim.fuse.prologue", gates = covered);
         // |0⟩-column of each leading run's merged 2×2, by wire.
@@ -717,7 +764,6 @@ impl CompiledCircuit {
             let m = merged_single(ops, params, None);
             cols[*qubit] = Some((m[0], m[2]));
         }
-        let mut amps = vec![C64::ZERO; 1usize << self.n_qubits];
         amps[0] = C64::ONE;
         let mut len = 1usize;
         for col in cols {
@@ -732,11 +778,6 @@ impl CompiledCircuit {
             // already zero and the lower half is unscaled.
             len <<= 1;
         }
-        let mut state = State::from_amplitudes_unnormalized(amps)?;
-        for seg in &self.segments[k..] {
-            seg.apply(&mut state, params)?;
-        }
-        Ok(state)
     }
 
     /// Runs the compiled circuit on an existing state.

@@ -126,6 +126,28 @@ impl State {
         })
     }
 
+    /// Resets this state to `|0…0⟩` **in place**, reusing the existing
+    /// amplitude buffer.
+    ///
+    /// This is the scratch-pool primitive behind batched evaluation
+    /// (`plateau_grad::BatchExecutor`): a worker allocates one state and
+    /// resets it between ensemble members instead of allocating
+    /// `2^n × 16` bytes per evaluation. Bumps `sim.state.reuses` (not
+    /// `sim.state.allocations` — nothing is allocated).
+    pub fn reset_zero(&mut self) {
+        plateau_obs::counter!("sim.state.reuses").inc();
+        self.amps.fill(C64::ZERO);
+        self.amps[0] = C64::ONE;
+    }
+
+    /// Mutable access to the raw amplitude buffer, for in-place kernels
+    /// living in sibling modules (the fusion compiler's product-state
+    /// prologue writes amplitudes directly).
+    #[inline]
+    pub(crate) fn amps_mut(&mut self) -> &mut [C64] {
+        &mut self.amps
+    }
+
     /// Number of qubits.
     #[inline]
     pub fn n_qubits(&self) -> usize {

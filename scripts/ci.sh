@@ -126,6 +126,18 @@ echo "=== sim parallel + fusion speedup gates ==="
 PLATEAU_PERF=target/obs \
     cargo run -q --release --offline -p plateau-bench --bin sim_parallel_gate
 
+echo "=== batch throughput gate ==="
+# The 200-member 10-qubit/5-layer ensemble sweep, fusion on: the batched
+# executor (compile once, per-worker scratch statevectors) vs the old
+# one-expectation-per-member loop. The serial comparison gates on any
+# machine (batched must never lose; PLATEAU_BATCH_SERIAL_TOL, default
+# 1.10); on multi-core machines the pooled sweep must additionally clear
+# PLATEAU_BATCH_TOL (default 3.0) in circuits/sec. Recorded baseline
+# lives in benchmarks/BENCH_batch_throughput.json (re-record with
+# --record).
+PLATEAU_PERF=target/obs \
+    cargo run -q --release --offline -p plateau-bench --bin batch_throughput_gate
+
 echo "=== perf ledger trend-regression gate ==="
 # The harness-driven gate bins above appended one record per benchmark to
 # the append-only perf ledger. First self-test the gate on a scratch copy:

@@ -82,8 +82,12 @@ fn variance_scan_gate_counters_match_analytic_counts() {
         snap.counter("core.variance.cells"),
         Some(qubits.len() as u64)
     );
-    // One statevector allocation per circuit execution.
-    assert_eq!(snap.counter("sim.state.allocations"), Some(evals));
+    // Each two-term partial routes its pair of shifted evaluations
+    // through one batched-executor scratch state: one allocation per
+    // *partial* (two executions), with the second execution reusing the
+    // scratch in place.
+    assert_eq!(snap.counter("sim.state.allocations"), Some(evals / 2));
+    assert_eq!(snap.counter("sim.state.reuses"), Some(evals));
 
     plateau_sim::reset_fuse();
     plateau_obs::metrics::reset();
