@@ -120,6 +120,7 @@ fn run(argv: Vec<String>) -> Result<(), Box<dyn Error>> {
         "vqe" => cmd_vqe(&parsed),
         "classify" => cmd_classify(&parsed),
         "fuzz" => cmd_fuzz(&parsed),
+        "serve" => cmd_serve(&parsed),
         "help" | "--help" | "-h" => {
             print_help();
             Ok(())
@@ -153,6 +154,12 @@ fn print_help() {
          \x20            replayable reproducers under target/fuzz/\n\
          \x20            [--cases N] [--seed S (hex ok)] [--max-qubits N]\n\
          \x20            [--artifacts DIR] [--mutate true] [--replay PATH]\n\
+         \x20 serve      multi-tenant HTTP simulation/gradient service\n\
+         \x20            POST /simulate /gradient /variance-scan /train\n\
+         \x20            (QASM or op-JSON circuits), GET /metrics /healthz\n\
+         \x20            [--addr 127.0.0.1:8080] [--workers N] [--queue N]\n\
+         \x20            [--cache N] [--fuse true] [--max-qubits N]\n\
+         \x20            [--duration SECS (0 = run until killed)]\n\
          \x20 obs        trace profiler + experiment ledger\n\
          \x20            report   --trace run.jsonl [--top N] [--filter PREFIX]\n\
          \x20                     [--by time|alloc|peak]\n\
@@ -490,6 +497,44 @@ fn cmd_classify(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
 /// only when the deliberately broken kernel is caught and shrunk to a
 /// small reproducer; `--replay PATH` re-runs a written artifact and
 /// fails while the recorded divergence still reproduces.
+fn cmd_serve(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
+    check_flags(
+        parsed,
+        &["addr", "workers", "queue", "cache", "fuse", "max-qubits", "duration"],
+    )?;
+    let mut cfg = plateau_serve::ServeConfig::from_env();
+    cfg.addr = parsed.get_str("addr", "127.0.0.1:8080");
+    cfg.workers = parsed.get("workers", cfg.workers)?;
+    cfg.queue_capacity = parsed.get("queue", cfg.queue_capacity)?;
+    cfg.cache_capacity = parsed.get("cache", cfg.cache_capacity)?;
+    cfg.fuse = parsed.get("fuse", cfg.fuse)?;
+    cfg.limits.max_qubits = parsed
+        .get("max-qubits", cfg.limits.max_qubits)?
+        .clamp(1, plateau_sim::MAX_QUBITS);
+    let duration = parsed.get("duration", 0u64)?;
+
+    let server = plateau_serve::Server::start(cfg.clone())?;
+    println!(
+        "# plateau-serve listening on http://{} ({} workers, queue {}, cache {}, fuse {})",
+        server.addr(),
+        cfg.workers,
+        cfg.queue_capacity,
+        cfg.cache_capacity,
+        cfg.fuse
+    );
+    println!("# endpoints: POST /simulate /gradient /variance-scan /train · GET /metrics /healthz");
+    if duration == 0 {
+        // Run until the process is killed; the OS reclaims the socket.
+        loop {
+            std::thread::park();
+        }
+    }
+    std::thread::sleep(std::time::Duration::from_secs(duration));
+    println!("# duration elapsed; draining");
+    server.shutdown();
+    Ok(())
+}
+
 fn cmd_fuzz(parsed: &ParsedArgs) -> Result<(), Box<dyn Error>> {
     check_flags(parsed, &["cases", "seed", "max-qubits", "artifacts", "mutate", "replay"])?;
     if let Some(path) = parsed.opt_str("replay") {

@@ -58,6 +58,11 @@ pub enum EnginePair {
     /// statevectors, single compile) vs one fresh `expectation` call per
     /// set.
     BatchedVsPerCircuit,
+    /// The serve wire codec: serialize→parse→re-serialize must be a
+    /// fixed point, the parsed circuit must execute identically to the
+    /// original, and byte-mutated request bodies must produce structured
+    /// errors — never a panic.
+    ServeCodec,
     /// The deliberately broken off-by-one kernel vs the serial engine —
     /// only scheduled by the mutation self-test, never in normal runs.
     MutatedVsSerial,
@@ -70,7 +75,7 @@ pub enum EnginePair {
 impl EnginePair {
     /// The pairs a normal fuzz run schedules (everything except the
     /// self-test mutant).
-    pub const ALL: [EnginePair; 9] = [
+    pub const ALL: [EnginePair; 10] = [
         EnginePair::SerialVsParallel,
         EnginePair::StateVsUnitary,
         EnginePair::StateVsDensity,
@@ -80,6 +85,7 @@ impl EnginePair {
         EnginePair::AdjointVsFiniteDiff,
         EnginePair::FusedVsRaw,
         EnginePair::BatchedVsPerCircuit,
+        EnginePair::ServeCodec,
     ];
 
     /// Stable name used in reports and artifacts.
@@ -94,6 +100,7 @@ impl EnginePair {
             EnginePair::AdjointVsFiniteDiff => "adjoint-vs-finite-diff",
             EnginePair::FusedVsRaw => "fused-vs-raw",
             EnginePair::BatchedVsPerCircuit => "batched-vs-per-circuit",
+            EnginePair::ServeCodec => "serve-codec",
             EnginePair::MutatedVsSerial => "mutated-vs-serial",
             EnginePair::FusedMutatedVsSerial => "fused-mutated-vs-serial",
         }
@@ -111,6 +118,7 @@ impl EnginePair {
             EnginePair::AdjointVsFiniteDiff,
             EnginePair::FusedVsRaw,
             EnginePair::BatchedVsPerCircuit,
+            EnginePair::ServeCodec,
             EnginePair::MutatedVsSerial,
             EnginePair::FusedMutatedVsSerial,
         ]
@@ -141,6 +149,11 @@ impl EnginePair {
         match self {
             EnginePair::SerialVsParallel => 0.0,
             EnginePair::BatchedVsPerCircuit => 0.0,
+            // The wire codec transports the op list verbatim, so the
+            // rebuilt circuit replays byte-identical arithmetic; and the
+            // canonical-form fixed point is a string equality, so there
+            // is no rounding to budget for.
+            EnginePair::ServeCodec => 0.0,
             EnginePair::StateVsUnitary => 1e-10,
             EnginePair::StateVsDensity => 1e-9,
             EnginePair::RawVsOptimized => 1e-9,
@@ -163,6 +176,7 @@ impl EnginePair {
             | EnginePair::QasmRoundTrip
             | EnginePair::FusedVsRaw
             | EnginePair::BatchedVsPerCircuit
+            | EnginePair::ServeCodec
             | EnginePair::MutatedVsSerial
             | EnginePair::FusedMutatedVsSerial => true,
             EnginePair::StateVsUnitary | EnginePair::StateVsDensity => {
@@ -428,6 +442,135 @@ pub fn check_pair(pair: EnginePair, case: &FuzzCase) -> Result<f64, Mismatch> {
                 pair,
                 delta,
                 format!("batched sweep diverged from per-circuit loop (max delta {delta:e})"),
+            )
+        }
+        EnginePair::ServeCodec => {
+            let spec = plateau_serve::CircuitSpec::from_circuit(&circuit);
+            let request = plateau_serve::Request::Simulate(plateau_serve::SimulateRequest {
+                circuit: spec,
+                params: params.clone(),
+                observable: plateau_serve::ObservableSpec::Global,
+                seed: 0xfeed,
+                shots: 0,
+            });
+            let body = request.serialize();
+            // Fixed point 1: parse(serialize(r)) == r.
+            let parsed = engine_try!(
+                pair,
+                "request parse",
+                plateau_serve::Request::parse("/simulate", &body)
+            );
+            if parsed != request {
+                return Err(Mismatch {
+                    pair,
+                    delta: f64::INFINITY,
+                    detail: "parsed request is not equal to the original".to_string(),
+                });
+            }
+            // Fixed point 2: serialize(parse(s)) == s on canonical form.
+            let body2 = parsed.serialize();
+            if body2 != body {
+                return Err(Mismatch {
+                    pair,
+                    delta: f64::INFINITY,
+                    detail: format!(
+                        "re-serialization is not a fixed point:\n  {body}\nvs\n  {body2}"
+                    ),
+                });
+            }
+            // Semantic: the circuit rebuilt from the wire form replays
+            // the identical op list — bitwise-equal final state.
+            let rebuilt_spec = match &parsed {
+                plateau_serve::Request::Simulate(s) => &s.circuit,
+                _ => unreachable!("parsed from /simulate"),
+            };
+            let rebuilt = engine_try!(pair, "circuit rebuild", rebuilt_spec.build());
+            let original_state = engine_try!(pair, "original run", circuit.run(&params));
+            let rebuilt_state = engine_try!(pair, "rebuilt run", rebuilt.run(&params));
+            let delta = state_delta(&original_state, &rebuilt_state);
+
+            // Adversarial side: deterministic byte mutations of the valid
+            // body must yield structured errors or valid re-parses —
+            // never a panic (and any accidental re-parse must itself be
+            // canonical-form stable).
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for &b in body.as_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            for round in 0..24u64 {
+                // xorshift64* walk seeded by the body hash.
+                h ^= h << 13;
+                h ^= h >> 7;
+                h ^= h << 17;
+                let mut mutated = body.clone().into_bytes();
+                let pos = (h.wrapping_add(round) % mutated.len() as u64) as usize;
+                match (h >> 24) % 4 {
+                    0 => mutated[pos] ^= 1 << ((h >> 32) % 8), // bit flip
+                    1 => mutated.truncate(pos),                // truncation
+                    2 => mutated.insert(pos, (h >> 40) as u8), // junk insert
+                    _ => {
+                        mutated.remove(pos); // deletion
+                    }
+                }
+                let text = String::from_utf8_lossy(&mutated).into_owned();
+                let outcome = std::panic::catch_unwind(|| {
+                    plateau_serve::Request::parse("/simulate", &text)
+                        .map(|r| r.serialize())
+                });
+                match outcome {
+                    Err(_) => {
+                        return Err(Mismatch {
+                            pair,
+                            delta: f64::INFINITY,
+                            detail: format!(
+                                "codec panicked on mutated body (round {round}): {text:?}"
+                            ),
+                        });
+                    }
+                    // A mutation that survives as a valid request is fine
+                    // (flipping a digit yields another valid body), but
+                    // the result must still round-trip canonically.
+                    Ok(Ok(reserialized)) => {
+                        let again = std::panic::catch_unwind(|| {
+                            plateau_serve::Request::parse("/simulate", &reserialized)
+                                .map(|r| r.serialize())
+                        });
+                        match again {
+                            Ok(Ok(s)) if s == reserialized => {}
+                            Ok(Ok(s)) => {
+                                return Err(Mismatch {
+                                    pair,
+                                    delta: f64::INFINITY,
+                                    detail: format!(
+                                        "mutated-but-valid body lost the fixed point:\n  {reserialized}\nvs\n  {s}"
+                                    ),
+                                });
+                            }
+                            Ok(Err(e)) => {
+                                return Err(Mismatch {
+                                    pair,
+                                    delta: f64::INFINITY,
+                                    detail: format!(
+                                        "serializer emitted an unparseable body: {e} from {reserialized:?}"
+                                    ),
+                                });
+                            }
+                            Err(_) => {
+                                return Err(Mismatch {
+                                    pair,
+                                    delta: f64::INFINITY,
+                                    detail: "codec panicked re-parsing its own output".to_string(),
+                                });
+                            }
+                        }
+                    }
+                    Ok(Err(_structured_error)) => {}
+                }
+            }
+            verdict(
+                pair,
+                delta,
+                format!("wire round-trip changed the circuit (max amplitude delta {delta:e})"),
             )
         }
         EnginePair::MutatedVsSerial => {

@@ -121,6 +121,47 @@ pub(crate) fn gradient_raw(
     Ok(grad)
 }
 
+/// Adjoint gradient over an already-compiled circuit — the warm path for
+/// callers (the serve front-end's LRU, long-lived training loops) that
+/// compile once and differentiate many times. Identical to
+/// [`Adjoint::gradient`] with fusion enabled, minus the per-call
+/// compilation: same validation, same metrics, bit-identical output for
+/// the same compiled structure.
+///
+/// # Errors
+///
+/// Returns [`SimError`] for a parameter-count mismatch or an observable
+/// whose width disagrees with the circuit.
+///
+/// # Examples
+///
+/// ```
+/// use plateau_sim::{compile, Circuit, Observable};
+///
+/// let mut c = Circuit::new(2)?;
+/// c.ry(0)?.ry(1)?.cz(0, 1)?;
+/// let compiled = compile(&c);
+/// let obs = Observable::global_cost(2);
+/// let g = plateau_grad::adjoint_gradient_compiled(&compiled, &[0.3, -0.7], &obs)?;
+/// assert_eq!(g.len(), 2);
+/// # Ok::<(), plateau_sim::SimError>(())
+/// ```
+pub fn adjoint_gradient_compiled(
+    compiled: &plateau_sim::CompiledCircuit,
+    params: &[f64],
+    obs: &Observable,
+) -> Result<Vec<f64>, SimError> {
+    compiled.check_params(params)?;
+    if obs.n_qubits() != compiled.n_qubits() {
+        return Err(SimError::ObservableMismatch {
+            observable_qubits: obs.n_qubits(),
+            state_qubits: compiled.n_qubits(),
+        });
+    }
+    record_gradient_metrics(compiled.n_qubits());
+    gradient_fused(compiled, params, obs)
+}
+
 impl GradientEngine for Adjoint {
     fn gradient(
         &self,
@@ -337,5 +378,27 @@ mod tests {
         assert!(Adjoint
             .gradient(&c, &[0.1], &Observable::global_cost(3))
             .is_err());
+    }
+
+    #[test]
+    fn compiled_entry_point_matches_raw_adjoint() {
+        let c = hea_circuit(4, 3);
+        let params = pseudo_angles(c.n_params(), 0.57);
+        let obs = Observable::pauli(PauliString::parse("ZXZY").unwrap()).unwrap();
+        let raw = Adjoint.gradient(&c, &params, &obs).unwrap();
+        let compiled = plateau_sim::compile(&c);
+        let warm = super::adjoint_gradient_compiled(&compiled, &params, &obs).unwrap();
+        assert_eq!(raw.len(), warm.len());
+        for (r, w) in raw.iter().zip(warm.iter()) {
+            assert!((r - w).abs() < 1e-10, "{r} vs {w}");
+        }
+        // Same validation surface as the engine entry point.
+        assert!(super::adjoint_gradient_compiled(&compiled, &[], &obs).is_err());
+        assert!(super::adjoint_gradient_compiled(
+            &compiled,
+            &params,
+            &Observable::global_cost(5)
+        )
+        .is_err());
     }
 }

@@ -50,7 +50,7 @@ mod hessian;
 mod metric;
 mod shift;
 
-pub use adjoint::Adjoint;
+pub use adjoint::{adjoint_gradient_compiled, Adjoint};
 pub use attribution::{layer_grad_stats, layer_grad_variances_into, LayerGradStats};
 pub use batch::BatchExecutor;
 pub use engine::{expectation, expectation_many, GradientEngine};

@@ -325,14 +325,26 @@ impl<'a> Parser<'a> {
                 Some(c) if c < 0x20 => {
                     return Err(self.err("unescaped control character"));
                 }
-                Some(_) => {
-                    // Copy a full UTF-8 scalar (input is a &str, so this is
-                    // always well-formed).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).expect("input came from &str");
-                    let c = s.chars().next().expect("peeked non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                Some(c) if c < 0x80 => {
+                    out.push(c as char);
+                    self.pos += 1;
+                }
+                Some(c) => {
+                    // Multi-byte UTF-8 scalar: the input came from a &str,
+                    // so the lead byte gives the exact width and the
+                    // sequence is well-formed. Decoding just that window
+                    // keeps long strings linear — validating the whole
+                    // remaining input per character is quadratic.
+                    let width = match c {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let chunk = &self.bytes[self.pos..self.pos + width];
+                    let s = std::str::from_utf8(chunk).expect("input came from &str");
+                    let ch = s.chars().next().expect("non-empty chunk");
+                    out.push(ch);
+                    self.pos += width;
                 }
             }
         }

@@ -1,0 +1,441 @@
+//! A minimal HTTP/1.1 wire layer: incremental request parsing and
+//! response serialization over byte buffers.
+//!
+//! This is not a general web server — it implements exactly the subset
+//! the plateau service speaks:
+//!
+//! - request line + headers + `Content-Length` bodies (no chunked
+//!   transfer encoding, no trailers, no multipart);
+//! - persistent connections by default (`HTTP/1.1` semantics), honoring
+//!   `Connection: close` from either side;
+//! - hard limits on the header section ([`MAX_HEADER_BYTES`]) and the
+//!   body (caller-supplied, from `PLATEAU_SERVE_MAX_BODY`), mapped to
+//!   431/413 by the connection loop.
+//!
+//! Parsing is **incremental**: [`try_parse`] looks at whatever bytes have
+//! arrived so far and either asks for more, fails with a protocol error,
+//! or yields a complete [`HttpRequest`] plus the number of bytes it
+//! consumed — pipelined requests simply leave their successor in the
+//! buffer. The parser never allocates proportionally to anything but the
+//! request itself and never panics on adversarial input (the fuzz wire
+//! pair in `plateau-fuzz` leans on this).
+
+use std::fmt;
+use std::io::{self, Write};
+
+/// Cap on the request line + header section, in bytes. A request whose
+/// headers exceed this is answered `431 Request Header Fields Too Large`.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// Default cap on request bodies (1 MiB), overridable per server via
+/// `PLATEAU_SERVE_MAX_BODY`.
+pub const DEFAULT_MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A fully received HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method, uppercased as received (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target (path + optional query), exactly as received.
+    pub path: String,
+    /// Header `(name, value)` pairs in arrival order; names are kept
+    /// verbatim and matched case-insensitively by [`HttpRequest::header`].
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// First header value whose name matches `name` case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to tear the connection down after this
+    /// exchange (`Connection: close`, matched case-insensitively).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .map(|v| v.trim().eq_ignore_ascii_case("close"))
+            .unwrap_or(false)
+    }
+}
+
+/// A wire-level parse failure. The connection loop maps each variant to
+/// a status code and closes the connection (the byte stream is no longer
+/// trustworthy after a framing error).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpParseError {
+    /// The request line was not `METHOD SP TARGET SP HTTP/1.x`.
+    BadRequestLine,
+    /// Only HTTP/1.0 and HTTP/1.1 are spoken here.
+    BadVersion(String),
+    /// A header line had no `:` separator or an empty name.
+    BadHeader,
+    /// The header section exceeded [`MAX_HEADER_BYTES`].
+    HeaderTooLarge,
+    /// `Content-Length` was present but not a base-10 integer.
+    BadContentLength,
+    /// The declared body exceeds the server's cap.
+    BodyTooLarge {
+        /// The configured cap the request blew through.
+        limit: usize,
+    },
+    /// `Transfer-Encoding` (chunked or otherwise) is not supported.
+    UnsupportedTransferEncoding,
+}
+
+impl HttpParseError {
+    /// The HTTP status this error is answered with.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpParseError::HeaderTooLarge => 431,
+            HttpParseError::BodyTooLarge { .. } => 413,
+            HttpParseError::UnsupportedTransferEncoding => 501,
+            _ => 400,
+        }
+    }
+}
+
+impl fmt::Display for HttpParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpParseError::BadRequestLine => f.write_str("malformed request line"),
+            HttpParseError::BadVersion(v) => write!(f, "unsupported HTTP version {v:?}"),
+            HttpParseError::BadHeader => f.write_str("malformed header line"),
+            HttpParseError::HeaderTooLarge => {
+                write!(f, "header section exceeds {MAX_HEADER_BYTES} bytes")
+            }
+            HttpParseError::BadContentLength => f.write_str("unparseable Content-Length"),
+            HttpParseError::BodyTooLarge { limit } => {
+                write!(f, "request body exceeds the {limit}-byte limit")
+            }
+            HttpParseError::UnsupportedTransferEncoding => {
+                f.write_str("Transfer-Encoding is not supported; send Content-Length")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HttpParseError {}
+
+/// Outcome of a [`try_parse`] attempt over the bytes received so far.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseStatus {
+    /// Not enough bytes yet — read more and call again.
+    NeedMore,
+    /// One complete request, plus how many buffer bytes it consumed
+    /// (pipelined successors start at that offset).
+    Complete(HttpRequest, usize),
+}
+
+/// Attempts to parse one request from the front of `buf`.
+///
+/// # Errors
+///
+/// Returns [`HttpParseError`] on framing violations; the connection
+/// should answer with [`HttpParseError::status`] and close.
+pub fn try_parse(buf: &[u8], max_body: usize) -> Result<ParseStatus, HttpParseError> {
+    let header_end = match find_header_end(buf) {
+        Some(end) => end,
+        None => {
+            if buf.len() > MAX_HEADER_BYTES {
+                return Err(HttpParseError::HeaderTooLarge);
+            }
+            return Ok(ParseStatus::NeedMore);
+        }
+    };
+    if header_end > MAX_HEADER_BYTES {
+        return Err(HttpParseError::HeaderTooLarge);
+    }
+    let head =
+        std::str::from_utf8(&buf[..header_end]).map_err(|_| HttpParseError::BadHeader)?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or(HttpParseError::BadRequestLine)?;
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && !p.is_empty() => (m, p, v),
+        _ => return Err(HttpParseError::BadRequestLine),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpParseError::BadVersion(version.to_string()));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(':').ok_or(HttpParseError::BadHeader)?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpParseError::BadHeader);
+        }
+        headers.push((name.to_string(), value.trim().to_string()));
+    }
+
+    let request = HttpRequest {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+    if request.header("transfer-encoding").is_some() {
+        return Err(HttpParseError::UnsupportedTransferEncoding);
+    }
+    let content_length = match request.header("content-length") {
+        None => 0usize,
+        Some(raw) => raw
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| HttpParseError::BadContentLength)?,
+    };
+    if content_length > max_body {
+        return Err(HttpParseError::BodyTooLarge { limit: max_body });
+    }
+    // +4 for the CRLFCRLF terminator find_header_end excludes.
+    let body_start = header_end + 4;
+    if buf.len() < body_start + content_length {
+        return Ok(ParseStatus::NeedMore);
+    }
+    let mut request = request;
+    request.body = buf[body_start..body_start + content_length].to_vec();
+    Ok(ParseStatus::Complete(request, body_start + content_length))
+}
+
+/// Byte offset of the `\r\n\r\n` header terminator (exclusive of it).
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers beyond the Content-Type/Length/Connection trio the
+    /// writer emits itself (`Retry-After`, `X-Plateau-Cache`, …).
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// MIME type for the Content-Type header.
+    pub content_type: &'static str,
+}
+
+impl HttpResponse {
+    /// A JSON response (the service's native content type).
+    pub fn json(status: u16, body: &plateau_obs::json::Json) -> HttpResponse {
+        HttpResponse {
+            status,
+            headers: Vec::new(),
+            body: body.to_string().into_bytes(),
+            content_type: "application/json",
+        }
+    }
+
+    /// Adds a header, builder-style.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> HttpResponse {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Canonical reason phrase for the status codes this server emits.
+    pub fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Payload Too Large",
+            422 => "Unprocessable Entity",
+            431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
+            501 => "Not Implemented",
+            503 => "Service Unavailable",
+            _ => "Response",
+        }
+    }
+
+    /// Serializes the full response head + body.
+    ///
+    /// `keep_alive` decides the `Connection` header; the writer always
+    /// emits an explicit one so clients never have to guess.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from `w`.
+    pub fn write_to(&self, w: &mut impl Write, keep_alive: bool) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nServer: plateau-serve\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+            self.status,
+            Self::reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(text: &str) -> Result<ParseStatus, HttpParseError> {
+        try_parse(text.as_bytes(), DEFAULT_MAX_BODY_BYTES)
+    }
+
+    #[test]
+    fn parses_a_minimal_get() {
+        let status = req("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        match status {
+            ParseStatus::Complete(r, consumed) => {
+                assert_eq!(r.method, "GET");
+                assert_eq!(r.path, "/healthz");
+                assert_eq!(r.header("host"), Some("x"));
+                assert!(r.body.is_empty());
+                assert_eq!(consumed, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n".len());
+            }
+            other => panic!("expected Complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_reports_consumed_bytes() {
+        let text = "POST /simulate HTTP/1.1\r\nContent-Length: 4\r\n\r\n{\"a\"extra";
+        match try_parse(text.as_bytes(), DEFAULT_MAX_BODY_BYTES).unwrap() {
+            ParseStatus::Complete(r, consumed) => {
+                assert_eq!(r.body, b"{\"a\"");
+                assert_eq!(&text.as_bytes()[consumed..], b"extra");
+            }
+            other => panic!("expected Complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_requests_ask_for_more() {
+        assert_eq!(req("GET /x HTTP/1.1\r\nHost").unwrap(), ParseStatus::NeedMore);
+        // Headers complete, body still in flight.
+        assert_eq!(
+            req("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\n12345").unwrap(),
+            ParseStatus::NeedMore
+        );
+        assert_eq!(req("").unwrap(), ParseStatus::NeedMore);
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        assert_eq!(req("GARBAGE\r\n\r\n").unwrap_err(), HttpParseError::BadRequestLine);
+        assert_eq!(
+            req("GET /x HTTP/1.1 extra\r\n\r\n").unwrap_err(),
+            HttpParseError::BadRequestLine
+        );
+        assert_eq!(
+            req("GET /x HTTP/2\r\n\r\n").unwrap_err(),
+            HttpParseError::BadVersion("HTTP/2".into())
+        );
+    }
+
+    #[test]
+    fn rejects_bad_headers_and_lengths() {
+        assert_eq!(req("GET /x HTTP/1.1\r\nNoColon\r\n\r\n").unwrap_err(), HttpParseError::BadHeader);
+        assert_eq!(
+            req("POST /x HTTP/1.1\r\nContent-Length: twelve\r\n\r\n").unwrap_err(),
+            HttpParseError::BadContentLength
+        );
+        assert_eq!(
+            req("POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap_err(),
+            HttpParseError::UnsupportedTransferEncoding
+        );
+    }
+
+    #[test]
+    fn oversized_bodies_and_headers_are_refused() {
+        let e = try_parse(b"POST /x HTTP/1.1\r\nContent-Length: 100\r\n\r\n", 10).unwrap_err();
+        assert_eq!(e, HttpParseError::BodyTooLarge { limit: 10 });
+        assert_eq!(e.status(), 413);
+
+        let huge = format!("GET /x HTTP/1.1\r\nPad: {}\r\n\r\n", "y".repeat(MAX_HEADER_BYTES));
+        assert_eq!(req(&huge).unwrap_err(), HttpParseError::HeaderTooLarge);
+        // An unterminated flood is caught without waiting for CRLFCRLF.
+        let flood = "x".repeat(MAX_HEADER_BYTES + 2);
+        assert_eq!(req(&flood).unwrap_err(), HttpParseError::HeaderTooLarge);
+    }
+
+    #[test]
+    fn connection_close_detection_is_case_insensitive() {
+        let r = match req("GET / HTTP/1.1\r\nConnection: Close\r\n\r\n").unwrap() {
+            ParseStatus::Complete(r, _) => r,
+            other => panic!("{other:?}"),
+        };
+        assert!(r.wants_close());
+        let r = match req("GET / HTTP/1.1\r\n\r\n").unwrap() {
+            ParseStatus::Complete(r, _) => r,
+            other => panic!("{other:?}"),
+        };
+        assert!(!r.wants_close());
+    }
+
+    #[test]
+    fn pipelined_requests_parse_one_at_a_time() {
+        let text = "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let (first, consumed) = match req(text).unwrap() {
+            ParseStatus::Complete(r, c) => (r, c),
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(first.path, "/a");
+        match try_parse(&text.as_bytes()[consumed..], DEFAULT_MAX_BODY_BYTES).unwrap() {
+            ParseStatus::Complete(second, _) => assert_eq!(second.path, "/b"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_serialization_round_trips_the_essentials() {
+        let body = plateau_obs::json::Json::obj([("ok", plateau_obs::json::Json::Bool(true))]);
+        let mut out = Vec::new();
+        HttpResponse::json(200, &body)
+            .with_header("X-Plateau-Cache", "hit")
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 11\r\n"), "{text}");
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        assert!(text.contains("X-Plateau-Cache: hit\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"), "{text}");
+
+        let mut out = Vec::new();
+        HttpResponse::json(503, &body).write_to(&mut out, false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+    }
+
+    #[test]
+    fn adversarial_bytes_never_panic() {
+        // A spread of hostile inputs: binary junk, truncated escapes,
+        // interior NULs, absurd lengths.
+        let cases: Vec<Vec<u8>> = vec![
+            vec![0xff; 64],
+            b"POST / HTTP/1.1\r\nContent-Length: 18446744073709551616\r\n\r\n".to_vec(),
+            b"\r\n\r\n".to_vec(),
+            b"GET  HTTP/1.1\r\n\r\n".to_vec(),
+            b"GET / HTTP/1.1\r\n\0: x\r\n\r\n".to_vec(),
+        ];
+        for c in cases {
+            let _ = try_parse(&c, DEFAULT_MAX_BODY_BYTES);
+        }
+    }
+}

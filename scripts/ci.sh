@@ -138,6 +138,21 @@ echo "=== batch throughput gate ==="
 PLATEAU_PERF=target/obs \
     cargo run -q --release --offline -p plateau-bench --bin batch_throughput_gate
 
+echo "=== serve smoke gate ==="
+# The HTTP service end to end (DESIGN.md §15): load_gate boots an
+# in-process server on an ephemeral port and fires a fixed-seed 200-request
+# burst (simulate/gradient/variance-scan/train mix) over raw sockets. The
+# gate fails on any non-2xx, on a /metrics scrape whose per-endpoint
+# request counters are not EXACTLY the schedule, on any torn or non-200/503
+# response from the 1-worker/1-slot backpressure probe, and unless the
+# cold /simulate median (cache cleared per request: QASM parse + build +
+# fusion compile repaid every time) exceeds the LRU-warm median by
+# PLATEAU_SERVE_CACHE_TOL (default 1.2). Burst p50/p90/p99 land in the
+# bench JSON; medians flow into the perf ledger. Recorded baseline lives
+# in benchmarks/BENCH_serve.json (re-record with --record).
+PLATEAU_PERF=target/obs \
+    cargo run -q --release --offline -p plateau-bench --bin load_gate
+
 echo "=== perf ledger trend-regression gate ==="
 # The harness-driven gate bins above appended one record per benchmark to
 # the append-only perf ledger. First self-test the gate on a scratch copy:

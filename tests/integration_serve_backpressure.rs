@@ -1,0 +1,134 @@
+//! Concurrency and backpressure: N parallel clients against a 1-worker
+//! server with a tiny queue. Every request must either succeed (200) or
+//! be cleanly rejected (503 + `Retry-After`); the queue-depth gauge must
+//! never exceed the configured bound; and graceful shutdown must drain
+//! in-flight jobs — no torn responses, ever.
+
+#[path = "serve_common.rs"]
+mod serve_common;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use plateau_serve::{ServeConfig, Server};
+use serve_common::post;
+
+/// A request slow enough (tens of ms) to pile the queue up.
+const SLOW_SCAN: &str = r#"{"qubits":[5],"layers":20,"circuits":24,"strategies":["random"],"cost":"global","ansatz":"training","seed":3}"#;
+
+#[test]
+fn flood_yields_only_200s_and_clean_503s_within_queue_bound() {
+    const QUEUE: usize = 2;
+    const CLIENTS: usize = 12;
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        queue_capacity: QUEUE,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+    let server = Arc::new(server);
+
+    // Watch the queue-depth gauge from a side thread during the flood.
+    let stop = Arc::new(AtomicBool::new(false));
+    let watcher = {
+        let server = Arc::clone(&server);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut max_seen = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                max_seen = max_seen.max(server.queue_depth());
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            max_seen
+        })
+    };
+
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let r = post(addr, "/variance-scan", SLOW_SCAN);
+                (r.status, r.header("Retry-After").map(str::to_string), r.body)
+            })
+        })
+        .collect();
+    let outcomes: Vec<_> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+    stop.store(true, Ordering::Relaxed);
+    let max_depth = watcher.join().unwrap();
+
+    let ok = outcomes.iter().filter(|(s, _, _)| *s == 200).count();
+    let rejected = outcomes.iter().filter(|(s, _, _)| *s == 503).count();
+    assert_eq!(
+        ok + rejected,
+        CLIENTS,
+        "statuses other than 200/503 appeared: {:?}",
+        outcomes.iter().map(|(s, _, _)| s).collect::<Vec<_>>()
+    );
+    // With 12 clients racing a 1-worker/2-slot server, some must land in
+    // the queue; every 200 body must be complete and parseable.
+    assert!(ok >= 1, "at least the in-flight request must succeed");
+    for (status, retry_after, body) in &outcomes {
+        if *status == 503 {
+            assert_eq!(retry_after.as_deref(), Some("1"), "503 without Retry-After");
+            assert!(body.contains("overloaded"), "{body}");
+        } else {
+            let parsed = plateau_obs::json::Json::parse(body).expect("complete JSON body");
+            assert!(parsed.as_obj().unwrap()[0].0 == "strategies", "{body}");
+        }
+    }
+    assert!(
+        max_depth <= QUEUE,
+        "queue depth {max_depth} exceeded its bound {QUEUE}"
+    );
+
+    Arc::try_unwrap(server).ok().expect("sole owner").shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_work() {
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        queue_capacity: 8,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+
+    // Six clients enqueue slow jobs, then the server shuts down while
+    // most are still queued.
+    let clients: Vec<_> = (0..6)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let r = post(addr, "/variance-scan", SLOW_SCAN);
+                (r.status, r.body)
+            })
+        })
+        .collect();
+    // Let the requests reach the queue before draining.
+    std::thread::sleep(Duration::from_millis(150));
+    server.shutdown();
+
+    // Every accepted client still gets a COMPLETE response: either its
+    // result (the drain promise) or a clean shutting-down 503 for
+    // requests that arrived after the queue closed. `post` panics on a
+    // torn response, so joining cleanly is itself the assertion.
+    for c in clients {
+        let (status, body) = c.join().expect("client saw a complete response");
+        assert!(
+            status == 200 || status == 503,
+            "unexpected status {status}: {body}"
+        );
+        if status == 200 {
+            plateau_obs::json::Json::parse(&body).expect("drained response is whole JSON");
+        } else {
+            assert!(body.contains("shutting_down") || body.contains("overloaded"), "{body}");
+        }
+    }
+
+    // The listener is gone.
+    assert!(
+        std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(300)).is_err(),
+        "socket still accepting after shutdown"
+    );
+}

@@ -1,0 +1,287 @@
+//! e2e HTTP round-trips against a real listening socket: every endpoint
+//! with JSON and QASM bodies, structured 400s, oversized-body rejection,
+//! keep-alive vs `Connection: close`, and `/metrics` scraping.
+
+#[path = "serve_common.rs"]
+mod serve_common;
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use plateau_obs::json::Json;
+use plateau_serve::{
+    CircuitSpec, ObservableSpec, Request, ServeConfig, Server, SimulateRequest,
+};
+use serve_common::{get, parse_response, post, roundtrip_raw};
+
+fn start(cfg: ServeConfig) -> Server {
+    Server::start(cfg).expect("bind ephemeral port")
+}
+
+fn ring_spec(n: usize) -> CircuitSpec {
+    let mut c = plateau_sim::Circuit::new(n).unwrap();
+    for q in 0..n {
+        c.ry(q).unwrap();
+    }
+    for q in 0..n - 1 {
+        c.cz(q, q + 1).unwrap();
+    }
+    CircuitSpec::from_circuit(&c)
+}
+
+fn simulate_body(n: usize, seed: u64, shots: u64) -> String {
+    Request::Simulate(SimulateRequest {
+        circuit: ring_spec(n),
+        params: (0..n).map(|i| 0.3 + 0.1 * i as f64).collect(),
+        observable: ObservableSpec::Global,
+        seed,
+        shots,
+    })
+    .serialize()
+}
+
+#[test]
+fn simulate_json_and_qasm_forms_agree() {
+    let server = start(ServeConfig::default());
+    let addr = server.addr();
+
+    let ops = post(addr, "/simulate", &simulate_body(3, 1, 0));
+    assert_eq!(ops.status, 200, "{}", ops.body);
+    assert_eq!(ops.header("Content-Type"), Some("application/json"));
+
+    // The same circuit as OpenQASM text with the parameters baked in.
+    let circuit = ring_spec(3).build().unwrap();
+    let params: Vec<f64> = (0..3).map(|i| 0.3 + 0.1 * i as f64).collect();
+    let qasm = plateau_sim::qasm::to_qasm(&circuit, &params).unwrap();
+    let body = Json::obj([
+        ("circuit", Json::obj([("qasm", Json::str(qasm))])),
+        ("observable", Json::str("global")),
+    ])
+    .to_string();
+    let via_qasm = post(addr, "/simulate", &body);
+    assert_eq!(via_qasm.status, 200, "{}", via_qasm.body);
+
+    let expectation_of = |r: &serve_common::Response| -> f64 {
+        Json::parse(&r.body).unwrap().as_obj().unwrap()[0].1.as_f64().unwrap()
+    };
+    assert!(
+        (expectation_of(&ops) - expectation_of(&via_qasm)).abs() < 1e-12,
+        "op-list and QASM forms must compute the same expectation"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn gradient_variance_scan_and_train_round_trip() {
+    let server = start(ServeConfig::default());
+    let addr = server.addr();
+
+    let grad_body = format!(
+        "{{\"circuit\":{},\"params\":[0.2,0.5],\"observable\":\"local\",\"engine\":\"adjoint\",\"seed\":0}}",
+        ring_spec(2).to_json()
+    );
+    let grad = post(addr, "/gradient", &grad_body);
+    assert_eq!(grad.status, 200, "{}", grad.body);
+    let parsed = Json::parse(&grad.body).unwrap();
+    let grads = parsed.as_obj().unwrap()[1].1.as_arr().unwrap();
+    assert_eq!(grads.len(), 2);
+
+    let scan = post(
+        addr,
+        "/variance-scan",
+        r#"{"qubits":[2,3],"layers":3,"circuits":6,"strategies":["random","zero"],"cost":"global","ansatz":"random","seed":9}"#,
+    );
+    assert_eq!(scan.status, 200, "{}", scan.body);
+    let curves = Json::parse(&scan.body).unwrap().as_obj().unwrap()[0]
+        .1
+        .as_arr()
+        .unwrap()
+        .len();
+    assert_eq!(curves, 2);
+
+    let train = post(
+        addr,
+        "/train",
+        r#"{"qubits":2,"layers":1,"iterations":3,"strategy":"xavier_normal","optimizer":"adam","lr":0.1,"fan":"tensor","seed":4}"#,
+    );
+    assert_eq!(train.status, 200, "{}", train.body);
+    let obj = Json::parse(&train.body).unwrap();
+    let losses = obj.as_obj().unwrap()[2].1.as_arr().unwrap();
+    assert_eq!(losses.len(), 4, "initial + 3 iterations");
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_structured_400s() {
+    let server = start(ServeConfig::default());
+    let addr = server.addr();
+
+    let cases = [
+        ("/simulate", "{this is not json"),
+        ("/simulate", r#"{"circuit":{"qubits":1,"ops":[{"gate":"warp","qubits":[0]}]},"observable":"global"}"#),
+        ("/simulate", r#"{"circuit":{"qubits":1,"ops":[]},"observable":"global","unknown_field":1}"#),
+        ("/gradient", r#"{"circuit":{"qubits":1,"ops":[]},"observable":"global","engine":"psychic"}"#),
+        ("/train", r#"{"qubits":2,"layers":1,"iterations":0}"#),
+        ("/simulate", r#"{"circuit":{"qubits":2,"ops":[{"gate":"ry","qubits":[0]}]},"params":[0.1,0.2,0.3],"observable":"global"}"#),
+    ];
+    for (path, body) in cases {
+        let r = post(addr, path, body);
+        assert_eq!(r.status, 400, "{path} {body} → {}", r.body);
+        let parsed = Json::parse(&r.body).expect("error body is JSON");
+        let err = parsed.as_obj().unwrap();
+        assert_eq!(err[0].0, "error", "{}", r.body);
+        let inner = err[0].1.as_obj().unwrap();
+        assert_eq!(inner[0].0, "code");
+        assert_eq!(inner[1].0, "message");
+    }
+
+    // Unknown endpoint and wrong method are structured too.
+    assert_eq!(post(addr, "/frobnicate", "{}").status, 404);
+    assert_eq!(get(addr, "/simulate").status, 405);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_bodies_are_rejected_with_413() {
+    let server = start(ServeConfig {
+        max_body: 2048,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+
+    let huge = format!(
+        "{{\"circuit\":{{\"qubits\":1,\"ops\":[]}},\"observable\":\"global\",\"seed\":{}}}",
+        "1".repeat(4096)
+    );
+    let r = post(addr, "/simulate", &huge);
+    assert_eq!(r.status, 413, "{}", r.body);
+    assert!(r.body.contains("\"error\""), "{}", r.body);
+
+    // At the limit still works.
+    let ok = post(addr, "/simulate", &simulate_body(2, 0, 0));
+    assert_eq!(ok.status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn garbage_framing_closes_with_400() {
+    let server = start(ServeConfig::default());
+    let addr = server.addr();
+    let r = roundtrip_raw(addr, b"NONSENSE\r\n\r\n");
+    assert_eq!(r.status, 400);
+    let r = roundtrip_raw(addr, b"GET / HTTP/3.0\r\nHost: x\r\n\r\n");
+    assert_eq!(r.status, 400);
+    server.shutdown();
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_socket() {
+    let server = start(ServeConfig::default());
+    let addr = server.addr();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let body = simulate_body(2, 3, 0);
+
+    let read_one = |stream: &mut TcpStream, buf: &mut Vec<u8>| -> serve_common::Response {
+        let mut chunk = [0u8; 4096];
+        loop {
+            // Try to parse what we have; read more on a torn prefix.
+            if buf.windows(4).any(|w| w == b"\r\n\r\n") {
+                let head_end = buf.windows(4).position(|w| w == b"\r\n\r\n").unwrap();
+                let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+                if let Some(len_line) = head
+                    .split("\r\n")
+                    .find(|l| l.to_ascii_lowercase().starts_with("content-length"))
+                {
+                    let len: usize = len_line.split(':').nth(1).unwrap().trim().parse().unwrap();
+                    if buf.len() >= head_end + 4 + len {
+                        let (resp, consumed) = parse_response(buf);
+                        buf.drain(..consumed);
+                        return resp;
+                    }
+                }
+            }
+            let n = stream.read(&mut chunk).expect("read");
+            assert!(n > 0, "peer closed mid-response");
+            buf.extend_from_slice(&chunk[..n]);
+        }
+    };
+
+    let mut buf = Vec::new();
+    for i in 0..3 {
+        let raw = format!(
+            "POST /simulate HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(raw.as_bytes()).unwrap();
+        let r = read_one(&mut stream, &mut buf);
+        assert_eq!(r.status, 200, "request {i} on the shared socket");
+        assert_eq!(r.header("Connection"), Some("keep-alive"));
+    }
+
+    // Final request asks to close; the server honors it with EOF.
+    let raw = format!(
+        "POST /simulate HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(raw.as_bytes()).unwrap();
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    buf.extend_from_slice(&rest);
+    let (r, consumed) = parse_response(&buf);
+    assert_eq!(r.status, 200);
+    assert_eq!(r.header("Connection"), Some("close"));
+    assert_eq!(consumed, buf.len());
+    server.shutdown();
+}
+
+#[test]
+fn healthz_and_metrics_report_service_state() {
+    let server = start(ServeConfig::default());
+    let addr = server.addr();
+
+    let health = get(addr, "/healthz");
+    assert_eq!(health.status, 200);
+    let parsed = Json::parse(&health.body).unwrap();
+    let obj = parsed.as_obj().unwrap();
+    assert_eq!(obj[0].1.as_str(), Some("ok"));
+    assert_eq!(obj[1].1, Json::Bool(false), "not draining");
+
+    // Drive a few requests, then scrape.
+    let sent = 4;
+    for i in 0..sent {
+        assert_eq!(post(addr, "/simulate", &simulate_body(2, i, 0)).status, 200);
+    }
+    let metrics = get(addr, "/metrics");
+    assert_eq!(metrics.status, 200);
+    let snap = Json::parse(&metrics.body).unwrap();
+    let counters = snap
+        .as_obj()
+        .unwrap()
+        .iter()
+        .find(|(k, _)| k == "counters")
+        .expect("counters section")
+        .1
+        .as_obj()
+        .unwrap()
+        .to_vec();
+    let count_of = |name: &str| -> f64 {
+        counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_f64().unwrap())
+            .unwrap_or(0.0)
+    };
+    // The registry is process-global (other tests' servers write to it
+    // too), so assert a floor, not equality — exact-count matching is
+    // the single-tenant load_gate's job.
+    assert!(
+        count_of("serve.requests.simulate") >= sent as f64,
+        "simulate counter below this test's own traffic: {}",
+        count_of("serve.requests.simulate")
+    );
+    assert!(count_of("serve.responses.2xx") >= sent as f64);
+    server.shutdown();
+}

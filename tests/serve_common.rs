@@ -1,0 +1,105 @@
+//! Shared raw-socket HTTP client for the serve integration suites.
+//!
+//! Deliberately *not* built on `plateau_serve::http` — the tests should
+//! exercise the server through an independent implementation of the
+//! protocol, so a bug that is symmetric in the server's parser and
+//! serializer cannot hide.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: String,
+}
+
+impl Response {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses one response off the front of `bytes`, returning it and the
+/// number of bytes consumed. Panics on torn or malformed responses —
+/// that is the failure the concurrency tests are hunting.
+pub fn parse_response(bytes: &[u8]) -> (Response, usize) {
+    let head_end = bytes
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response head must be complete");
+    let head = std::str::from_utf8(&bytes[..head_end]).expect("head is ASCII");
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().expect("status line");
+    assert!(
+        status_line.starts_with("HTTP/1.1 "),
+        "bad status line: {status_line:?}"
+    );
+    let status: u16 = status_line[9..12].parse().expect("numeric status");
+    let headers: Vec<(String, String)> = lines
+        .map(|l| {
+            let (k, v) = l.split_once(':').expect("header colon");
+            (k.trim().to_string(), v.trim().to_string())
+        })
+        .collect();
+    let len: usize = headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .map(|(_, v)| v.parse().expect("numeric content-length"))
+        .expect("every serve response carries Content-Length");
+    let body_start = head_end + 4;
+    assert!(
+        bytes.len() >= body_start + len,
+        "torn response: head promises {len} body bytes, got {}",
+        bytes.len() - body_start
+    );
+    let body = std::str::from_utf8(&bytes[body_start..body_start + len])
+        .expect("body is UTF-8")
+        .to_string();
+    (
+        Response {
+            status,
+            headers,
+            body,
+        },
+        body_start + len,
+    )
+}
+
+/// Opens a connection, sends `raw`, reads to EOF, and parses exactly one
+/// response (asserting nothing trails it).
+pub fn roundtrip_raw(addr: SocketAddr, raw: &[u8]) -> Response {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(raw).expect("send");
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).expect("read");
+    let (response, consumed) = parse_response(&buf);
+    assert_eq!(consumed, buf.len(), "unexpected bytes after the response");
+    response
+}
+
+/// `POST path` with a JSON body on a fresh `Connection: close` socket.
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> Response {
+    let raw = format!(
+        "POST {path} HTTP/1.1\r\nHost: test\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    roundtrip_raw(addr, raw.as_bytes())
+}
+
+/// `GET path` on a fresh `Connection: close` socket.
+pub fn get(addr: SocketAddr, path: &str) -> Response {
+    let raw = format!("GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n");
+    roundtrip_raw(addr, raw.as_bytes())
+}
